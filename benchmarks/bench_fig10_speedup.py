@@ -1,0 +1,16 @@
+"""Figure 10: IPC speedups from dead save/restore elimination."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig10_speedup
+
+
+def test_fig10_speedup(benchmark, profile, context):
+    result = benchmark.pedantic(
+        fig10_speedup.run, args=(profile, context), rounds=1, iterations=1,
+    )
+    publish("fig10_speedup", result.format_table())
+    # Paper shape: best benchmark gains a few percent (perl: 4.8%), and
+    # save elimination alone provides more than half the benefit.
+    best = result.best()
+    assert best.lvm_stack_speedup > 2.0
+    assert best.lvm_speedup > 0.4 * best.lvm_stack_speedup

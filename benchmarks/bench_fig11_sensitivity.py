@@ -1,0 +1,18 @@
+"""Figure 11: cache-port / issue-width sensitivity of the optimization."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig11_sensitivity
+
+
+def test_fig11_sensitivity(benchmark, profile, context):
+    result = benchmark.pedantic(
+        fig11_sensitivity.run, args=(profile, context), rounds=1, iterations=1,
+    )
+    publish("fig11_sensitivity", result.format_table())
+    # Paper shape: "the relative effectiveness of save/restore elimination
+    # increases as the number of cache ports decreases."
+    one_port = result.lookup("gcc_like", 4, 1).speedup
+    three_ports = result.lookup("gcc_like", 4, 3).speedup
+    assert one_port > three_ports
+    # ijpeg (few saves/restores) is insensitive.
+    assert abs(result.lookup("ijpeg_like", 4, 1).speedup) < 3.0

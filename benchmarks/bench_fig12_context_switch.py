@@ -1,0 +1,18 @@
+"""Figure 12: context-switch saves and restores eliminated."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig12_context_switch
+
+
+def test_fig12_context_switch(benchmark, profile, context):
+    result = benchmark.pedantic(
+        fig12_context_switch.run, args=(profile, context),
+        rounds=1, iterations=1,
+    )
+    publish("fig12_context_switch", result.format_table())
+    # Paper shape: I-DVI alone ~42%, E-DVI + I-DVI ~51%.
+    idvi = result.average("pct_eliminated_idvi")
+    full = result.average("pct_eliminated_full")
+    assert full >= idvi > 20.0
+    for measurement in result.scheduler:
+        assert measurement.all_correct

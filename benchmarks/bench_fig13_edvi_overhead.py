@@ -1,0 +1,18 @@
+"""Figure 13: E-DVI annotation overhead (unexploited)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig13_edvi_overhead
+
+
+def test_fig13_edvi_overhead(benchmark, profile, context):
+    result = benchmark.pedantic(
+        fig13_edvi_overhead.run, args=(profile, context),
+        rounds=1, iterations=1,
+    )
+    publish("fig13_edvi_overhead", result.format_table())
+    # Paper shape: "E-DVI overhead ... is negligible"; IPC overhead is
+    # bounded by the dynamic fetch overhead.
+    for row in result.rows:
+        assert row.pct_dynamic < 5.0
+        for value in row.pct_ipc.values():
+            assert value <= row.pct_dynamic + 0.5

@@ -1,0 +1,18 @@
+"""Figure 3: benchmark characterization table."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig3_characterization
+
+
+def test_fig3_characterization(benchmark, profile, context):
+    result = benchmark.pedantic(
+        fig3_characterization.run, args=(profile, context),
+        rounds=1, iterations=1,
+    )
+    publish(
+        "fig3_characterization",
+        fig3_characterization.machine_description()
+        + "\n\n" + result.format_table(),
+    )
+    for row in result.rows:
+        assert row.dynamic_insts > 0

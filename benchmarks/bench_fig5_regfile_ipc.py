@@ -1,0 +1,19 @@
+"""Figure 5: average IPC vs. physical register file size (three DVI modes)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig5_regfile_ipc
+
+
+def test_fig5_regfile_ipc(benchmark, profile, context):
+    result = benchmark.pedantic(
+        fig5_regfile_ipc.run, args=(profile, context), rounds=1, iterations=1,
+    )
+    ninety = {mode: result.size_reaching(mode, 0.9) for mode in result.curves}
+    publish(
+        "fig5_regfile_ipc",
+        result.format_table()
+        + "\nSizes reaching 90% of each mode's peak IPC: "
+        + ", ".join(f"{mode}: {size}" for mode, size in ninety.items()),
+    )
+    # Paper shape: I-DVI reaches 90% of peak at a smaller file than no DVI.
+    assert ninety["I-DVI"] <= ninety["No DVI"]

@@ -1,0 +1,17 @@
+"""Figure 9: dynamic saves and restores eliminated (LVM vs LVM-Stack)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import fig9_eliminated
+
+
+def test_fig9_eliminated(benchmark, profile, context):
+    result = benchmark.pedantic(
+        fig9_eliminated.run, args=(profile, context), rounds=1, iterations=1,
+    )
+    publish("fig9_eliminated", result.format_table())
+    # Paper shape: the LVM-Stack scheme roughly doubles the LVM scheme
+    # (paper averages: 46.5% of saves+restores, 4.8% of instructions).
+    lvm = result.average("LVM", "pct_of_saves_restores")
+    stack = result.average("LVM-Stack", "pct_of_saves_restores")
+    assert 1.5 * lvm <= stack <= 2.5 * lvm
+    assert stack > 20.0

@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark runs one experiment harness under the quick profile (a
+reduced sweep; pass ``REPRO_PROFILE=full`` in the environment to run the
+paper-shaped sweep), prints the regenerated table, and writes it to
+``results/<figure>.txt``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext, ExperimentProfile
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile() -> ExperimentProfile:
+    if os.environ.get("REPRO_PROFILE") == "full":
+        return ExperimentProfile.full()
+    return ExperimentProfile.quick()
+
+
+@pytest.fixture(scope="session")
+def context(profile) -> ExperimentContext:
+    return ExperimentContext(profile)
+
+
+def publish(name: str, table: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    print()
+    print(table)

@@ -1,0 +1,83 @@
+"""Tour of the toolchain: text assembly -> binary encoding -> analysis.
+
+Assembles a program from text (including the DVI ISA extensions), encodes
+it to 32-bit machine words, disassembles them back, runs the liveness
+analysis, and executes the result — the complete static toolchain in one
+script.
+
+Run:  python examples/assembler_tour.py
+"""
+
+from repro import assemble, disassemble, run_program
+from repro.analysis.liveness import analyze_program
+from repro.isa import registers as regs
+from repro.isa.encoding import encode_program
+from repro.program.disassembler import disassemble_words
+
+SOURCE = """
+    .data
+    values:  .word 3, 1, 4, 1, 5, 9, 2, 6
+    result:  .word 0
+
+    .text
+    main:
+        la   a0, values
+        li   a1, 8
+        jal  sum_squares
+        la   t0, result
+        sw   v0, 0(t0)
+        halt
+
+    # sum of squares of an array, with a callee-saved accumulator
+    .proc sum_squares saves=s0+s1 save_ra
+        move s0, a0          # base
+        li   s1, 0           # accumulator
+        move t9, a1
+    loop:
+        lw   t0, 0(s0)
+        mul  t1, t0, t0
+        add  s1, s1, t1
+        addi s0, s0, 4
+        addi t9, t9, -1
+        bgtz t9, loop
+        move v0, s1
+        epilogue
+    .endproc
+"""
+
+
+def main():
+    program = assemble(SOURCE, name="sum_squares")
+
+    print("=== disassembly ===")
+    print(disassemble(program))
+
+    print("\n=== binary encoding (first 8 words) ===")
+    words = encode_program(program.insts)
+    for index, (word, text) in enumerate(
+        zip(words[:8], disassemble_words(words[:8]))
+    ):
+        print(f"  {index * 4:#06x}:  {word:08x}  {text}")
+    print(f"  ... {len(words)} words, {program.code_bytes} bytes total")
+
+    print("\n=== liveness at each call site ===")
+    for name, liveness in analyze_program(program).items():
+        for index in range(liveness.cfg.proc.start, liveness.cfg.proc.end):
+            if program.insts[index].is_call:
+                live = liveness.live_out[index]
+                live_callee_saved = [
+                    regs.reg_name(r)
+                    for r in regs.regs_in_mask(live)
+                    if 16 <= r <= 23
+                ]
+                print(f"  call at {index * 4:#06x} in {name}: live "
+                      f"callee-saved = {live_callee_saved or ['(none)']}")
+
+    result = run_program(program, collect_trace=False)
+    print(f"\nresult: {result.stats.exit_value} "
+          f"(expected {sum(v * v for v in [3, 1, 4, 1, 5, 9, 2, 6])}) in "
+          f"{result.stats.program_insts} instructions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Save/restore elimination in an interpreter — the perl story.
+
+The perl-like workload dispatches bytecode through a handler table with
+indirect calls; its handlers save callee-saved registers the dispatch loop
+provably never needs.  This example shows where the paper's biggest win
+(74.6% of perl's callee saves/restores) comes from: the E-DVI kill at the
+dispatch site, the LVM squashing handler saves, and the LVM-Stack squashing
+the matching restores — plus the capacity ablation for the 16-entry stack.
+
+Run:  python examples/interpreter_dispatch.py
+"""
+
+from repro import DVIConfig, MachineConfig, run_program, simulate
+from repro.dvi.config import SRScheme
+from repro.rewrite.edvi import insert_edvi
+from repro.workloads.suite import get_program
+
+
+def elimination_stats(program, dvi):
+    stats = run_program(program, dvi, collect_trace=False).stats
+    pct = (100.0 * stats.saves_restores_eliminated / stats.saves_restores
+           if stats.saves_restores else 0.0)
+    return stats, pct
+
+
+def main():
+    program = get_program("perl_like")
+    rewrite = insert_edvi(program)
+    annotated = rewrite.program
+
+    print("=== E-DVI insertion ===")
+    print(rewrite.report.summary())
+    for site in rewrite.report.call_sites:
+        if site.inserted:
+            callee = site.callee or "<indirect: handler table>"
+            print(f"  kill at {site.caller} -> {callee} "
+                  f"(mask {site.dead_mask:#x})")
+
+    print("\n=== elimination by scheme ===")
+    for scheme, label in ((SRScheme.LVM, "LVM (saves only)"),
+                          (SRScheme.LVM_STACK, "LVM-Stack (saves+restores)")):
+        stats, pct = elimination_stats(annotated, DVIConfig.full(scheme))
+        print(f"  {label:<28} {stats.saves_restores_eliminated:>6,} of "
+              f"{stats.saves_restores:,} ({pct:.1f}%)")
+
+    print("\n=== LVM-Stack capacity (paper: 16 entries suffice) ===")
+    unbounded, _ = elimination_stats(
+        annotated,
+        DVIConfig(use_idvi=True, use_edvi=True, scheme=SRScheme.LVM_STACK,
+                  lvm_stack_depth=None),
+    )
+    reference = unbounded.saves_restores_eliminated
+    for depth in (1, 2, 4, 8, 16):
+        stats, _ = elimination_stats(
+            annotated,
+            DVIConfig(use_idvi=True, use_edvi=True,
+                      scheme=SRScheme.LVM_STACK, lvm_stack_depth=depth),
+        )
+        captured = 100.0 * stats.saves_restores_eliminated / reference
+        print(f"  depth {depth:>2}: {captured:5.1f}% of unbounded benefit")
+
+    print("\n=== IPC effect on the Figure 2 machine ===")
+    config = MachineConfig.micro97_unconstrained()
+    base = simulate(config, run_program(program, DVIConfig.none()).trace)
+    dvi = simulate(
+        config, run_program(annotated, DVIConfig.full(SRScheme.LVM_STACK)).trace
+    )
+    print(f"  baseline IPC {base.ipc:.3f} -> DVI IPC {dvi.ipc:.3f} "
+          f"({100 * (dvi.ipc / base.ipc - 1):+.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py so legacy `python setup.py develop` works offline.
+
+The environment has no `wheel` package, which PEP 660 editable installs
+(`pip install -e .`) require; `python setup.py develop` needs only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

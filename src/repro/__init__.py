@@ -1,0 +1,55 @@
+"""repro: a reproduction of "Exploiting Dead Value Information" (MICRO-30, 1997).
+
+The public API re-exports the pieces a downstream user needs to author or
+rewrite programs, run them functionally, time them on the out-of-order
+model, and regenerate every figure of the paper's evaluation.  See
+README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from repro.dvi import DVIConfig, DVIEngine, LiveValueMask, LVMStack, SRScheme
+from repro.errors import DVIViolationError, ReproError, SimulationError
+from repro.isa import ABI, DEFAULT_ABI, Instruction, Opcode
+from repro.program import Program, ProgramBuilder, assemble, disassemble
+from repro.rewrite import check_equivalence, insert_edvi, strip_edvi, verify_dvi
+from repro.sim import (
+    FunctionalResult,
+    MachineConfig,
+    PipelineStats,
+    Trace,
+    run_program,
+    simulate,
+)
+from repro.timing import RegFileTimingModel, performance_curves
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABI",
+    "DEFAULT_ABI",
+    "DVIConfig",
+    "DVIEngine",
+    "DVIViolationError",
+    "FunctionalResult",
+    "Instruction",
+    "LVMStack",
+    "LiveValueMask",
+    "MachineConfig",
+    "Opcode",
+    "PipelineStats",
+    "Program",
+    "ProgramBuilder",
+    "RegFileTimingModel",
+    "ReproError",
+    "SRScheme",
+    "SimulationError",
+    "Trace",
+    "assemble",
+    "check_equivalence",
+    "disassemble",
+    "insert_edvi",
+    "performance_curves",
+    "run_program",
+    "simulate",
+    "strip_edvi",
+    "verify_dvi",
+]

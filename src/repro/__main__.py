@@ -1,0 +1,89 @@
+"""Command-line interface: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig9                # quick profile
+    python -m repro fig5 --profile full
+    python -m repro all --profile quick
+    python -m repro machine             # print the Figure 2 table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ablation_lvmstack_depth,
+    fig3_characterization,
+    fig5_regfile_ipc,
+    fig6_performance,
+    fig9_eliminated,
+    fig10_speedup,
+    fig11_sensitivity,
+    fig12_context_switch,
+    fig13_edvi_overhead,
+)
+from repro.experiments.runner import ExperimentContext, ExperimentProfile
+
+EXPERIMENTS = {
+    "fig3": (fig3_characterization, "benchmark characterization"),
+    "fig5": (fig5_regfile_ipc, "IPC vs. register file size"),
+    "fig6": (fig6_performance, "performance vs. register file size"),
+    "fig9": (fig9_eliminated, "saves/restores eliminated"),
+    "fig10": (fig10_speedup, "IPC speedups"),
+    "fig11": (fig11_sensitivity, "cache bandwidth sensitivity"),
+    "fig12": (fig12_context_switch, "context-switch elimination"),
+    "fig13": (fig13_edvi_overhead, "E-DVI overhead"),
+    "ablation": (ablation_lvmstack_depth, "LVM-Stack depth ablation"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Exploiting Dead Value "
+                    "Information' (MICRO-30, 1997).",
+    )
+    parser.add_argument(
+        "target",
+        help="figure id (%s), 'all', 'list', or 'machine'"
+             % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--profile", choices=("quick", "full"), default="quick",
+        help="sweep size: quick (default) or the paper-shaped full sweep",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "list":
+        for name, (_, description) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+    if args.target == "machine":
+        print(fig3_characterization.machine_description())
+        return 0
+
+    targets = list(EXPERIMENTS) if args.target == "all" else [args.target]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown target(s): {', '.join(unknown)}")
+
+    profile = (
+        ExperimentProfile.full() if args.profile == "full"
+        else ExperimentProfile.quick()
+    )
+    context = ExperimentContext(profile)
+    for name in targets:
+        module, description = EXPERIMENTS[name]
+        started = time.time()
+        result = module.run(profile, context)
+        print(result.format_table())
+        print(f"[{name}: {description}; {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Control-flow graph construction over linked programs.
+
+The binary rewriter needs intra-procedural CFGs: one graph per procedure,
+whose nodes are basic blocks of instruction indices.  Procedure extents come
+from the program's declarations when present (the builder records them) or
+from a simple discovery pass (entry + direct call targets) otherwise —
+matching the paper's premise that E-DVI insertion needs only "a simple
+binary rewriting tool", not compiler metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.program.program import ProcedureDecl, Program, ProgramError
+
+
+class CFGError(ProgramError):
+    """The program's control flow cannot be analyzed."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start`` / ``end`` delimit a half-open index range into the program's
+    instruction list.  ``succs`` and ``preds`` hold block ids within the
+    owning :class:`ProcedureCFG`.  A block whose last instruction leaves the
+    procedure (return or halt) has ``exits=True`` and no successors.
+    """
+
+    bid: int
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+    exits: bool = False
+
+    def indices(self) -> range:
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class ProcedureCFG:
+    """The CFG of one procedure."""
+
+    proc: ProcedureDecl
+    blocks: List[BasicBlock]
+    #: Instruction index -> owning block id.
+    block_of: Dict[int, int]
+    entry_bid: int
+
+    @property
+    def name(self) -> str:
+        return self.proc.name
+
+    def block_at(self, index: int) -> BasicBlock:
+        return self.blocks[self.block_of[index]]
+
+
+def discover_procedures(program: Program) -> List[ProcedureDecl]:
+    """Infer procedure extents when the program declares none.
+
+    Starts are the entry label plus every direct call target; each
+    procedure extends to the next start (or the end of the program).  This
+    is the classic binary-analysis approximation and is exact for programs
+    laid out procedure-by-procedure, which all builder output is.
+    """
+    program.require_linked()
+    starts = {program.entry_index}
+    for inst in program.insts:
+        if inst.is_call and isinstance(inst.target, int):
+            starts.add(inst.target)
+    ordered = sorted(starts)
+    procs: List[ProcedureDecl] = []
+    for position, start in enumerate(ordered):
+        end = ordered[position + 1] if position + 1 < len(ordered) else len(program)
+        name = program.label_at(start) or f"proc_{start}"
+        procs.append(ProcedureDecl(name, start, end))
+    return procs
+
+
+def procedures_of(program: Program) -> List[ProcedureDecl]:
+    """The program's procedures: declarations merged with discovery.
+
+    Declared names win at their start indices, but discovery still
+    contributes starts (the entry point and call targets) that no
+    declaration covers — a program whose ``main`` is plain labelled code
+    calling ``.proc``-declared helpers is analyzed in full.
+    """
+    program.require_linked()
+    declared = {proc.start: proc.name for proc in program.procedures}
+    starts = set(declared) | {program.entry_index}
+    for inst in program.insts:
+        if inst.is_call and isinstance(inst.target, int):
+            starts.add(inst.target)
+    ordered = sorted(starts)
+    procs: List[ProcedureDecl] = []
+    for position, start in enumerate(ordered):
+        end = ordered[position + 1] if position + 1 < len(ordered) else len(program)
+        name = declared.get(start) or program.label_at(start) or f"proc_{start}"
+        procs.append(ProcedureDecl(name, start, end))
+    return procs
+
+
+def build_cfg(program: Program, proc: ProcedureDecl) -> ProcedureCFG:
+    """Build the intra-procedural CFG for ``proc``."""
+    program.require_linked()
+    insts = program.insts
+    if proc.start >= proc.end:
+        raise CFGError(f"procedure {proc.name!r} is empty")
+
+    leaders = _find_leaders(insts, proc)
+    blocks = _make_blocks(leaders, proc)
+    block_of: Dict[int, int] = {}
+    for block in blocks:
+        for index in block.indices():
+            block_of[index] = block.bid
+    _add_edges(insts, proc, blocks, block_of)
+    return ProcedureCFG(proc=proc, blocks=blocks, block_of=block_of, entry_bid=0)
+
+
+def build_all_cfgs(program: Program) -> Dict[str, ProcedureCFG]:
+    """CFGs for every procedure in the program, keyed by name."""
+    return {proc.name: build_cfg(program, proc) for proc in procedures_of(program)}
+
+
+def _find_leaders(insts: Sequence[Instruction], proc: ProcedureDecl) -> List[int]:
+    leaders = {proc.start}
+    for index in range(proc.start, proc.end):
+        inst = insts[index]
+        if not inst.is_control:
+            continue
+        if index + 1 < proc.end:
+            leaders.add(index + 1)
+        target = _intra_target(inst, proc)
+        if target is not None:
+            leaders.add(target)
+    return sorted(leaders)
+
+
+def _intra_target(inst: Instruction, proc: ProcedureDecl) -> Optional[int]:
+    """The instruction's static target if it stays inside the procedure."""
+    if inst.is_call or inst.is_return:
+        return None
+    if not inst.is_control:
+        return None
+    if inst.is_indirect:
+        raise CFGError(
+            f"indirect jump ({inst.op.name}) through "
+            f"non-ra register inside {proc.name!r} is not analyzable"
+        )
+    target = inst.target
+    if not isinstance(target, int):
+        raise CFGError(f"unlinked target {target!r} in {proc.name!r}")
+    if target not in proc:
+        raise CFGError(
+            f"branch from {proc.name!r} to instruction {target} "
+            f"outside the procedure"
+        )
+    return target
+
+
+def _make_blocks(leaders: List[int], proc: ProcedureDecl) -> List[BasicBlock]:
+    blocks: List[BasicBlock] = []
+    for position, start in enumerate(leaders):
+        end = leaders[position + 1] if position + 1 < len(leaders) else proc.end
+        blocks.append(BasicBlock(bid=position, start=start, end=end))
+    return blocks
+
+
+def _add_edges(
+    insts: Sequence[Instruction],
+    proc: ProcedureDecl,
+    blocks: List[BasicBlock],
+    block_of: Dict[int, int],
+) -> None:
+    for block in blocks:
+        last = insts[block.end - 1]
+        if last.is_return or last.is_halt:
+            block.exits = True
+            continue
+        if last.is_control and not last.is_call:
+            target = _intra_target(last, proc)
+            if target is not None:
+                _link(blocks, block.bid, block_of[target])
+        if last.falls_through or last.is_call:
+            if block.end >= proc.end:
+                # Control runs off the end of the procedure; treat it as an
+                # exit (the workloads always end procedures with returns or
+                # halts, but assembled test fragments may not).
+                block.exits = True
+            else:
+                _link(blocks, block.bid, block_of[block.end])
+
+
+def _link(blocks: List[BasicBlock], src: int, dst: int) -> None:
+    if dst not in blocks[src].succs:
+        blocks[src].succs.append(dst)
+        blocks[dst].preds.append(src)

@@ -1,0 +1,105 @@
+"""A small generic iterative dataflow engine over procedure CFGs.
+
+The engine solves backward or forward bit-vector problems to a fixpoint
+using a worklist.  Facts are Python ints used as bit masks, which keeps the
+transfer functions allocation-free; the liveness analysis
+(:mod:`repro.analysis.liveness`) is the only client the reproduction needs,
+but the engine is written generically so ablation analyses (e.g. reaching
+definitions for the verifier's static mode) can reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+from repro.analysis.cfg import BasicBlock, ProcedureCFG
+
+#: A transfer function mapping the fact at one block boundary across the
+#: block to the other boundary.
+BlockTransfer = Callable[[BasicBlock, int], int]
+
+#: Boundary fact at procedure exits: a constant, or per-block function
+#: (liveness uses the latter: ``halt`` exits differ from fall-off exits).
+ExitFact = Union[int, Callable[[BasicBlock], int]]
+
+
+@dataclass
+class DataflowResult:
+    """Fixpoint facts at both boundaries of every block.
+
+    For a backward problem ``out_facts[b]`` is the fact at the block's end
+    (after its last instruction) and ``in_facts[b]`` at its start; for a
+    forward problem the roles are the usual duals.
+    """
+
+    in_facts: Dict[int, int]
+    out_facts: Dict[int, int]
+
+
+def solve_backward(
+    cfg: ProcedureCFG,
+    transfer: BlockTransfer,
+    *,
+    exit_fact: ExitFact = 0,
+    init: int = 0,
+) -> DataflowResult:
+    """Solve a backward may-problem (join = union) to fixpoint.
+
+    ``exit_fact`` is the boundary fact at procedure exits (e.g. the
+    registers live at return), either a constant mask or a per-exit-block
+    function.  ``init`` seeds every block's facts.
+    """
+    in_facts = {block.bid: init for block in cfg.blocks}
+    out_facts = {block.bid: init for block in cfg.blocks}
+    worklist: List[int] = [block.bid for block in cfg.blocks]
+    pending = set(worklist)
+    while worklist:
+        bid = worklist.pop()
+        pending.discard(bid)
+        block = cfg.blocks[bid]
+        if block.exits:
+            out_fact = exit_fact(block) if callable(exit_fact) else exit_fact
+        else:
+            out_fact = 0
+        for succ in block.succs:
+            out_fact |= in_facts[succ]
+        out_facts[bid] = out_fact
+        new_in = transfer(block, out_fact)
+        if new_in != in_facts[bid]:
+            in_facts[bid] = new_in
+            for pred in block.preds:
+                if pred not in pending:
+                    pending.add(pred)
+                    worklist.append(pred)
+    return DataflowResult(in_facts=in_facts, out_facts=out_facts)
+
+
+def solve_forward(
+    cfg: ProcedureCFG,
+    transfer: BlockTransfer,
+    *,
+    entry_fact: int = 0,
+    init: int = 0,
+) -> DataflowResult:
+    """Solve a forward may-problem (join = union) to fixpoint."""
+    in_facts = {block.bid: init for block in cfg.blocks}
+    out_facts = {block.bid: init for block in cfg.blocks}
+    worklist: List[int] = [block.bid for block in cfg.blocks]
+    pending = set(worklist)
+    while worklist:
+        bid = worklist.pop()
+        pending.discard(bid)
+        block = cfg.blocks[bid]
+        in_fact = entry_fact if bid == cfg.entry_bid else 0
+        for pred in block.preds:
+            in_fact |= out_facts[pred]
+        in_facts[bid] = in_fact
+        new_out = transfer(block, in_fact)
+        if new_out != out_facts[bid]:
+            out_facts[bid] = new_out
+            for succ in block.succs:
+                if succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return DataflowResult(in_facts=in_facts, out_facts=out_facts)

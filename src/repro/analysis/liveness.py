@@ -1,0 +1,117 @@
+"""Intra-procedural register liveness — the compiler analysis behind DVI.
+
+This is the "static, intra-procedural liveness analysis performed in
+standard compilers" the paper relies on (section 2).  It is a backward
+bit-vector dataflow over the procedure CFG with calling-convention-aware
+transfer functions:
+
+* a ``call`` clobbers the caller-saved registers (the callee may overwrite
+  them) and conservatively reads the argument registers, the stack pointer
+  and the global pointer;
+* a ``return`` reads the ABI's ``live_at_return`` set — crucially including
+  every *callee-saved* register, so a callee-saved register is only ever
+  dead inside a procedure that will overwrite it (via an epilogue restore or
+  a plain assignment) before returning.  This boundary condition is what
+  makes E-DVI insertion sound for callers that never touch a register their
+  own caller holds live;
+* an E-DVI ``kill`` acts as a definition (it ends the value's lifetime).
+
+The result maps every instruction index to its live-out register mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.analysis.cfg import BasicBlock, ProcedureCFG, build_cfg, procedures_of
+from repro.analysis.dataflow import solve_backward
+from repro.isa import registers as regs
+from repro.isa.abi import ABI, DEFAULT_ABI
+from repro.isa.instruction import Instruction
+from repro.program.program import Program
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Per-instruction liveness facts for one procedure."""
+
+    cfg: ProcedureCFG
+    #: Instruction index -> mask of registers live *after* the instruction.
+    live_out: Dict[int, int]
+    #: Instruction index -> mask of registers live *before* the instruction.
+    live_in: Dict[int, int]
+
+    def dead_after(self, index: int, candidates: int) -> int:
+        """Subset of ``candidates`` whose values are dead after ``index``."""
+        return candidates & ~self.live_out[index]
+
+
+def instruction_uses_defs(inst: Instruction, abi: ABI) -> Tuple[int, int]:
+    """The (use, def) register masks of ``inst`` under the calling convention.
+
+    This augments the instruction's syntactic register fields with the
+    convention's interprocedural effects, and treats ``kill`` masks as
+    definitions.
+    """
+    uses = inst.use_mask()
+    defs = inst.def_mask()
+    if inst.is_call:
+        uses |= abi.argument_regs | (1 << abi.sp) | (1 << regs.GP)
+        defs |= abi.caller_saved
+    elif inst.is_return:
+        uses |= abi.live_at_return()
+    if inst.is_kill:
+        defs |= inst.kill_mask
+    return uses, defs
+
+
+def analyze_procedure(
+    program: Program, cfg: ProcedureCFG, *, abi: ABI = DEFAULT_ABI
+) -> LivenessResult:
+    """Solve liveness for one procedure and expand to per-instruction facts."""
+    insts = program.insts
+    use_def: Dict[int, Tuple[int, int]] = {
+        index: instruction_uses_defs(insts[index], abi)
+        for block in cfg.blocks
+        for index in block.indices()
+    }
+
+    def transfer(block: BasicBlock, live: int) -> int:
+        for index in reversed(range(block.start, block.end)):
+            uses, defs = use_def[index]
+            live = (live & ~defs) | uses
+        return live
+
+    def exit_fact(block: BasicBlock) -> int:
+        # Returns inject live_at_return through their use sets, and a halt
+        # ends the program with nothing live.  Only control that falls off
+        # the end of the procedure's extent needs a conservative boundary.
+        last = insts[block.end - 1]
+        if last.is_halt or last.is_return:
+            return 0
+        return (1 << regs.NUM_REGS) - 2  # everything but r0
+
+    solution = solve_backward(cfg, transfer, exit_fact=exit_fact)
+
+    live_out: Dict[int, int] = {}
+    live_in: Dict[int, int] = {}
+    for block in cfg.blocks:
+        live = solution.out_facts[block.bid]
+        for index in reversed(range(block.start, block.end)):
+            live_out[index] = live
+            uses, defs = use_def[index]
+            live = (live & ~defs) | uses
+            live_in[index] = live
+    return LivenessResult(cfg=cfg, live_out=live_out, live_in=live_in)
+
+
+def analyze_program(
+    program: Program, *, abi: ABI = DEFAULT_ABI
+) -> Dict[str, LivenessResult]:
+    """Liveness for every procedure, keyed by procedure name."""
+    results: Dict[str, LivenessResult] = {}
+    for proc in procedures_of(program):
+        cfg = build_cfg(program, proc)
+        results[proc.name] = analyze_procedure(program, cfg, abi=abi)
+    return results

@@ -1,0 +1,81 @@
+"""DVI configuration: which information sources and schemes are active."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional
+
+from repro.dvi.lvm_stack import DEFAULT_DEPTH
+from repro.isa.abi import ABI, DEFAULT_ABI
+
+
+class SRScheme(Enum):
+    """Save/restore elimination scheme (section 5.2)."""
+
+    #: No elimination; live-stores/loads behave as plain stores/loads.
+    NONE = auto()
+    #: LVM scheme: eliminate dead *saves* only.
+    LVM = auto()
+    #: LVM-Stack scheme: eliminate dead saves *and* their matching restores.
+    LVM_STACK = auto()
+
+
+@dataclass(frozen=True)
+class DVIConfig:
+    """Which DVI sources the processor exploits, and how.
+
+    The three curves of Figure 5 correspond to :meth:`none` (run the
+    annotation-free binary, infer nothing), :meth:`idvi_only` (infer from
+    calls/returns only), and :meth:`full` (also honor ``kill``
+    instructions in an E-DVI-annotated binary).
+    """
+
+    #: Infer I-DVI from call/return instructions via the ABI masks.
+    use_idvi: bool = True
+    #: Honor explicit ``kill`` instructions (E-DVI).
+    use_edvi: bool = True
+    #: Save/restore elimination scheme.
+    scheme: SRScheme = SRScheme.LVM_STACK
+    #: LVM-Stack capacity; ``None`` = unbounded (for the capacity ablation).
+    lvm_stack_depth: Optional[int] = DEFAULT_DEPTH
+    #: The calling convention supplying the I-DVI masks.
+    abi: ABI = field(default_factory=lambda: DEFAULT_ABI)
+
+    @classmethod
+    def none(cls) -> "DVIConfig":
+        """The no-DVI baseline."""
+        return cls(use_idvi=False, use_edvi=False, scheme=SRScheme.NONE)
+
+    @classmethod
+    def idvi_only(cls) -> "DVIConfig":
+        """I-DVI only: free caller-saved registers at calls/returns.
+
+        Save/restore elimination targets callee-saved registers, about
+        which I-DVI says nothing, so no elimination scheme is active.
+        """
+        return cls(use_idvi=True, use_edvi=False, scheme=SRScheme.NONE)
+
+    @classmethod
+    def full(cls, scheme: SRScheme = SRScheme.LVM_STACK) -> "DVIConfig":
+        """E-DVI + I-DVI, with the given elimination scheme."""
+        return cls(use_idvi=True, use_edvi=True, scheme=scheme)
+
+    @classmethod
+    def edvi_overhead(cls) -> "DVIConfig":
+        """Annotations present but *unexploited* (the Figure 13 setup)."""
+        return cls(use_idvi=False, use_edvi=False, scheme=SRScheme.NONE)
+
+    @property
+    def any_dvi(self) -> bool:
+        return self.use_idvi or self.use_edvi
+
+    def label(self) -> str:
+        """Figure-legend style name."""
+        if self.use_edvi and self.use_idvi:
+            return "E-DVI and I-DVI"
+        if self.use_idvi:
+            return "I-DVI"
+        if self.use_edvi:
+            return "E-DVI"
+        return "No DVI"

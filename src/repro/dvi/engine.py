@@ -1,0 +1,156 @@
+"""The DVI engine: LVM + LVM-Stack driven in program order.
+
+This models the decode-stage behaviour of sections 4.1, 5.2 and 6.1 as one
+object the functional emulator (and the thread scheduler) steps through the
+dynamic instruction stream:
+
+* definitions set LVM bits;
+* ``kill`` instructions (when E-DVI is enabled) clear LVM bits and report
+  which physical mappings may be reclaimed;
+* calls and returns push/pop the LVM-Stack and apply the I-DVI masks;
+* ``live_sw``/``live_lw`` consult the LVM / LVM-Stack to decide
+  elimination.
+
+Because the trace-driven timing model replays committed instructions in
+program order, driving the engine at trace generation time is equivalent to
+the paper's decode-stage update with checkpoint recovery on misprediction
+(section 7): no wrong-path update ever happens here by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.dvi.lvm import ALL_LIVE, LiveValueMask
+from repro.dvi.lvm_stack import LVMStack
+
+
+@dataclass
+class DVICounters:
+    """Dynamic event counts maintained by the engine."""
+
+    kills_seen: int = 0
+    saves_seen: int = 0
+    restores_seen: int = 0
+    saves_eliminated: int = 0
+    restores_eliminated: int = 0
+    calls: int = 0
+    returns: int = 0
+
+    @property
+    def saves_restores_seen(self) -> int:
+        return self.saves_seen + self.restores_seen
+
+    @property
+    def saves_restores_eliminated(self) -> int:
+        return self.saves_eliminated + self.restores_eliminated
+
+
+class DVIEngine:
+    """Program-order DVI tracking for one hardware context."""
+
+    def __init__(self, config: DVIConfig) -> None:
+        self.config = config
+        self.lvm = LiveValueMask()
+        self.stack = LVMStack(config.lvm_stack_depth)
+        self.counters = DVICounters()
+        self._track = config.any_dvi or config.scheme is not SRScheme.NONE
+
+    # ------------------------------------------------------------------
+    # Program-order events.  Each returns the mask of registers whose
+    # values became dead (and whose physical mappings may be freed), where
+    # meaningful.
+    # ------------------------------------------------------------------
+
+    def on_def(self, reg: int) -> None:
+        """A destination register was renamed at decode."""
+        if reg:
+            self.lvm.set_live(reg)
+
+    def on_kill(self, kill_mask: int) -> int:
+        """An E-DVI ``kill``; returns the newly-dead (reclaimable) mask."""
+        self.counters.kills_seen += 1
+        if not self.config.use_edvi:
+            return 0
+        return self.lvm.kill(kill_mask)
+
+    def on_call(self) -> int:
+        """A procedure call: snapshot push, then I-DVI.
+
+        Returns the reclaimable mask from I-DVI (empty when disabled).
+        """
+        self.counters.calls += 1
+        if self.config.scheme is SRScheme.LVM_STACK:
+            self.stack.push(self.lvm.mask)
+        if not self.config.use_idvi:
+            return 0
+        return self.lvm.kill(self.config.abi.idvi_call_mask())
+
+    def on_return(self) -> int:
+        """A procedure return: snapshot pop/copy-back, then I-DVI.
+
+        The copy-back (Figure 8, step 4) is masked to the callee-saved set:
+        that is the state the LVM-Stack exists to preserve (the callee's
+        epilogue restores re-established the caller's callee-saved values,
+        so their liveness reverts to its procedure-entry snapshot).
+        Caller-saved bits keep their current state — a freshly-written
+        return value in ``v0`` must not be marked dead by a stale
+        call-time snapshot.
+        """
+        self.counters.returns += 1
+        if self.config.scheme is SRScheme.LVM_STACK:
+            callee = self.config.abi.callee_saved
+            snapshot = self.stack.pop()
+            self.lvm.load(
+                (self.lvm.mask & ~callee) | (snapshot & callee)
+            )
+        if not self.config.use_idvi:
+            return 0
+        return self.lvm.kill(self.config.abi.idvi_return_mask())
+
+    def on_save(self, reg: int) -> bool:
+        """A ``live_sw`` of ``reg`` was decoded; True if eliminated."""
+        self.counters.saves_seen += 1
+        if self.config.scheme is SRScheme.NONE:
+            return False
+        eliminated = not self.lvm.is_live(reg)
+        if eliminated:
+            self.counters.saves_eliminated += 1
+        return eliminated
+
+    def on_restore(self, reg: int) -> bool:
+        """A ``live_lw`` of ``reg`` was decoded; True if eliminated.
+
+        Only the LVM-Stack scheme eliminates restores, and it does so from
+        the procedure-entry snapshot at the top of the stack — the same
+        bits that eliminated the matching save.
+        """
+        self.counters.restores_seen += 1
+        if self.config.scheme is not SRScheme.LVM_STACK:
+            return False
+        eliminated = not (self.stack.top() & (1 << reg))
+        if eliminated:
+            self.counters.restores_eliminated += 1
+        return eliminated
+
+    # ------------------------------------------------------------------
+    # Context-switch support (section 6.1) and inspection.
+    # ------------------------------------------------------------------
+
+    def save_lvm(self) -> int:
+        """``lvm_save``: the mask to store in the context block."""
+        return self.lvm.mask
+
+    def load_lvm(self, mask: int) -> None:
+        """``lvm_load``: restore a context's mask before its restores run."""
+        self.lvm.load(mask)
+
+    def flush(self) -> None:
+        """Safe reset for exceptions/non-standard control flow (section 7)."""
+        self.lvm.reset()
+        self.stack.flush()
+
+    def live_count(self, within: int = ALL_LIVE) -> int:
+        """Live registers within a subset (the Figure 12 histogram input)."""
+        return self.lvm.live_count(within)

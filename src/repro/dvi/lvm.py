@@ -1,0 +1,68 @@
+"""The Live Value Mask (LVM) — section 4.1's hardware structure.
+
+One state bit per architectural register: set while the register's value is
+live, clear once DVI (explicit or implicit) declares it dead.  The mask is
+updated at decode by destination renaming (any definition sets the bit) and
+by DVI-providing instructions (kills clear bits).
+
+The mask is stored as a single Python int, bit *i* for register ``r<i>``;
+``r0`` is hardwired and always reported live (its "value" — zero — is
+always available and never needs saving; callers mask it out with
+``saveable`` masks where appropriate).
+"""
+
+from __future__ import annotations
+
+from repro.isa import registers as regs
+
+#: All registers live (the reset state -- safe for any program point).
+ALL_LIVE = (1 << regs.NUM_REGS) - 1
+
+
+class LiveValueMask:
+    """Mutable LVM with liveness set/clear/query operations."""
+
+    __slots__ = ("_mask",)
+
+    def __init__(self, mask: int = ALL_LIVE) -> None:
+        self._mask = mask & ALL_LIVE
+
+    @property
+    def mask(self) -> int:
+        """The current liveness bit mask."""
+        return self._mask
+
+    def is_live(self, reg: int) -> bool:
+        if not 0 <= reg < regs.NUM_REGS:
+            raise ValueError(f"register out of range: {reg}")
+        return bool(self._mask & (1 << reg))
+
+    def set_live(self, reg: int) -> None:
+        """Mark one register live (a definition renamed at decode)."""
+        self._mask |= 1 << reg
+
+    def kill(self, kill_mask: int) -> int:
+        """Clear the bits in ``kill_mask``; returns the bits actually cleared.
+
+        The return value is the subset that was live — the registers whose
+        physical mappings the renamer may now reclaim.
+        """
+        cleared = self._mask & kill_mask
+        self._mask &= ~kill_mask
+        return cleared
+
+    def load(self, mask: int) -> None:
+        """Overwrite the whole mask (LVM-Stack pop copy-back, ``lvm_load``)."""
+        self._mask = mask & ALL_LIVE
+
+    def reset(self) -> None:
+        """Flush to the safe state: everything live (section 7's strategy
+        for exceptions and non-standard control flow)."""
+        self._mask = ALL_LIVE
+
+    def live_count(self, within: int = ALL_LIVE) -> int:
+        """Number of live registers within the ``within`` subset."""
+        return bin(self._mask & within).count("1")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LiveValueMask({regs.format_mask(self._mask)})"

@@ -1,0 +1,92 @@
+"""The LVM-Stack — section 5.2's snapshot buffer for restore elimination.
+
+Restores must be eliminated using exactly the liveness bits that eliminated
+the matching saves at procedure entry; the continuously-updated LVM cannot
+serve (Figure 8(b)), so a call pushes an LVM snapshot and a return pops it.
+
+As in the paper's simulations, the stack is a small *circular buffer* that
+wraps around on overflow (the oldest snapshot is silently lost) and reports
+nothing on underflow, in which case the consumer must assume all registers
+live.  Both degradations are *safe*: a lost or missing snapshot can only
+prevent elimination, never cause a live value's restore to be skipped,
+because :meth:`top` answers "all live" whenever it has no real snapshot.
+The paper simulates a 16-entry buffer and reports that it captures nearly
+100% of an unbounded structure's benefit (94% on li).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dvi.lvm import ALL_LIVE
+
+#: The paper's simulated LVM-Stack capacity.
+DEFAULT_DEPTH = 16
+
+
+class LVMStack:
+    """Bounded circular stack of LVM snapshots.
+
+    A ``depth`` of ``None`` gives an unbounded stack (the paper's reference
+    point for the capacity study).
+    """
+
+    def __init__(self, depth: Optional[int] = DEFAULT_DEPTH) -> None:
+        if depth is not None and depth < 1:
+            raise ValueError(f"LVM-Stack depth must be >= 1, got {depth}")
+        self._depth = depth
+        self._entries: List[int] = []
+        #: Pushes whose snapshots were discarded by wrap-around and are
+        #: still conceptually below the buffered ones.
+        self._lost_below = 0
+        # Statistics for the capacity ablation.
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+        self.underflows = 0
+
+    @property
+    def depth(self) -> Optional[int]:
+        return self._depth
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, mask: int) -> None:
+        """Push an LVM snapshot (at a procedure call)."""
+        self.pushes += 1
+        self._entries.append(mask & ALL_LIVE)
+        if self._depth is not None and len(self._entries) > self._depth:
+            del self._entries[0]
+            self._lost_below += 1
+            self.overflows += 1
+
+    def top(self) -> int:
+        """The snapshot governing the current procedure's restores.
+
+        Returns :data:`~repro.dvi.lvm.ALL_LIVE` when no snapshot is
+        available (empty or wrapped away), which disables elimination.
+        """
+        if not self._entries:
+            return ALL_LIVE
+        return self._entries[-1]
+
+    def pop(self) -> int:
+        """Pop at a return; the result is copied back into the LVM.
+
+        On underflow the safe all-live mask is returned ("assumes an empty
+        stack on underflow").
+        """
+        self.pops += 1
+        if self._entries:
+            return self._entries.pop()
+        if self._lost_below:
+            # Returning into a frame whose snapshot wrapped away.
+            self._lost_below -= 1
+        self.underflows += 1
+        return ALL_LIVE
+
+    def flush(self) -> None:
+        """Discard everything (exceptions / non-standard control flow)."""
+        self._entries.clear()
+        self._lost_below = 0

@@ -1,0 +1,15 @@
+"""Experiment harnesses, one per table/figure of the paper's evaluation."""
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    ExperimentProfile,
+    format_table,
+    regfile_modes,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentProfile",
+    "format_table",
+    "regfile_modes",
+]

@@ -1,0 +1,76 @@
+"""Ablation: LVM-Stack capacity.
+
+The paper simulates a 16-entry circular LVM-Stack and reports that it
+captures nearly 100% of the benefit of an unbounded structure on all
+benchmarks except li (94%).  This ablation sweeps the depth and reports
+each configuration's eliminated saves+restores as a fraction of the
+unbounded stack's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+
+DEPTHS: Tuple[Optional[int], ...] = (1, 2, 4, 8, 16, 32, None)
+
+
+@dataclass
+class DepthRow:
+    workload: str
+    #: depth (None = unbounded) -> saves+restores eliminated.
+    eliminated: Dict[Optional[int], int]
+
+    def capture_fraction(self, depth: Optional[int]) -> float:
+        """Eliminated at ``depth`` relative to the unbounded stack."""
+        unbounded = self.eliminated[None]
+        if not unbounded:
+            return 1.0
+        return self.eliminated[depth] / unbounded
+
+
+@dataclass
+class AblationResult:
+    rows: List[DepthRow]
+    depths: Tuple[Optional[int], ...]
+
+    def format_table(self) -> str:
+        headers = ["Benchmark"] + [
+            "unbounded" if depth is None else str(depth) for depth in self.depths
+        ]
+        body = [
+            [row.workload]
+            + [100.0 * row.capture_fraction(depth) for depth in self.depths]
+            for row in self.rows
+        ]
+        return format_table(
+            headers, body,
+            title="LVM-Stack depth ablation (% of unbounded benefit captured)",
+        )
+
+
+def run(
+    profile: ExperimentProfile,
+    context: ExperimentContext = None,
+    *,
+    depths: Sequence[Optional[int]] = DEPTHS,
+) -> AblationResult:
+    """Sweep the LVM-Stack depth over the save/restore-heavy workloads."""
+    context = context or ExperimentContext(profile)
+    rows: List[DepthRow] = []
+    for workload in profile.sr_workloads:
+        eliminated: Dict[Optional[int], int] = {}
+        for depth in depths:
+            dvi = DVIConfig(
+                use_idvi=True,
+                use_edvi=True,
+                scheme=SRScheme.LVM_STACK,
+                lvm_stack_depth=depth,
+            )
+            stats = context.functional(workload, dvi, edvi_binary=True).stats
+            eliminated[depth] = stats.saves_restores_eliminated
+        rows.append(DepthRow(workload=workload, eliminated=eliminated))
+    return AblationResult(rows=rows, depths=tuple(depths))

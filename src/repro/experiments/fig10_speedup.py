@@ -1,0 +1,87 @@
+"""Figure 10: IPC speedups from save/restore elimination.
+
+For each save/restore-heavy workload, the IPC gain of the LVM scheme
+(saves only) and the LVM-Stack scheme (saves and restores) over the no-DVI
+baseline on the Figure 2 machine.  Paper shape: gcc, perl and li gain the
+most, perl leading at 4.8%, and save elimination alone accounts for more
+than half of the benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.sim.config import MachineConfig
+
+
+@dataclass
+class SpeedupRow:
+    workload: str
+    base_ipc: float
+    lvm_ipc: float
+    lvm_stack_ipc: float
+
+    @property
+    def lvm_speedup(self) -> float:
+        """Percent IPC gain of the saves-only scheme."""
+        return 100.0 * (self.lvm_ipc / self.base_ipc - 1.0)
+
+    @property
+    def lvm_stack_speedup(self) -> float:
+        """Percent IPC gain of the saves+restores scheme."""
+        return 100.0 * (self.lvm_stack_ipc / self.base_ipc - 1.0)
+
+
+@dataclass
+class Fig10Result:
+    rows: List[SpeedupRow]
+
+    def by_workload(self) -> Dict[str, SpeedupRow]:
+        return {row.workload: row for row in self.rows}
+
+    def best(self) -> SpeedupRow:
+        return max(self.rows, key=lambda row: row.lvm_stack_speedup)
+
+    def format_table(self) -> str:
+        return format_table(
+            ["Benchmark", "Base IPC", "LVM speedup %", "LVM-Stack speedup %"],
+            [
+                [r.workload, r.base_ipc, r.lvm_speedup, r.lvm_stack_speedup]
+                for r in self.rows
+            ],
+            title="Figure 10: IPC speedups from dead save/restore elimination",
+        )
+
+
+def run(
+    profile: ExperimentProfile,
+    context: ExperimentContext = None,
+    *,
+    config: MachineConfig = None,
+) -> Fig10Result:
+    """Time each workload under baseline, LVM, and LVM-Stack."""
+    context = context or ExperimentContext(profile)
+    config = config or MachineConfig.micro97_unconstrained()
+    rows: List[SpeedupRow] = []
+    for workload in profile.sr_workloads:
+        base = context.timed(
+            workload, DVIConfig.none(), config, edvi_binary=False
+        )
+        lvm = context.timed(
+            workload, DVIConfig.full(SRScheme.LVM), config, edvi_binary=True
+        )
+        lvm_stack = context.timed(
+            workload, DVIConfig.full(SRScheme.LVM_STACK), config, edvi_binary=True
+        )
+        rows.append(
+            SpeedupRow(
+                workload=workload,
+                base_ipc=base.ipc,
+                lvm_ipc=lvm.ipc,
+                lvm_stack_ipc=lvm_stack.ipc,
+            )
+        )
+    return Fig10Result(rows=rows)

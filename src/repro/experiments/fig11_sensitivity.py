@@ -1,0 +1,87 @@
+"""Figure 11: cache bandwidth sensitivity of save/restore elimination.
+
+LVM-Stack speedup over baseline for gcc-like and ijpeg-like across cache
+port counts (1, 2, 3) and issue widths (4-way, 8-way).  Paper shape: the
+optimization matters more the fewer ports the machine has (eliminated
+saves/restores compete for data bandwidth), and widening issue raises the
+bandwidth demand again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.sim.config import MachineConfig
+
+#: The two benchmarks the paper charts.
+FIG11_WORKLOADS = ("gcc_like", "ijpeg_like")
+PORT_COUNTS = (1, 2, 3)
+ISSUE_WIDTHS = (4, 8)
+
+
+@dataclass
+class SensitivityPoint:
+    workload: str
+    issue_width: int
+    cache_ports: int
+    base_ipc: float
+    dvi_ipc: float
+
+    @property
+    def speedup(self) -> float:
+        return 100.0 * (self.dvi_ipc / self.base_ipc - 1.0)
+
+
+@dataclass
+class Fig11Result:
+    points: List[SensitivityPoint]
+
+    def lookup(self, workload: str, width: int, ports: int) -> SensitivityPoint:
+        for point in self.points:
+            if (point.workload, point.issue_width, point.cache_ports) == (
+                workload, width, ports,
+            ):
+                return point
+        raise KeyError((workload, width, ports))
+
+    def format_table(self) -> str:
+        return format_table(
+            ["Benchmark", "Issue", "Ports", "Base IPC", "DVI IPC", "Speedup %"],
+            [
+                [p.workload, p.issue_width, p.cache_ports,
+                 p.base_ipc, p.dvi_ipc, p.speedup]
+                for p in self.points
+            ],
+            title="Figure 11: Cache bandwidth sensitivity (LVM-Stack speedup)",
+        )
+
+
+def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig11Result:
+    """Sweep ports x width for the two charted benchmarks."""
+    context = context or ExperimentContext(profile)
+    base_machine = MachineConfig.micro97_unconstrained()
+    points: List[SensitivityPoint] = []
+    for workload in FIG11_WORKLOADS:
+        for width in ISSUE_WIDTHS:
+            for ports in PORT_COUNTS:
+                config = base_machine.with_ports_and_width(ports, width)
+                base = context.timed(
+                    workload, DVIConfig.none(), config, edvi_binary=False
+                )
+                dvi = context.timed(
+                    workload, DVIConfig.full(SRScheme.LVM_STACK), config,
+                    edvi_binary=True,
+                )
+                points.append(
+                    SensitivityPoint(
+                        workload=workload,
+                        issue_width=width,
+                        cache_ports=ports,
+                        base_ipc=base.ipc,
+                        dvi_ipc=dvi.ipc,
+                    )
+                )
+    return Fig11Result(points=points)

@@ -1,0 +1,154 @@
+"""Figure 12: context-switch saves and restores eliminated.
+
+Two measurements, per workload:
+
+* **histogram method** (the paper's): sample the number of live
+  architectural registers after every instruction and report the average;
+  the reduction vs. saving everything is the fraction of context-switch
+  saves+restores a live-aware switch routine skips.  Paper averages:
+  I-DVI only 42%, E-DVI + I-DVI 51%.
+* **scheduler method** (executable extension): actually run the workloads
+  preemptively multiplexed by :mod:`repro.threads` and count the saves and
+  restores the switch routine executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.threads.scheduler import RoundRobinScheduler
+
+#: Figure 12's benchmark set (ijpeg, gcc, perl, vortex, compress, go —
+#: li is not charted in the paper's figure).
+FIG12_ORDER = [
+    "ijpeg_like", "gcc_like", "perl_like", "vortex_like",
+    "compress_like", "go_like",
+]
+
+
+@dataclass
+class ContextSwitchRow:
+    workload: str
+    saveable_regs: int
+    avg_live_idvi: float
+    avg_live_full: float
+
+    @property
+    def pct_eliminated_idvi(self) -> float:
+        return 100.0 * (1.0 - self.avg_live_idvi / self.saveable_regs)
+
+    @property
+    def pct_eliminated_full(self) -> float:
+        return 100.0 * (1.0 - self.avg_live_full / self.saveable_regs)
+
+
+@dataclass
+class SchedulerMeasurement:
+    dvi_label: str
+    switches: int
+    pct_eliminated: float
+    all_correct: bool
+
+
+@dataclass
+class Fig12Result:
+    rows: List[ContextSwitchRow]
+    scheduler: List[SchedulerMeasurement]
+
+    def average(self, metric: str) -> float:
+        return sum(getattr(row, metric) for row in self.rows) / len(self.rows)
+
+    def by_workload(self) -> Dict[str, ContextSwitchRow]:
+        return {row.workload: row for row in self.rows}
+
+    def format_table(self) -> str:
+        table = format_table(
+            ["Benchmark", "I-DVI elim %", "E+I-DVI elim %"],
+            [
+                [r.workload, r.pct_eliminated_idvi, r.pct_eliminated_full]
+                for r in self.rows
+            ],
+            title="Figure 12: Context-switch saves/restores eliminated "
+                  "(live-register histogram)",
+        )
+        summary = (
+            f"\nAverages: I-DVI {self.average('pct_eliminated_idvi'):.1f}%, "
+            f"E-DVI and I-DVI {self.average('pct_eliminated_full'):.1f}%"
+        )
+        sched_lines = [
+            f"  {m.dvi_label}: {m.pct_eliminated:.1f}% eliminated over "
+            f"{m.switches} preemptive switches "
+            f"({'all threads correct' if m.all_correct else 'MISMATCH'})"
+            for m in self.scheduler
+        ]
+        return table + summary + "\nPreemptive scheduler measurement:\n" + "\n".join(
+            sched_lines
+        )
+
+
+def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig12Result:
+    """Run both the histogram and scheduler measurements."""
+    context = context or ExperimentContext(profile)
+    workloads = [w for w in FIG12_ORDER if w in set(profile.workloads)] or list(
+        profile.workloads
+    )
+
+    rows: List[ContextSwitchRow] = []
+    for workload in workloads:
+        idvi = context.functional(
+            workload,
+            DVIConfig(use_idvi=True, use_edvi=False, scheme=SRScheme.LVM_STACK),
+            edvi_binary=False,
+            live_hist=True,
+        ).stats
+        full = context.functional(
+            workload,
+            DVIConfig.full(SRScheme.LVM_STACK),
+            edvi_binary=True,
+            live_hist=True,
+        ).stats
+        saveable = bin(DVIConfig.none().abi.saveable_mask()).count("1")
+        rows.append(
+            ContextSwitchRow(
+                workload=workload,
+                saveable_regs=saveable,
+                avg_live_idvi=idvi.average_live(),
+                avg_live_full=full.average_live(),
+            )
+        )
+
+    scheduler_rows: List[SchedulerMeasurement] = []
+    # The multiprogrammed mix needs at least two threads to switch between.
+    mix = list(workloads)
+    for extra in profile.sr_workloads:
+        if len(mix) >= 3:
+            break
+        if extra not in mix:
+            mix.append(extra)
+    mix = mix[:3]
+    solo_exits = {
+        w: context.functional(w, DVIConfig.none(), edvi_binary=False).stats.exit_value
+        for w in mix
+    }
+    for label, dvi, edvi_binary in (
+        ("I-DVI", DVIConfig.idvi_only(), False),
+        ("E-DVI and I-DVI", DVIConfig.full(SRScheme.LVM_STACK), True),
+    ):
+        programs = [context.binary(w, edvi=edvi_binary) for w in mix]
+        result = RoundRobinScheduler(programs, dvi, quantum=997).run()
+        correct = all(
+            thread.exit_value == solo_exits[thread.name]
+            for thread in result.threads
+        )
+        scheduler_rows.append(
+            SchedulerMeasurement(
+                dvi_label=label,
+                switches=result.switch_stats.switches,
+                pct_eliminated=result.switch_stats.pct_eliminated,
+                all_correct=correct,
+            )
+        )
+    return Fig12Result(rows=rows, scheduler=scheduler_rows)

@@ -1,0 +1,84 @@
+"""Figure 13: E-DVI overhead.
+
+Compares the E-DVI-annotated binary against the annotation-free one *with
+all DVI optimizations disabled* (annotations are fetched and decoded as
+pure overhead), at two I-cache sizes.  Reported per workload: percentage
+overhead in dynamic instructions fetched, in static code size, and in IPC
+(negative IPC overhead = the annotated binary ran faster — alignment
+noise, which the paper also observes).  Expected shape: all values are
+small; the IPC cost is bounded by the fetch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dvi.config import DVIConfig
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.sim.config import MachineConfig
+
+ICACHE_SIZES = (32 * 1024, 64 * 1024)
+
+
+@dataclass
+class OverheadRow:
+    workload: str
+    pct_dynamic: float   # extra dynamic fetches
+    pct_static: float    # extra code size
+    #: I-cache size (bytes) -> IPC overhead percent (positive = slower).
+    pct_ipc: Dict[int, float]
+
+
+@dataclass
+class Fig13Result:
+    rows: List[OverheadRow]
+
+    def by_workload(self) -> Dict[str, OverheadRow]:
+        return {row.workload: row for row in self.rows}
+
+    def format_table(self) -> str:
+        headers = ["Benchmark", "Dyn inst %", "Code size %"] + [
+            f"IPC % ({size // 1024}K I$)" for size in ICACHE_SIZES
+        ]
+        rows = [
+            [r.workload, r.pct_dynamic, r.pct_static]
+            + [r.pct_ipc[size] for size in ICACHE_SIZES]
+            for r in self.rows
+        ]
+        return format_table(
+            headers, rows, title="Figure 13: E-DVI overhead (unexploited annotations)"
+        )
+
+
+def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig13Result:
+    """Measure dynamic, static, and IPC overheads of the annotations."""
+    context = context or ExperimentContext(profile)
+    dvi = DVIConfig.edvi_overhead()
+    rows: List[OverheadRow] = []
+    for workload in profile.workloads:
+        plain = context.binary(workload, edvi=False)
+        annotated = context.binary(workload, edvi=True)
+        pct_static = 100.0 * (len(annotated.insts) - len(plain.insts)) / len(plain.insts)
+
+        base_trace = context.trace(workload, dvi, edvi_binary=False)
+        edvi_trace = context.trace(workload, dvi, edvi_binary=True)
+        pct_dynamic = (
+            100.0 * edvi_trace.annotation_insts / edvi_trace.program_insts
+        )
+
+        pct_ipc: Dict[int, float] = {}
+        for icache in ICACHE_SIZES:
+            config = MachineConfig.micro97_unconstrained().with_icache(icache)
+            base = context.timed(workload, dvi, config, edvi_binary=False)
+            with_edvi = context.timed(workload, dvi, config, edvi_binary=True)
+            pct_ipc[icache] = 100.0 * (1.0 - with_edvi.ipc / base.ipc)
+        rows.append(
+            OverheadRow(
+                workload=workload,
+                pct_dynamic=pct_dynamic,
+                pct_static=pct_static,
+                pct_ipc=pct_ipc,
+            )
+        )
+    return Fig13Result(rows=rows)

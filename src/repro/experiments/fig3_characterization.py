@@ -1,0 +1,67 @@
+"""Figure 3: benchmark characterization.
+
+Dynamic instruction count, and calls / memory references / saves+restores
+as a percentage of total dynamic instructions, for every workload — plus
+the Figure 2 machine description for context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dvi.config import DVIConfig
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.sim.config import MachineConfig
+
+
+@dataclass
+class CharacterizationRow:
+    workload: str
+    dynamic_insts: int
+    pct_calls: float
+    pct_mem: float
+    pct_saves_restores: float
+
+
+@dataclass
+class Fig3Result:
+    rows: List[CharacterizationRow]
+
+    def by_name(self) -> Dict[str, CharacterizationRow]:
+        return {row.workload: row for row in self.rows}
+
+    def format_table(self) -> str:
+        return format_table(
+            ["Benchmark", "Dynamic Inst", "Call Inst %", "Mem Inst %",
+             "Saves & Restores %"],
+            [
+                [r.workload, r.dynamic_insts, r.pct_calls, r.pct_mem,
+                 r.pct_saves_restores]
+                for r in self.rows
+            ],
+            title="Figure 3: Benchmark characterization",
+        )
+
+
+def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig3Result:
+    """Characterize every workload with one functional run each."""
+    context = context or ExperimentContext(profile)
+    rows = []
+    for name in profile.workloads:
+        stats = context.functional(name, DVIConfig.none(), edvi_binary=False).stats
+        rows.append(
+            CharacterizationRow(
+                workload=name,
+                dynamic_insts=stats.program_insts,
+                pct_calls=stats.pct_calls,
+                pct_mem=stats.pct_mem,
+                pct_saves_restores=stats.pct_saves_restores,
+            )
+        )
+    return Fig3Result(rows=rows)
+
+
+def machine_description() -> str:
+    """The Figure 2 configuration table."""
+    return "Figure 2: Machine configuration\n" + MachineConfig.micro97().describe()

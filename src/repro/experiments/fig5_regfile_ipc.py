@@ -1,0 +1,77 @@
+"""Figure 5: average IPC as a function of physical register file size.
+
+Three curves — No DVI, I-DVI only, E-DVI and I-DVI — of the unweighted
+arithmetic-mean IPC over the suite, swept over integer register file sizes.
+The paper's headline shape: with I-DVI the suite reaches ~90% of peak IPC
+at sizes "only a little larger than the minimum of 32 required to avoid
+deadlock", and E-DVI adds little on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    ExperimentProfile,
+    format_table,
+    regfile_modes,
+)
+from repro.sim.config import MachineConfig
+
+
+@dataclass
+class Fig5Result:
+    sizes: List[int]
+    #: mode label -> average-IPC series aligned with ``sizes``.
+    curves: Dict[str, List[float]]
+    #: (mode, workload) -> IPC series (per-benchmark detail).
+    detail: Dict[Tuple[str, str], List[float]]
+
+    def peak_ipc(self, mode: str) -> float:
+        return max(self.curves[mode])
+
+    def size_reaching(self, mode: str, fraction: float) -> int:
+        """Smallest size whose IPC is >= ``fraction`` of the mode's peak."""
+        target = fraction * self.peak_ipc(mode)
+        for size, ipc in zip(self.sizes, self.curves[mode]):
+            if ipc >= target:
+                return size
+        return self.sizes[-1]
+
+    def format_table(self) -> str:
+        labels = list(self.curves)
+        rows = [
+            [size] + [self.curves[label][i] for label in labels]
+            for i, size in enumerate(self.sizes)
+        ]
+        return format_table(
+            ["Registers"] + labels,
+            rows,
+            title="Figure 5: Average IPC vs. physical register file size",
+        )
+
+
+def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig5Result:
+    """Sweep register file sizes for the three DVI modes."""
+    context = context or ExperimentContext(profile)
+    base_config = MachineConfig.micro97()
+    sizes = list(profile.regfile_sizes)
+    curves: Dict[str, List[float]] = {}
+    detail: Dict[Tuple[str, str], List[float]] = {}
+
+    for label, dvi, edvi_binary in regfile_modes():
+        per_workload: Dict[str, List[float]] = {w: [] for w in profile.workloads}
+        for size in sizes:
+            config = base_config.with_phys_regs(size)
+            for workload in profile.workloads:
+                stats = context.timed(workload, dvi, config, edvi_binary=edvi_binary)
+                per_workload[workload].append(stats.ipc)
+        curves[label] = [
+            sum(per_workload[w][i] for w in profile.workloads) / len(profile.workloads)
+            for i in range(len(sizes))
+        ]
+        for workload, series in per_workload.items():
+            detail[(label, workload)] = series
+    return Fig5Result(sizes=sizes, curves=curves, detail=detail)

@@ -1,0 +1,75 @@
+"""Figure 6: overall performance (IPC / register-file cycle time) vs. size.
+
+Divides the Figure 5 IPC curves by the CACTI-style access-time model and
+normalizes to the no-DVI peak.  The paper's result: the performance-optimal
+file shrinks from 64 to 50 registers (a 22% reduction) and peak performance
+improves by 1.1%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.fig5_regfile_ipc import Fig5Result, run as run_fig5
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.timing.regfile import RegFileTimingModel
+from repro.timing.system import PerformanceCurves, performance_curves
+
+_REFERENCE = "No DVI"
+_OPTIMIZED = "E-DVI and I-DVI"
+
+
+@dataclass
+class Fig6Result:
+    curves: PerformanceCurves
+    improvement: float       # fractional peak-to-peak gain of full DVI
+    size_reduction: float    # fractional optimal-size reduction
+    reference_peak_size: int
+    optimized_peak_size: int
+
+    def format_table(self) -> str:
+        labels = list(self.curves.curves)
+        rows = [
+            [size] + [self.curves.curves[label][i] for label in labels]
+            for i, size in enumerate(self.curves.sizes)
+        ]
+        table = format_table(
+            ["Registers"] + labels,
+            rows,
+            title="Figure 6: Relative performance vs. register file size",
+        )
+        summary = (
+            f"\nPeak design points: {_REFERENCE} at "
+            f"{self.reference_peak_size} registers, {_OPTIMIZED} at "
+            f"{self.optimized_peak_size} registers "
+            f"({self.size_reduction:.0%} size reduction); "
+            f"peak performance improvement {self.improvement:+.1%}"
+        )
+        return table + summary
+
+
+def run(
+    profile: ExperimentProfile,
+    context: ExperimentContext = None,
+    *,
+    fig5: Optional[Fig5Result] = None,
+    model: RegFileTimingModel = RegFileTimingModel(),
+) -> Fig6Result:
+    """Compose Figure 5 IPC with the register-file timing model."""
+    context = context or ExperimentContext(profile)
+    fig5 = fig5 or run_fig5(profile, context)
+    curves = performance_curves(
+        fig5.sizes,
+        {label: series for label, series in fig5.curves.items()},
+        reference_label=_REFERENCE,
+        issue_width=4,
+        model=model,
+    )
+    return Fig6Result(
+        curves=curves,
+        improvement=curves.improvement(_OPTIMIZED),
+        size_reduction=curves.size_reduction(_OPTIMIZED),
+        reference_peak_size=curves.peaks[_REFERENCE].registers,
+        optimized_peak_size=curves.peaks[_OPTIMIZED].registers,
+    )

@@ -1,0 +1,101 @@
+"""Figure 9: dynamic saves and restores eliminated.
+
+For the six save/restore-heavy workloads, the fraction of dynamic work the
+LVM (saves only) and LVM-Stack (saves + restores) schemes eliminate,
+expressed three ways exactly as the paper charts them: as a percentage of
+(a) total callee saves+restores, (b) total memory references, and (c) total
+instructions.  Paper averages for the LVM-Stack scheme: 46.5% / 11.1% /
+4.8%, with perl leading at 74.6% of its saves+restores.
+
+These fractions are "a property of the program and the amount of available
+DVI ... independent of the processor configuration" (section 5.3), so the
+experiment needs only functional runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+
+
+@dataclass
+class EliminationRow:
+    workload: str
+    scheme: str  # "LVM" or "LVM-Stack"
+    saves_restores: int
+    eliminated: int
+    pct_of_saves_restores: float
+    pct_of_mem_refs: float
+    pct_of_insts: float
+
+
+@dataclass
+class Fig9Result:
+    rows: List[EliminationRow]
+
+    def rows_for(self, scheme: str) -> List[EliminationRow]:
+        return [row for row in self.rows if row.scheme == scheme]
+
+    def average(self, scheme: str, metric: str) -> float:
+        rows = self.rows_for(scheme)
+        return sum(getattr(row, metric) for row in rows) / len(rows)
+
+    def by_workload(self, scheme: str) -> Dict[str, EliminationRow]:
+        return {row.workload: row for row in self.rows_for(scheme)}
+
+    def format_table(self) -> str:
+        table = format_table(
+            ["Benchmark", "Scheme", "% of saves+restores", "% of mem refs",
+             "% of insts"],
+            [
+                [r.workload, r.scheme, r.pct_of_saves_restores,
+                 r.pct_of_mem_refs, r.pct_of_insts]
+                for r in self.rows
+            ],
+            title="Figure 9: Dynamic saves and restores eliminated",
+        )
+        summary = (
+            f"\nLVM-Stack averages: "
+            f"{self.average('LVM-Stack', 'pct_of_saves_restores'):.1f}% of "
+            f"saves+restores, "
+            f"{self.average('LVM-Stack', 'pct_of_mem_refs'):.1f}% of memory "
+            f"references, "
+            f"{self.average('LVM-Stack', 'pct_of_insts'):.1f}% of instructions"
+        )
+        return table + summary
+
+
+def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig9Result:
+    """Measure elimination under both hardware schemes."""
+    context = context or ExperimentContext(profile)
+    rows: List[EliminationRow] = []
+    for scheme, label in ((SRScheme.LVM, "LVM"), (SRScheme.LVM_STACK, "LVM-Stack")):
+        for workload in profile.sr_workloads:
+            stats = context.functional(
+                workload, DVIConfig.full(scheme), edvi_binary=True
+            ).stats
+            eliminated = stats.saves_restores_eliminated
+            rows.append(
+                EliminationRow(
+                    workload=workload,
+                    scheme=label,
+                    saves_restores=stats.saves_restores,
+                    eliminated=eliminated,
+                    pct_of_saves_restores=(
+                        100.0 * eliminated / stats.saves_restores
+                        if stats.saves_restores else 0.0
+                    ),
+                    pct_of_mem_refs=(
+                        100.0 * eliminated / stats.mem_refs
+                        if stats.mem_refs else 0.0
+                    ),
+                    pct_of_insts=(
+                        100.0 * eliminated / stats.program_insts
+                        if stats.program_insts else 0.0
+                    ),
+                )
+            )
+    return Fig9Result(rows=rows)

@@ -1,0 +1,172 @@
+"""Shared experiment infrastructure: profiles, binary/trace caches, tables.
+
+Every experiment module exposes ``run(profile) -> <Fig*Result>``; the result
+objects carry raw rows plus a ``format_table()`` that prints the same rows
+or series the paper's figure/table reports.
+
+Profiles size the experiments: ``full()`` approximates the paper's sweep
+densities (scaled-down instruction counts — the substitution DESIGN.md
+documents), ``quick()`` is a fast configuration used by the pytest-benchmark
+harness and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.program.program import Program
+from repro.rewrite.edvi import insert_edvi
+from repro.sim.config import MachineConfig
+from repro.sim.functional import FunctionalResult, run_program
+from repro.sim.ooo.core import simulate
+from repro.sim.ooo.stats import PipelineStats
+from repro.sim.trace import Trace
+from repro.workloads.suite import ALL_ORDER, SAVE_RESTORE_ORDER, get_program
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Sizing knobs shared by all experiments."""
+
+    name: str
+    #: Workload scale factor (multiplies dynamic instruction counts).
+    scale: int = 1
+    #: Register file sizes for the Figure 5/6 sweep.
+    regfile_sizes: Tuple[int, ...] = tuple(range(34, 99, 4))
+    #: Workloads used where the paper uses the full suite.
+    workloads: Tuple[str, ...] = tuple(ALL_ORDER)
+    #: Workloads used where the paper uses the save/restore-heavy six.
+    sr_workloads: Tuple[str, ...] = tuple(SAVE_RESTORE_ORDER)
+
+    @classmethod
+    def full(cls) -> "ExperimentProfile":
+        """The paper-shaped sweep (all sizes, all workloads)."""
+        return cls(name="full")
+
+    @classmethod
+    def quick(cls) -> "ExperimentProfile":
+        """A reduced sweep for benchmarks and CI."""
+        return cls(
+            name="quick",
+            regfile_sizes=(34, 38, 42, 50, 58, 64, 80, 96),
+            workloads=("compress_like", "li_like", "perl_like", "gcc_like"),
+            sr_workloads=("li_like", "gcc_like", "perl_like", "vortex_like"),
+        )
+
+
+class ExperimentContext:
+    """Caches binaries and traces across experiments within one process."""
+
+    def __init__(self, profile: ExperimentProfile) -> None:
+        self.profile = profile
+        self._binaries: Dict[Tuple[str, bool], Program] = {}
+        self._traces: Dict[Tuple[str, bool, DVIConfig], Trace] = {}
+        self._functional: Dict[tuple, FunctionalResult] = {}
+
+    # ------------------------------------------------------------------
+
+    def binary(self, workload: str, *, edvi: bool) -> Program:
+        """The workload's binary, with or without E-DVI annotations.
+
+        Per section 3, baselines always run the annotation-free binary; the
+        DVI configurations run the rewritten one.
+        """
+        key = (workload, edvi)
+        if key not in self._binaries:
+            plain = get_program(workload, self.profile.scale)
+            self._binaries[(workload, False)] = plain
+            self._binaries[(workload, True)] = insert_edvi(plain).program
+        return self._binaries[key]
+
+    def trace(self, workload: str, dvi: DVIConfig, *, edvi_binary: bool) -> Trace:
+        """A dynamic trace of the workload under a DVI configuration."""
+        key = (workload, edvi_binary, dvi)
+        if key not in self._traces:
+            program = self.binary(workload, edvi=edvi_binary)
+            result = run_program(program, dvi, collect_trace=True)
+            if not result.stats.completed:
+                raise RuntimeError(f"workload {workload} did not complete")
+            assert result.trace is not None
+            self._traces[key] = result.trace
+        return self._traces[key]
+
+    def functional(
+        self,
+        workload: str,
+        dvi: DVIConfig,
+        *,
+        edvi_binary: bool,
+        live_hist: bool = False,
+    ) -> FunctionalResult:
+        """A trace-free functional run (for figures 3, 9, 12)."""
+        key = (workload, edvi_binary, dvi, live_hist)
+        if key not in self._functional:
+            program = self.binary(workload, edvi=edvi_binary)
+            self._functional[key] = run_program(
+                program, dvi, collect_trace=False, collect_live_hist=live_hist
+            )
+        return self._functional[key]
+
+    def timed(
+        self,
+        workload: str,
+        dvi: DVIConfig,
+        config: MachineConfig,
+        *,
+        edvi_binary: bool,
+    ) -> PipelineStats:
+        """One out-of-order timing run."""
+        trace = self.trace(workload, dvi, edvi_binary=edvi_binary)
+        return simulate(config, trace)
+
+
+# ----------------------------------------------------------------------
+# DVI configuration triple of Figure 5 (register-file experiments isolate
+# register reclamation: no save/restore elimination scheme is active).
+# ----------------------------------------------------------------------
+
+def regfile_modes() -> List[Tuple[str, DVIConfig, bool]]:
+    """(label, dvi config, uses E-DVI binary) for the Figure 5 curves."""
+    return [
+        ("No DVI", DVIConfig.none(), False),
+        ("I-DVI", DVIConfig.idvi_only(), False),
+        ("E-DVI and I-DVI",
+         DVIConfig(use_idvi=True, use_edvi=True, scheme=SRScheme.NONE), True),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Table rendering.
+# ----------------------------------------------------------------------
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rendered))
+        if rendered else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

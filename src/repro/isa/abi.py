@@ -1,0 +1,149 @@
+"""The calling convention (ABI) and the implicit-DVI masks it defines.
+
+The paper's I-DVI optimization (section 2) relies on the ABI partition of the
+general-purpose registers into *caller-saved* and *callee-saved* sets:
+
+* caller-saved registers are dead at the entry and exit points of any
+  procedure (except those carrying arguments in, or return values out), so a
+  dynamic ``call`` or ``return`` instruction is an implicit kill of them;
+* callee-saved registers must be preserved by any procedure that assigns
+  them, which is what the save/restore (``live_sw``/``live_lw``) pairs in
+  procedure prologues and epilogues do.
+
+Section 7 of the paper notes that, to avoid hard-wiring the convention into
+the processor, I-DVI should be inferred only for registers named in an
+*ABI-supplied mask*; :class:`ABI` models exactly that, and a cleared mask
+disables I-DVI (useful for debugging, and for the "No DVI" baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import registers as regs
+from repro.isa.registers import mask_of
+
+
+@dataclass(frozen=True)
+class ABI:
+    """A calling convention over the 32 integer registers.
+
+    All sets are represented as bit masks (bit *i* set means ``r<i>`` is a
+    member).  The default values implement the MIPS o32-style convention
+    described in :mod:`repro.isa.registers`.
+    """
+
+    #: Registers a callee must preserve if it assigns them.
+    callee_saved: int = field(
+        default_factory=lambda: mask_of(
+            [regs.S0, regs.S1, regs.S2, regs.S3,
+             regs.S4, regs.S5, regs.S6, regs.S7, regs.FP]
+        )
+    )
+    #: Registers a caller must preserve across calls if live.
+    caller_saved: int = field(
+        default_factory=lambda: mask_of(
+            [regs.AT, regs.V0, regs.V1,
+             regs.A0, regs.A1, regs.A2, regs.A3,
+             regs.T0, regs.T1, regs.T2, regs.T3,
+             regs.T4, regs.T5, regs.T6, regs.T7,
+             regs.T8, regs.T9, regs.RA]
+        )
+    )
+    #: Registers used to pass arguments.
+    argument_regs: int = field(
+        default_factory=lambda: mask_of([regs.A0, regs.A1, regs.A2, regs.A3])
+    )
+    #: Registers used to return values.
+    return_regs: int = field(default_factory=lambda: mask_of([regs.V0, regs.V1]))
+    #: Stack pointer register.
+    sp: int = regs.SP
+    #: Return-address register.
+    ra: int = regs.RA
+
+    def __post_init__(self) -> None:
+        if self.callee_saved & self.caller_saved:
+            overlap = self.callee_saved & self.caller_saved
+            raise ValueError(
+                f"caller- and callee-saved sets overlap: {regs.format_mask(overlap)}"
+            )
+
+    # ------------------------------------------------------------------
+    # I-DVI masks (section 2, "Implicit DVI"; section 7, "Hardware and ABI
+    # interactions").
+    # ------------------------------------------------------------------
+
+    def idvi_call_mask(self) -> int:
+        """Registers implicitly dead at a dynamic ``call`` instruction.
+
+        At procedure entry every caller-saved register is dead except the
+        argument registers (which carry live values in) and ``ra`` (written
+        by the call itself, and needed to return).
+        """
+        return self.caller_saved & ~self.argument_regs & ~(1 << self.ra)
+
+    def idvi_return_mask(self) -> int:
+        """Registers implicitly dead at a dynamic ``return`` instruction.
+
+        At procedure exit every caller-saved register is dead except the
+        return-value registers.
+        """
+        return self.caller_saved & ~self.return_regs & ~(1 << self.ra)
+
+    # ------------------------------------------------------------------
+    # Liveness boundary conditions used by the binary rewriter.
+    # ------------------------------------------------------------------
+
+    def live_at_return(self) -> int:
+        """Registers that must be treated as live at a procedure's return.
+
+        Callee-saved registers are live at return (the caller may hold live
+        values in them), as are the return-value registers, the stack
+        pointer, and the global pointer.  This is the boundary condition
+        that makes intra-procedural liveness sound for E-DVI insertion: a
+        callee-saved register is only *dead* at a point in a procedure if the
+        procedure itself will overwrite it (e.g. via an epilogue restore)
+        before returning.
+        """
+        return (
+            self.callee_saved
+            | self.return_regs
+            | (1 << self.sp)
+            | (1 << regs.GP)
+        )
+
+    def killable_mask(self) -> int:
+        """Registers a ``kill`` instruction is allowed to name.
+
+        The zero register, kernel registers, the stack pointer, and the
+        global pointer are never killable; everything else is.
+        """
+        never = mask_of([regs.ZERO, regs.K0, regs.K1, self.sp, regs.GP])
+        return ((1 << regs.NUM_REGS) - 1) & ~never
+
+    def saveable_mask(self) -> int:
+        """Registers a context switch must preserve when live.
+
+        Everything except the hardwired zero and the kernel temporaries.
+        This is the denominator for the Figure 12 experiment.
+        """
+        return ((1 << regs.NUM_REGS) - 1) & ~mask_of([regs.ZERO, regs.K0, regs.K1])
+
+
+#: The default ABI instance used throughout the code base.
+DEFAULT_ABI = ABI()
+
+
+def no_idvi_abi() -> ABI:
+    """An ABI whose I-DVI masks are empty (the section 7 "clear mask").
+
+    Used for the "No DVI" and "E-DVI only" experiment configurations: the
+    convention is unchanged, but the processor infers nothing from calls and
+    returns.
+    """
+    return ABI(
+        callee_saved=DEFAULT_ABI.callee_saved,
+        caller_saved=0,
+        argument_regs=DEFAULT_ABI.argument_regs,
+        return_regs=DEFAULT_ABI.return_regs,
+    )

@@ -1,0 +1,170 @@
+"""Fixed-width 32-bit binary encoding of the ISA.
+
+The encoding exists for three reasons: it pins down that the DVI extensions
+really fit the "few new instructions" budget the paper claims (a ``kill``
+instruction encodes a 24-bit kill mask over ``r8``-``r31`` in its non-opcode
+bits, exactly the paper's "subset of the non-opcode bits as a kill mask for a
+register subset"); it gives the Figure 13 static-code-size experiment a
+well-defined meaning (4 bytes per instruction, E-DVI included); and the
+encode/decode round trip is a convenient correctness oracle for property
+tests.
+
+Layout (bit 31 is the most significant):
+
+====================  =========================================
+field                 bits
+====================  =========================================
+opcode                [31:26]
+R-type                rd [25:21], rs1 [20:16], rs2 [15:11]
+I-type (ALU, loads)   rd [25:21], rs1 [20:16], imm [15:0]
+stores                rs2 [25:21], rs1 [20:16], imm [15:0]
+branches              rs1 [25:21], rs2 [20:16], offset [15:0]
+j / jal               target instruction index [25:0]
+kill                  mask over r8..r31 [23:0]
+lvm_save / lvm_load   rs1 [20:16], imm [15:0]
+====================  =========================================
+
+Branch offsets are encoded relative to the *next* instruction, in
+instruction units, as a signed 16-bit field.  ``j``/``jal`` targets are
+absolute instruction indices.  All targets must already be linked (integers,
+not labels).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    LOAD_OPS,
+    RRI_OPS,
+    RRR_OPS,
+    STORE_OPS,
+    Opcode,
+)
+
+#: Lowest register nameable in a kill mask (r8; r0-r7 are never killable
+#: explicitly -- zero, assembler temp, return values, and arguments).
+KILL_MASK_BASE = 8
+#: Width of the encoded kill-mask field.
+KILL_MASK_BITS = 24
+
+_IMM_MIN = -(1 << 15)
+_IMM_MAX = (1 << 15) - 1
+_TARGET_MAX = (1 << 26) - 1
+
+
+class EncodingError(ValueError):
+    """An instruction cannot be represented in the binary encoding."""
+
+
+def encode(inst: Instruction, index: int) -> int:
+    """Encode ``inst``, located at instruction index ``index``, to a word."""
+    op = inst.op
+    word = int(op) << 26
+    if op in RRR_OPS:
+        return word | (inst.rd << 21) | (inst.rs1 << 16) | (inst.rs2 << 11)
+    if op in RRI_OPS or op in LOAD_OPS:
+        return word | (inst.rd << 21) | (inst.rs1 << 16) | _imm16(inst.imm)
+    if op is Opcode.LUI:
+        return word | (inst.rd << 21) | _imm16(inst.imm)
+    if op in STORE_OPS:
+        return word | (inst.rs2 << 21) | (inst.rs1 << 16) | _imm16(inst.imm)
+    if op in BRANCH_OPS:
+        offset = _linked_target(inst) - (index + 1)
+        return word | (inst.rs1 << 21) | (inst.rs2 << 16) | _imm16(offset)
+    if op in (Opcode.J, Opcode.JAL):
+        target = _linked_target(inst)
+        if not 0 <= target <= _TARGET_MAX:
+            raise EncodingError(f"jump target out of range: {target}")
+        return word | target
+    if op is Opcode.JR:
+        return word | (inst.rs1 << 16)
+    if op is Opcode.JALR:
+        return word | (inst.rd << 21) | (inst.rs1 << 16)
+    if op is Opcode.KILL:
+        return word | _encode_kill_mask(inst.kill_mask)
+    if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+        return word | (inst.rs1 << 16) | _imm16(inst.imm)
+    if op in (Opcode.NOP, Opcode.HALT):
+        return word
+    raise EncodingError(f"cannot encode opcode {op.name}")
+
+
+def decode(word: int, index: int) -> Instruction:
+    """Decode a 32-bit word at instruction index ``index``."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"word out of range: {word:#x}")
+    try:
+        op = Opcode(word >> 26)
+    except ValueError as exc:
+        raise EncodingError(f"invalid opcode field in {word:#010x}") from exc
+    f1 = (word >> 21) & 0x1F
+    f2 = (word >> 16) & 0x1F
+    f3 = (word >> 11) & 0x1F
+    imm = _sign_extend16(word & 0xFFFF)
+    if op in RRR_OPS:
+        return Instruction(op, rd=f1, rs1=f2, rs2=f3)
+    if op in RRI_OPS or op in LOAD_OPS:
+        return Instruction(op, rd=f1, rs1=f2, imm=imm)
+    if op is Opcode.LUI:
+        return Instruction(op, rd=f1, imm=imm)
+    if op in STORE_OPS:
+        return Instruction(op, rs2=f1, rs1=f2, imm=imm)
+    if op in BRANCH_OPS:
+        return Instruction(op, rs1=f1, rs2=f2, target=index + 1 + imm)
+    if op in (Opcode.J, Opcode.JAL):
+        return Instruction(op, target=word & _TARGET_MAX)
+    if op is Opcode.JR:
+        return Instruction(op, rs1=f2)
+    if op is Opcode.JALR:
+        return Instruction(op, rd=f1, rs1=f2)
+    if op is Opcode.KILL:
+        return Instruction(op, kill_mask=_decode_kill_mask(word))
+    if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+        return Instruction(op, rs1=f2, imm=imm)
+    return Instruction(op)
+
+
+def encode_program(insts: List[Instruction]) -> List[int]:
+    """Encode a linked instruction list to a list of 32-bit words."""
+    return [encode(inst, index) for index, inst in enumerate(insts)]
+
+
+def decode_program(words: List[int]) -> List[Instruction]:
+    """Decode a list of 32-bit words back to instructions."""
+    return [decode(word, index) for index, word in enumerate(words)]
+
+
+def _imm16(value: int) -> int:
+    if not _IMM_MIN <= value <= _IMM_MAX:
+        raise EncodingError(f"immediate out of 16-bit range: {value}")
+    return value & 0xFFFF
+
+
+def _sign_extend16(value: int) -> int:
+    return value - (1 << 16) if value & (1 << 15) else value
+
+
+def _linked_target(inst: Instruction) -> int:
+    if not isinstance(inst.target, int):
+        raise EncodingError(
+            f"unlinked target {inst.target!r}; link the program before encoding"
+        )
+    return inst.target
+
+
+def _encode_kill_mask(mask: int) -> int:
+    if mask & ((1 << KILL_MASK_BASE) - 1):
+        raise EncodingError(
+            f"kill mask names registers below r{KILL_MASK_BASE}: {mask:#x}"
+        )
+    field = mask >> KILL_MASK_BASE
+    if field >> KILL_MASK_BITS:
+        raise EncodingError(f"kill mask out of range: {mask:#x}")
+    return field
+
+
+def _decode_kill_mask(word: int) -> int:
+    return (word & ((1 << KILL_MASK_BITS) - 1)) << KILL_MASK_BASE

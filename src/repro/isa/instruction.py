@@ -1,0 +1,283 @@
+"""The :class:`Instruction` type shared by every layer of the system.
+
+An instruction is a small immutable record.  The same representation is used
+by the assembler, the analyses, the binary rewriter, the functional
+emulator, and (via dynamic trace records) the timing simulator.
+
+Operand conventions:
+
+* register-register ops: ``op rd, rs1, rs2``
+* register-immediate ops: ``op rd, rs1, imm``
+* loads: ``op rd, imm(rs1)``
+* stores: ``op rs2, imm(rs1)`` (``rs2`` is the data register)
+* branches: ``op rs1, rs2, target``
+* ``jal target`` writes ``ra``; ``jr rs1``; ``jalr rd, rs1``
+* ``kill`` carries a register bit mask (``kill_mask``)
+* ``lvm_save`` / ``lvm_load``: ``op imm(rs1)``
+
+The ``target`` field holds a label string before linking and an instruction
+index (not a byte address) after :meth:`repro.program.program.Program.link`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple, Union
+
+from repro.isa import registers as regs
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    BRANCH_RR_OPS,
+    BRANCH_RZ_OPS,
+    CALL_OPS,
+    CONTROL_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    OP_CLASS,
+    RETURN_OPS,
+    RRI_OPS,
+    RRR_OPS,
+    STORE_OPS,
+    OpClass,
+    Opcode,
+)
+
+#: Bytes per encoded instruction (fixed-width 32-bit encoding).
+INST_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single static instruction."""
+
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: Optional[Union[str, int]] = None
+    kill_mask: int = 0
+    #: Optional label attached to this instruction's address.
+    comment: str = ""
+
+    # ------------------------------------------------------------------
+    # Static properties.
+    # ------------------------------------------------------------------
+
+    @property
+    def op_class(self) -> OpClass:
+        return OP_CLASS[self.op]
+
+    @property
+    def is_branch(self) -> bool:
+        """A conditional branch."""
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_control(self) -> bool:
+        """Any control transfer (branch, jump, call, return)."""
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_call(self) -> bool:
+        return self.op in CALL_OPS
+
+    @property
+    def is_return(self) -> bool:
+        """``jr ra`` is the conventional procedure return."""
+        return self.op in RETURN_OPS and self.rs1 == regs.RA
+
+    @property
+    def is_indirect(self) -> bool:
+        """Control transfer through a register (target unknown statically)."""
+        return self.op in (Opcode.JR, Opcode.JALR)
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op in MEM_OPS
+
+    @property
+    def is_save(self) -> bool:
+        """A live-store (callee-saved register save)."""
+        return self.op is Opcode.LIVE_SW
+
+    @property
+    def is_restore(self) -> bool:
+        """A live-load (callee-saved register restore)."""
+        return self.op is Opcode.LIVE_LW
+
+    @property
+    def is_kill(self) -> bool:
+        return self.op is Opcode.KILL
+
+    @property
+    def is_halt(self) -> bool:
+        return self.op is Opcode.HALT
+
+    @property
+    def falls_through(self) -> bool:
+        """Whether control may continue to the next sequential instruction."""
+        if self.op in (Opcode.J, Opcode.JR, Opcode.HALT):
+            return False
+        if self.is_return:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Register def/use sets (as bit masks; r0 is excluded from both since
+    # it is a hardwired constant).
+    # ------------------------------------------------------------------
+
+    def def_mask(self) -> int:
+        """Mask of architectural registers this instruction writes."""
+        op = self.op
+        if op in RRR_OPS or op in RRI_OPS or op is Opcode.LUI:
+            return _bit(self.rd)
+        if op in LOAD_OPS:
+            return _bit(self.rd)
+        if op is Opcode.JAL:
+            return _bit(regs.RA)
+        if op is Opcode.JALR:
+            return _bit(self.rd)
+        return 0
+
+    def use_mask(self) -> int:
+        """Mask of architectural registers this instruction reads."""
+        op = self.op
+        if op in RRR_OPS:
+            return _bit(self.rs1) | _bit(self.rs2)
+        if op in RRI_OPS:
+            return _bit(self.rs1)
+        if op in LOAD_OPS:
+            return _bit(self.rs1)
+        if op in STORE_OPS:
+            return _bit(self.rs1) | _bit(self.rs2)
+        if op in BRANCH_RR_OPS:
+            return _bit(self.rs1) | _bit(self.rs2)
+        if op in BRANCH_RZ_OPS:
+            return _bit(self.rs1)
+        if op in (Opcode.JR, Opcode.JALR):
+            return _bit(self.rs1)
+        if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+            return _bit(self.rs1)
+        return 0
+
+    def defs(self) -> Tuple[int, ...]:
+        """The written registers, as a tuple of indices."""
+        return tuple(regs.regs_in_mask(self.def_mask()))
+
+    def uses(self) -> Tuple[int, ...]:
+        """The read registers, as a tuple of indices."""
+        return tuple(regs.regs_in_mask(self.use_mask()))
+
+    # ------------------------------------------------------------------
+    # Rewriting helpers.
+    # ------------------------------------------------------------------
+
+    def with_target(self, target: Union[str, int]) -> "Instruction":
+        """A copy of this instruction with a different branch/jump target."""
+        return replace(self, target=target)
+
+    # ------------------------------------------------------------------
+    # Formatting.
+    # ------------------------------------------------------------------
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return format_instruction(self)
+
+
+def _bit(reg: int) -> int:
+    """Bit for register ``reg``; r0 contributes nothing."""
+    return 0 if reg == regs.ZERO else (1 << reg)
+
+
+def format_instruction(inst: Instruction) -> str:
+    """Render an instruction in assembly syntax."""
+    op = inst.op
+    name = op.name.lower()
+    target = inst.target if inst.target is not None else "?"
+    if op in RRR_OPS:
+        return (f"{name} {regs.reg_name(inst.rd)}, "
+                f"{regs.reg_name(inst.rs1)}, {regs.reg_name(inst.rs2)}")
+    if op in RRI_OPS:
+        return (f"{name} {regs.reg_name(inst.rd)}, "
+                f"{regs.reg_name(inst.rs1)}, {inst.imm}")
+    if op is Opcode.LUI:
+        return f"{name} {regs.reg_name(inst.rd)}, {inst.imm}"
+    if op in LOAD_OPS:
+        return f"{name} {regs.reg_name(inst.rd)}, {inst.imm}({regs.reg_name(inst.rs1)})"
+    if op in STORE_OPS:
+        return f"{name} {regs.reg_name(inst.rs2)}, {inst.imm}({regs.reg_name(inst.rs1)})"
+    if op in BRANCH_RR_OPS:
+        return (f"{name} {regs.reg_name(inst.rs1)}, "
+                f"{regs.reg_name(inst.rs2)}, {target}")
+    if op in BRANCH_RZ_OPS:
+        return f"{name} {regs.reg_name(inst.rs1)}, {target}"
+    if op in (Opcode.J, Opcode.JAL):
+        return f"{name} {target}"
+    if op is Opcode.JR:
+        return f"{name} {regs.reg_name(inst.rs1)}"
+    if op is Opcode.JALR:
+        return f"{name} {regs.reg_name(inst.rd)}, {regs.reg_name(inst.rs1)}"
+    if op is Opcode.KILL:
+        return f"kill {regs.format_mask(inst.kill_mask)}"
+    if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+        return f"{name} {inst.imm}({regs.reg_name(inst.rs1)})"
+    return name
+
+
+# ----------------------------------------------------------------------
+# Constructor helpers.  These keep workload code and tests terse while
+# validating operands eagerly.
+# ----------------------------------------------------------------------
+
+def rrr(op: Opcode, rd: int, rs1: int, rs2: int) -> Instruction:
+    """Build a register-register ALU instruction."""
+    if op not in RRR_OPS:
+        raise ValueError(f"{op.name} is not a register-register op")
+    return Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def rri(op: Opcode, rd: int, rs1: int, imm: int) -> Instruction:
+    """Build a register-immediate ALU instruction."""
+    if op not in RRI_OPS:
+        raise ValueError(f"{op.name} is not a register-immediate op")
+    return Instruction(op, rd=rd, rs1=rs1, imm=imm)
+
+
+def load(op: Opcode, rd: int, base: int, offset: int) -> Instruction:
+    """Build a load ``op rd, offset(base)``."""
+    if op not in LOAD_OPS:
+        raise ValueError(f"{op.name} is not a load op")
+    return Instruction(op, rd=rd, rs1=base, imm=offset)
+
+
+def store(op: Opcode, data: int, base: int, offset: int) -> Instruction:
+    """Build a store ``op data, offset(base)``."""
+    if op not in STORE_OPS:
+        raise ValueError(f"{op.name} is not a store op")
+    return Instruction(op, rs1=base, rs2=data, imm=offset)
+
+
+def branch(op: Opcode, rs1: int, rs2: int, target: Union[str, int]) -> Instruction:
+    """Build a conditional branch."""
+    if op not in BRANCH_OPS:
+        raise ValueError(f"{op.name} is not a branch op")
+    return Instruction(op, rs1=rs1, rs2=rs2, target=target)
+
+
+def kill(mask: int) -> Instruction:
+    """Build an E-DVI kill instruction from a register bit mask."""
+    if mask < 0 or mask >> regs.NUM_REGS:
+        raise ValueError(f"kill mask out of range: {mask:#x}")
+    if mask & 1:
+        raise ValueError("r0 cannot be killed")
+    return Instruction(Opcode.KILL, kill_mask=mask)

@@ -1,0 +1,170 @@
+"""Opcode and operation-class definitions.
+
+Each opcode belongs to an :class:`OpClass`, which is what the timing model
+cares about (which functional unit executes it, and with what latency), and
+carries a small set of static attributes (does it read memory, is it a
+control transfer, ...) that the decoder, the analyses, and the simulators all
+share.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, unique
+
+
+@unique
+class OpClass(IntEnum):
+    """Functional classes of operations, used for scheduling and latency."""
+
+    IALU = 0      # integer add/sub/logic/shift/compare
+    IMUL = 1      # integer multiply
+    IDIV = 2      # integer divide
+    LOAD = 3      # memory read
+    STORE = 4     # memory write
+    BRANCH = 5    # conditional branch
+    JUMP = 6      # unconditional jump (incl. call and return)
+    NOP = 7       # no work (nop, kill, lvm ops)
+    SYSCALL = 8   # halt / environment call
+
+
+@unique
+class Opcode(IntEnum):
+    """All opcodes of the MIPS-like ISA, including the DVI extensions."""
+
+    # Arithmetic / logic, register-register.
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    REM = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    NOR = 8
+    SLL = 9
+    SRL = 10
+    SRA = 11
+    SLT = 12
+    SLTU = 13
+    # Arithmetic / logic, register-immediate.
+    ADDI = 14
+    ANDI = 15
+    ORI = 16
+    XORI = 17
+    SLLI = 18
+    SRLI = 19
+    SRAI = 20
+    SLTI = 21
+    LUI = 22
+    # Memory.
+    LW = 23
+    SW = 24
+    LB = 25
+    SB = 26
+    # Control.
+    BEQ = 27
+    BNE = 28
+    BLT = 29
+    BGE = 30
+    BLEZ = 31
+    BGTZ = 32
+    J = 33
+    JAL = 34
+    JR = 35
+    JALR = 36
+    # Environment.
+    NOP = 37
+    HALT = 38
+    # --- DVI ISA extensions (paper sections 2 and 5.1, 6.1) ---
+    KILL = 39      # E-DVI: kill-mask instruction
+    LIVE_SW = 40   # live-store: save of a callee-saved register
+    LIVE_LW = 41   # live-load: restore of a callee-saved register
+    LVM_SAVE = 42  # store the LVM to memory (context switch support)
+    LVM_LOAD = 43  # load the LVM from memory (context switch support)
+
+
+#: Opcode -> OpClass.
+OP_CLASS = {
+    Opcode.ADD: OpClass.IALU, Opcode.SUB: OpClass.IALU,
+    Opcode.MUL: OpClass.IMUL, Opcode.DIV: OpClass.IDIV,
+    Opcode.REM: OpClass.IDIV,
+    Opcode.AND: OpClass.IALU, Opcode.OR: OpClass.IALU,
+    Opcode.XOR: OpClass.IALU, Opcode.NOR: OpClass.IALU,
+    Opcode.SLL: OpClass.IALU, Opcode.SRL: OpClass.IALU,
+    Opcode.SRA: OpClass.IALU, Opcode.SLT: OpClass.IALU,
+    Opcode.SLTU: OpClass.IALU,
+    Opcode.ADDI: OpClass.IALU, Opcode.ANDI: OpClass.IALU,
+    Opcode.ORI: OpClass.IALU, Opcode.XORI: OpClass.IALU,
+    Opcode.SLLI: OpClass.IALU, Opcode.SRLI: OpClass.IALU,
+    Opcode.SRAI: OpClass.IALU, Opcode.SLTI: OpClass.IALU,
+    Opcode.LUI: OpClass.IALU,
+    Opcode.LW: OpClass.LOAD, Opcode.LB: OpClass.LOAD,
+    Opcode.SW: OpClass.STORE, Opcode.SB: OpClass.STORE,
+    Opcode.BEQ: OpClass.BRANCH, Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH, Opcode.BGE: OpClass.BRANCH,
+    Opcode.BLEZ: OpClass.BRANCH, Opcode.BGTZ: OpClass.BRANCH,
+    Opcode.J: OpClass.JUMP, Opcode.JAL: OpClass.JUMP,
+    Opcode.JR: OpClass.JUMP, Opcode.JALR: OpClass.JUMP,
+    Opcode.NOP: OpClass.NOP, Opcode.HALT: OpClass.SYSCALL,
+    Opcode.KILL: OpClass.NOP,
+    Opcode.LIVE_SW: OpClass.STORE, Opcode.LIVE_LW: OpClass.LOAD,
+    Opcode.LVM_SAVE: OpClass.NOP, Opcode.LVM_LOAD: OpClass.NOP,
+}
+
+#: Register-register ALU ops (rd, rs1, rs2).
+RRR_OPS = frozenset({
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOR,
+    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT, Opcode.SLTU,
+})
+
+#: Register-immediate ALU ops (rd, rs1, imm).
+RRI_OPS = frozenset({
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.SLTI,
+})
+
+#: Loads (rd, imm(rs1)).
+LOAD_OPS = frozenset({Opcode.LW, Opcode.LB, Opcode.LIVE_LW})
+
+#: Stores (rs2, imm(rs1)) -- rs2 is the data register.
+STORE_OPS = frozenset({Opcode.SW, Opcode.SB, Opcode.LIVE_SW})
+
+#: Conditional branches comparing two registers.
+BRANCH_RR_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+
+#: Conditional branches comparing one register against zero.
+BRANCH_RZ_OPS = frozenset({Opcode.BLEZ, Opcode.BGTZ})
+
+#: All conditional branches.
+BRANCH_OPS = BRANCH_RR_OPS | BRANCH_RZ_OPS
+
+#: All control-transfer ops (conditional and unconditional).
+CONTROL_OPS = BRANCH_OPS | frozenset({Opcode.J, Opcode.JAL, Opcode.JR, Opcode.JALR})
+
+#: Opcodes that perform a procedure call.
+CALL_OPS = frozenset({Opcode.JAL, Opcode.JALR})
+
+#: Opcodes used as procedure returns (``jr ra`` by convention).
+RETURN_OPS = frozenset({Opcode.JR})
+
+#: Memory-accessing opcodes.
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+#: Execution latency (cycles) by op class, SimpleScalar-like defaults.
+DEFAULT_LATENCY = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 12,
+    OpClass.LOAD: 1,   # plus cache access time
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.NOP: 1,
+    OpClass.SYSCALL: 1,
+}
+
+
+def op_class(op: Opcode) -> OpClass:
+    """The :class:`OpClass` of opcode ``op``."""
+    return OP_CLASS[op]

@@ -1,0 +1,114 @@
+"""Architectural register definitions for the MIPS-like ISA.
+
+The machine has 32 integer registers, ``r0`` through ``r31``, with ``r0``
+hardwired to zero.  Registers are represented throughout the code base as
+plain ``int`` indices (0-31); this module provides the symbolic names, the
+conventional ABI aliases (``sp``, ``ra``, ...), parsing, and formatting.
+
+The paper's optimizations concern only the integer register file (all of its
+benchmarks are SPEC95 *integer* codes), so no floating point register file is
+modelled.  The register *roles* (caller-saved, callee-saved, argument,
+return value) are defined by :mod:`repro.isa.abi`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+#: Number of architectural integer registers.
+NUM_REGS = 32
+
+#: Index of the hardwired zero register.
+ZERO = 0
+
+# Conventional ABI aliases, MIPS style.
+AT = 1  # assembler temporary
+V0 = 2  # return value 0
+V1 = 3  # return value 1
+A0, A1, A2, A3 = 4, 5, 6, 7  # argument registers
+T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15  # temporaries
+S0, S1, S2, S3, S4, S5, S6, S7 = 16, 17, 18, 19, 20, 21, 22, 23  # callee-saved
+T8, T9 = 24, 25  # more temporaries
+K0, K1 = 26, 27  # reserved for kernel
+GP = 28  # global pointer
+SP = 29  # stack pointer
+FP = 30  # frame pointer (callee-saved)
+RA = 31  # return address
+
+#: Alias name -> register index.
+ALIASES = {
+    "zero": ZERO, "at": AT, "v0": V0, "v1": V1,
+    "a0": A0, "a1": A1, "a2": A2, "a3": A3,
+    "t0": T0, "t1": T1, "t2": T2, "t3": T3,
+    "t4": T4, "t5": T5, "t6": T6, "t7": T7,
+    "s0": S0, "s1": S1, "s2": S2, "s3": S3,
+    "s4": S4, "s5": S5, "s6": S6, "s7": S7,
+    "t8": T8, "t9": T9, "k0": K0, "k1": K1,
+    "gp": GP, "sp": SP, "fp": FP, "ra": RA,
+}
+
+#: Register index -> canonical alias name.
+ALIAS_NAMES = {index: name for name, index in ALIASES.items()}
+
+
+def reg_name(reg: int, *, numeric: bool = False) -> str:
+    """Return the printable name of register ``reg``.
+
+    By default the ABI alias is used (``sp``, ``s0``...); with
+    ``numeric=True`` the raw ``rN`` form is returned instead.
+    """
+    _check(reg)
+    if numeric:
+        return f"r{reg}"
+    return ALIAS_NAMES[reg]
+
+
+def parse_reg(text: str) -> int:
+    """Parse a register name (``r12``, ``$12``, ``sp``, ``$sp``) to an index.
+
+    Raises :class:`ValueError` for names that do not denote a register.
+    """
+    name = text.strip().lower()
+    if name.startswith("$"):
+        name = name[1:]
+    if name in ALIASES:
+        return ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        index = int(name[1:])
+        if 0 <= index < NUM_REGS:
+            return index
+    raise ValueError(f"not a register name: {text!r}")
+
+
+def mask_of(regs: Iterable[int]) -> int:
+    """Build a bit mask with one bit set per register in ``regs``."""
+    mask = 0
+    for reg in regs:
+        _check(reg)
+        mask |= 1 << reg
+    return mask
+
+
+def regs_in_mask(mask: int) -> Iterator[int]:
+    """Yield the register indices whose bits are set in ``mask``, ascending."""
+    if mask < 0 or mask >> NUM_REGS:
+        raise ValueError(f"register mask out of range: {mask:#x}")
+    for reg in range(NUM_REGS):
+        if mask & (1 << reg):
+            yield reg
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in a register mask."""
+    return bin(mask).count("1")
+
+
+def format_mask(mask: int) -> str:
+    """Human-readable rendering of a register mask, e.g. ``{s0, s1}``."""
+    names = ", ".join(reg_name(reg) for reg in regs_in_mask(mask))
+    return "{" + names + "}"
+
+
+def _check(reg: int) -> None:
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register index out of range: {reg}")

@@ -1,0 +1,273 @@
+"""A text assembler for the MIPS-like ISA.
+
+The assembler accepts a small, conventional syntax and produces a
+:class:`~repro.program.program.Program`.  Workloads are authored with the
+:class:`~repro.program.builder.ProgramBuilder` DSL, but the text form is
+handy for examples, tests, and pasting listings from the paper.
+
+Syntax overview::
+
+    .data
+    table:  .word 1, 2, 3
+    buf:    .space 64            # bytes (rounded up to words)
+
+    .text
+    .proc main save_ra           # emits prologue; .endproc records extent
+    main_body:
+        li   t0, 100
+        lw   t1, 0(t0)
+        addi t1, t1, 1
+        beq  t1, zero, out
+        jal  helper
+    out:
+        epilogue                 # emits restores + return
+    .endproc
+
+Directives: ``.data``, ``.text``, ``.word``, ``.space``, ``.entry NAME``,
+``.proc NAME [saves=s0,s1] [save_ra] [locals=N]``, ``.endproc``.
+Pseudo-instructions: ``li``, ``la``, ``move``, ``epilogue``.
+Comments run from ``#`` or ``;`` to end of line.  Operands may be separated
+by commas or spaces.  ``kill`` takes a register list: ``kill s0, s1``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence
+
+from repro.isa import registers as regs
+from repro.isa.opcodes import Opcode
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program, ProgramError
+
+
+class AssemblerError(ProgramError):
+    """A parse or semantic error, annotated with the source line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):\s*(.*)$")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\((\$?\w+)\)$")
+
+_RRR_NAMES = {
+    "add", "sub", "mul", "div", "rem", "and", "or", "xor", "nor",
+    "sll", "srl", "sra", "slt", "sltu",
+}
+_RRI_NAMES = {"addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti"}
+_LOAD_NAMES = {"lw": Opcode.LW, "lb": Opcode.LB, "live_lw": Opcode.LIVE_LW}
+_STORE_NAMES = {"sw": Opcode.SW, "sb": Opcode.SB, "live_sw": Opcode.LIVE_SW}
+_BRANCH_RR_NAMES = {"beq", "bne", "blt", "bge"}
+_BRANCH_RZ_NAMES = {"blez", "bgtz"}
+
+
+def assemble(source: str, *, name: str = "asm", link: bool = True) -> Program:
+    """Assemble ``source`` into a program."""
+    return _Assembler(source, name).run(link=link)
+
+
+class _Assembler:
+    def __init__(self, source: str, name: str) -> None:
+        self.source = source
+        self.builder = ProgramBuilder(name)
+        self.section = ".text"
+        self.proc_stack: List[object] = []
+        self.pending_data_label: Optional[str] = None
+
+    def run(self, *, link: bool) -> Program:
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            try:
+                self._line(raw)
+            except AssemblerError:
+                raise
+            except (ProgramError, ValueError) as exc:
+                raise AssemblerError(lineno, str(exc)) from exc
+        if self.proc_stack:
+            raise AssemblerError(0, "missing .endproc at end of file")
+        return self.builder.build(link=link)
+
+    # ------------------------------------------------------------------
+
+    def _line(self, raw: str) -> None:
+        text = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+        if not text:
+            return
+        match = _LABEL_RE.match(text)
+        if match:
+            label, rest = match.group(1), match.group(2).strip()
+            if self.section == ".data":
+                self.pending_data_label = label
+                if rest:
+                    self._data_directive(rest)
+                return
+            self.builder.label(label)
+            if not rest:
+                return
+            text = rest
+        if text.startswith("."):
+            self._directive(text)
+        elif self.section == ".data":
+            self._data_directive(text)
+        else:
+            self._instruction(text)
+
+    def _directive(self, text: str) -> None:
+        parts = text.split(None, 1)
+        head = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if head in (".data", ".text"):
+            self.section = head
+        elif head == ".entry":
+            self.builder.entry = rest.strip()
+        elif head == ".word":
+            self._data_directive(text)
+        elif head == ".space":
+            self._data_directive(text)
+        elif head == ".proc":
+            self._proc_directive(rest)
+        elif head == ".endproc":
+            if not self.proc_stack:
+                raise ProgramError(".endproc without .proc")
+            ctx = self.proc_stack.pop()
+            ctx.__exit__(None, None, None)  # type: ignore[attr-defined]
+        else:
+            raise ProgramError(f"unknown directive {head!r}")
+
+    def _proc_directive(self, rest: str) -> None:
+        tokens = rest.replace(",", " ").split()
+        if not tokens:
+            raise ProgramError(".proc needs a name")
+        name = tokens[0]
+        saves: List[int] = []
+        save_ra = False
+        locals_words = 0
+        for token in tokens[1:]:
+            if token == "save_ra":
+                save_ra = True
+            elif token.startswith("saves="):
+                saves = [regs.parse_reg(r) for r in token[6:].split("+") if r]
+            elif token.startswith("locals="):
+                locals_words = int(token[7:])
+            else:
+                raise ProgramError(f"bad .proc attribute {token!r}")
+        ctx = self.builder.proc(
+            name, saves=saves, save_ra=save_ra, locals_words=locals_words
+        )
+        ctx.__enter__()
+        self.proc_stack.append(ctx)
+
+    def _data_directive(self, text: str) -> None:
+        parts = text.split(None, 1)
+        head = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        label = self.pending_data_label
+        self.pending_data_label = None
+        if label is None:
+            raise ProgramError(f"data directive {head!r} needs a label")
+        if head == ".word":
+            values = [self._int(v) for v in rest.replace(",", " ").split()]
+            self.builder.words(label, values)
+        elif head == ".space":
+            byte_count = self._int(rest.strip())
+            self.builder.zeros(label, (byte_count + 3) // 4)
+        else:
+            raise ProgramError(f"unknown data directive {head!r}")
+
+    # ------------------------------------------------------------------
+
+    def _instruction(self, text: str) -> None:
+        parts = text.replace(",", " ").split()
+        mnemonic, operands = parts[0].lower(), parts[1:]
+        b = self.builder
+        if mnemonic in _RRR_NAMES:
+            op = Opcode[("AND" if mnemonic == "and" else
+                          "OR" if mnemonic == "or" else mnemonic).upper()]
+            self._argc(operands, 3, mnemonic)
+            b._rrr(op, *(regs.parse_reg(r) for r in operands))
+        elif mnemonic in _RRI_NAMES:
+            self._argc(operands, 3, mnemonic)
+            b._rri(
+                Opcode[mnemonic.upper()],
+                regs.parse_reg(operands[0]),
+                regs.parse_reg(operands[1]),
+                self._int(operands[2]),
+            )
+        elif mnemonic == "lui":
+            self._argc(operands, 2, mnemonic)
+            b.lui(regs.parse_reg(operands[0]), self._int(operands[1]))
+        elif mnemonic in _LOAD_NAMES:
+            self._argc(operands, 2, mnemonic)
+            rd = regs.parse_reg(operands[0])
+            offset, base = self._mem_operand(operands[1])
+            b.emit_load(_LOAD_NAMES[mnemonic], rd, base, offset)
+        elif mnemonic in _STORE_NAMES:
+            self._argc(operands, 2, mnemonic)
+            data = regs.parse_reg(operands[0])
+            offset, base = self._mem_operand(operands[1])
+            b.emit_store(_STORE_NAMES[mnemonic], data, base, offset)
+        elif mnemonic in _BRANCH_RR_NAMES:
+            self._argc(operands, 3, mnemonic)
+            getattr(b, mnemonic)(
+                regs.parse_reg(operands[0]),
+                regs.parse_reg(operands[1]),
+                operands[2],
+            )
+        elif mnemonic in _BRANCH_RZ_NAMES:
+            self._argc(operands, 2, mnemonic)
+            getattr(b, mnemonic)(regs.parse_reg(operands[0]), operands[1])
+        elif mnemonic in ("j", "jal"):
+            self._argc(operands, 1, mnemonic)
+            getattr(b, mnemonic)(operands[0])
+        elif mnemonic == "jr":
+            self._argc(operands, 1, mnemonic)
+            b.jr(regs.parse_reg(operands[0]))
+        elif mnemonic == "jalr":
+            b.jalr(regs.parse_reg(operands[-1]))
+        elif mnemonic == "nop":
+            b.nop()
+        elif mnemonic == "halt":
+            b.halt()
+        elif mnemonic == "kill":
+            if not operands:
+                raise ProgramError("kill needs at least one register")
+            b.kill(*(regs.parse_reg(r) for r in operands))
+        elif mnemonic in ("lvm_save", "lvm_load"):
+            self._argc(operands, 1, mnemonic)
+            offset, base = self._mem_operand(operands[0])
+            getattr(b, mnemonic)(offset, base)
+        elif mnemonic == "li":
+            self._argc(operands, 2, mnemonic)
+            b.li(regs.parse_reg(operands[0]), self._int(operands[1]))
+        elif mnemonic == "la":
+            self._argc(operands, 2, mnemonic)
+            b.la(regs.parse_reg(operands[0]), operands[1])
+        elif mnemonic == "move":
+            self._argc(operands, 2, mnemonic)
+            b.move(regs.parse_reg(operands[0]), regs.parse_reg(operands[1]))
+        elif mnemonic == "epilogue":
+            b.epilogue()
+        else:
+            raise ProgramError(f"unknown mnemonic {mnemonic!r}")
+
+    @staticmethod
+    def _argc(operands: Sequence[str], count: int, mnemonic: str) -> None:
+        if len(operands) != count:
+            raise ProgramError(
+                f"{mnemonic} expects {count} operands, got {len(operands)}"
+            )
+
+    def _mem_operand(self, text: str) -> tuple:
+        match = _MEM_OPERAND_RE.match(text)
+        if not match:
+            raise ProgramError(f"bad memory operand {text!r}")
+        return self._int(match.group(1)), regs.parse_reg(match.group(2))
+
+    def _int(self, text: str) -> int:
+        text = text.strip()
+        try:
+            return int(text, 0)
+        except ValueError:
+            # Allow data-object names as immediates (e.g. `li t0, table`).
+            return self.builder.addr_of(text)

@@ -1,0 +1,438 @@
+"""An embedded assembly DSL for authoring guest programs.
+
+:class:`ProgramBuilder` is how the synthetic workloads (and many tests) are
+written: one method per opcode, a handful of pseudo-instructions (``li``,
+``move``), label management, a data-segment allocator, and a procedure
+helper that emits ABI-correct prologues and epilogues.
+
+Procedure saves and restores of callee-saved registers are emitted as
+``live_sw`` / ``live_lw`` — the paper's new store/load variants that the LVM
+hardware may squash when the saved value is dead (section 5.1).  The return
+address is saved with ordinary ``sw``/``lw``: it is caller-saved and its
+save is required unconditionally in non-leaf procedures.
+
+Example::
+
+    b = ProgramBuilder("demo")
+    with b.proc("main", saves=(S0,), save_ra=True):
+        b.li(S0, 41)
+        b.jal("inc")
+        b.move(A0, S0)
+        b.epilogue()
+    with b.proc("inc"):
+        b.addi(V0, A0, 1)
+        b.epilogue()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.isa import registers as regs
+from repro.isa.instruction import Instruction, kill as kill_inst
+from repro.isa.opcodes import Opcode
+from repro.program.program import DATA_BASE, ProcedureDecl, Program, ProgramError
+
+Target = Union[str, int]
+
+
+@dataclass
+class _OpenProc:
+    """Bookkeeping for the procedure currently being emitted."""
+
+    name: str
+    start: int
+    saves: Tuple[int, ...]
+    save_ra: bool
+    frame_bytes: int
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`."""
+
+    def __init__(self, name: str, *, entry: str = "main") -> None:
+        self.name = name
+        self.entry = entry
+        self._insts: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._data: Dict[int, int] = {}
+        self._data_next = DATA_BASE
+        self._data_names: Dict[str, int] = {}
+        self._procs: List[ProcedureDecl] = []
+        self._label_fixups: List[Tuple[int, str]] = []
+        self._open_proc: Optional[_OpenProc] = None
+        self._unique_counter = 0
+
+    # ------------------------------------------------------------------
+    # Emission primitives.
+    # ------------------------------------------------------------------
+
+    def emit(self, inst: Instruction) -> "ProgramBuilder":
+        """Append a raw instruction."""
+        self._insts.append(inst)
+        return self
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position; returns the name."""
+        if name in self._labels:
+            raise ProgramError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._insts)
+        return name
+
+    def unique(self, stem: str) -> str:
+        """A fresh label name derived from ``stem`` (not yet defined)."""
+        self._unique_counter += 1
+        return f"{stem}__{self._unique_counter}"
+
+    @property
+    def here(self) -> int:
+        """The index the next emitted instruction will occupy."""
+        return len(self._insts)
+
+    # ------------------------------------------------------------------
+    # Data segment.
+    # ------------------------------------------------------------------
+
+    def words(self, name: str, values: Sequence[int]) -> int:
+        """Allocate and initialize a word array; returns its byte address."""
+        addr = self._alloc(name, len(values))
+        for offset, value in enumerate(values):
+            self._data[addr + 4 * offset] = value & 0xFFFF_FFFF
+        return addr
+
+    def zeros(self, name: str, count: int) -> int:
+        """Allocate a zero-initialized word array; returns its address."""
+        return self._alloc(name, count)
+
+    def label_words(self, name: str, label_names: Sequence[str]) -> int:
+        """Allocate a word array of *code addresses* (a jump/call table).
+
+        Each entry is the byte address of a label; resolution is deferred to
+        :meth:`build`, so the labels need not exist yet.
+        """
+        addr = self._alloc(name, len(label_names))
+        for offset, label in enumerate(label_names):
+            self._label_fixups.append((addr + 4 * offset, label))
+        return addr
+
+    def addr_of(self, name: str) -> int:
+        """The address of a previously allocated data object."""
+        if name not in self._data_names:
+            raise ProgramError(f"no data object named {name!r}")
+        return self._data_names[name]
+
+    def _alloc(self, name: str, count: int) -> int:
+        if name in self._data_names:
+            raise ProgramError(f"data object {name!r} allocated twice")
+        if count < 0:
+            raise ProgramError(f"negative allocation for {name!r}")
+        addr = self._data_next
+        self._data_names[name] = addr
+        self._data_next += 4 * max(count, 1)
+        return addr
+
+    # ------------------------------------------------------------------
+    # One method per opcode.
+    # ------------------------------------------------------------------
+
+    def _rrr(self, op: Opcode, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, rs2=rs2))
+
+    def _rri(self, op: Opcode, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Instruction(op, rd=rd, rs1=rs1, imm=imm))
+
+    def add(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.SUB, rd, rs1, rs2)
+
+    def mul(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.DIV, rd, rs1, rs2)
+
+    def rem(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.REM, rd, rs1, rs2)
+
+    def and_(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.XOR, rd, rs1, rs2)
+
+    def nor(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.NOR, rd, rs1, rs2)
+
+    def sll(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.SRL, rd, rs1, rs2)
+
+    def sra(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.SRA, rd, rs1, rs2)
+
+    def slt(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.SLT, rd, rs1, rs2)
+
+    def sltu(self, rd: int, rs1: int, rs2: int) -> "ProgramBuilder":
+        return self._rrr(Opcode.SLTU, rd, rs1, rs2)
+
+    def addi(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.ADDI, rd, rs1, imm)
+
+    def andi(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.ANDI, rd, rs1, imm)
+
+    def ori(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.ORI, rd, rs1, imm)
+
+    def xori(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.XORI, rd, rs1, imm)
+
+    def slli(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.SLLI, rd, rs1, imm)
+
+    def srli(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.SRLI, rd, rs1, imm)
+
+    def srai(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.SRAI, rd, rs1, imm)
+
+    def slti(self, rd: int, rs1: int, imm: int) -> "ProgramBuilder":
+        return self._rri(Opcode.SLTI, rd, rs1, imm)
+
+    def lui(self, rd: int, imm: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LUI, rd=rd, imm=imm))
+
+    def lw(self, rd: int, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LW, rd=rd, rs1=base, imm=offset))
+
+    def lb(self, rd: int, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LB, rd=rd, rs1=base, imm=offset))
+
+    def sw(self, data: int, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.SW, rs2=data, rs1=base, imm=offset))
+
+    def sb(self, data: int, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.SB, rs2=data, rs1=base, imm=offset))
+
+    def live_sw(self, data: int, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LIVE_SW, rs2=data, rs1=base, imm=offset))
+
+    def live_lw(self, rd: int, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LIVE_LW, rd=rd, rs1=base, imm=offset))
+
+    def emit_load(self, op: Opcode, rd: int, base: int, offset: int) -> "ProgramBuilder":
+        """Emit any load opcode (used by the text assembler)."""
+        return self.emit(Instruction(op, rd=rd, rs1=base, imm=offset))
+
+    def emit_store(self, op: Opcode, data: int, base: int, offset: int) -> "ProgramBuilder":
+        """Emit any store opcode (used by the text assembler)."""
+        return self.emit(Instruction(op, rs2=data, rs1=base, imm=offset))
+
+    def beq(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BEQ, rs1=rs1, rs2=rs2, target=target))
+
+    def bne(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BNE, rs1=rs1, rs2=rs2, target=target))
+
+    def blt(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BLT, rs1=rs1, rs2=rs2, target=target))
+
+    def bge(self, rs1: int, rs2: int, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BGE, rs1=rs1, rs2=rs2, target=target))
+
+    def blez(self, rs1: int, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BLEZ, rs1=rs1, target=target))
+
+    def bgtz(self, rs1: int, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.BGTZ, rs1=rs1, target=target))
+
+    def j(self, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.J, target=target))
+
+    def jal(self, target: Target) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.JAL, target=target))
+
+    def jr(self, rs1: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.JR, rs1=rs1))
+
+    def jalr(self, rs1: int, rd: int = regs.RA) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.JALR, rd=rd, rs1=rs1))
+
+    def nop(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.HALT))
+
+    def kill(self, *kill_regs: int) -> "ProgramBuilder":
+        """Emit an E-DVI kill instruction for the named registers."""
+        return self.emit(kill_inst(regs.mask_of(kill_regs)))
+
+    def kill_mask(self, mask: int) -> "ProgramBuilder":
+        return self.emit(kill_inst(mask))
+
+    def lvm_save(self, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LVM_SAVE, rs1=base, imm=offset))
+
+    def lvm_load(self, offset: int, base: int) -> "ProgramBuilder":
+        return self.emit(Instruction(Opcode.LVM_LOAD, rs1=base, imm=offset))
+
+    # ------------------------------------------------------------------
+    # Pseudo-instructions.
+    # ------------------------------------------------------------------
+
+    def li(self, rd: int, value: int) -> "ProgramBuilder":
+        """Load a 32-bit constant (one or two real instructions)."""
+        value &= 0xFFFF_FFFF
+        signed = value - (1 << 32) if value & (1 << 31) else value
+        if -(1 << 15) <= signed < (1 << 15):
+            return self.addi(rd, regs.ZERO, signed)
+        high = (value >> 16) & 0xFFFF
+        low = value & 0xFFFF
+        self.lui(rd, high - (1 << 16) if high & (1 << 15) else high)
+        if low:
+            self.ori(rd, rd, low - (1 << 16) if low & (1 << 15) else low)
+        return self
+
+    def la(self, rd: int, name: str) -> "ProgramBuilder":
+        """Load the address of a data object allocated by this builder."""
+        return self.li(rd, self.addr_of(name))
+
+    def move(self, rd: int, rs: int) -> "ProgramBuilder":
+        return self.or_(rd, rs, regs.ZERO)
+
+    # ------------------------------------------------------------------
+    # Procedures.
+    # ------------------------------------------------------------------
+
+    def proc(
+        self,
+        name: str,
+        *,
+        saves: Sequence[int] = (),
+        save_ra: bool = False,
+        locals_words: int = 0,
+    ) -> "_ProcContext":
+        """Open a procedure; use as a context manager.
+
+        ``saves`` lists the callee-saved registers the body assigns;
+        prologue ``live_sw`` and epilogue ``live_lw`` pairs are emitted for
+        each.  ``save_ra`` must be true for non-leaf procedures.  Local
+        word slots (``locals_words``) sit below the saved registers and are
+        addressed at ``sp + 4*i`` via :meth:`local_offset`.
+        """
+        return _ProcContext(self, name, tuple(saves), save_ra, locals_words)
+
+    def epilogue(self) -> "ProgramBuilder":
+        """Emit the current procedure's epilogue: restores and return."""
+        proc = self._require_open_proc()
+        offset = proc.frame_bytes - 4 * (len(proc.saves) + (1 if proc.save_ra else 0))
+        for reg in proc.saves:
+            self.live_lw(reg, offset, regs.SP)
+            offset += 4
+        if proc.save_ra:
+            self.lw(regs.RA, offset, regs.SP)
+        self.addi(regs.SP, regs.SP, proc.frame_bytes)
+        return self.jr(regs.RA)
+
+    def local_offset(self, slot: int) -> int:
+        """Byte offset from ``sp`` of local word slot ``slot``."""
+        proc = self._require_open_proc()
+        reserved = proc.frame_bytes - 4 * (len(proc.saves) + (1 if proc.save_ra else 0))
+        if not 0 <= 4 * slot < reserved:
+            raise ProgramError(
+                f"local slot {slot} outside frame of procedure {proc.name!r}"
+            )
+        return 4 * slot
+
+    def _require_open_proc(self) -> _OpenProc:
+        if self._open_proc is None:
+            raise ProgramError("no procedure is open")
+        return self._open_proc
+
+    # ------------------------------------------------------------------
+    # Build.
+    # ------------------------------------------------------------------
+
+    def build(self, *, link: bool = True) -> Program:
+        """Produce the program (linked by default)."""
+        if self._open_proc is not None:
+            raise ProgramError(
+                f"procedure {self._open_proc.name!r} is still open"
+            )
+        data = dict(self._data)
+        program = Program(
+            name=self.name,
+            insts=list(self._insts),
+            labels=dict(self._labels),
+            data=data,
+            entry=self.entry,
+            procedures=list(self._procs),
+            relocations=list(self._label_fixups),
+        )
+        for __, label in self._label_fixups:
+            if label not in self._labels:
+                raise ProgramError(f"jump-table label {label!r} is undefined")
+        program.apply_relocations()
+        return program.link() if link else program
+
+
+class _ProcContext:
+    """Context manager emitting a procedure prologue on entry."""
+
+    def __init__(
+        self,
+        builder: ProgramBuilder,
+        name: str,
+        saves: Tuple[int, ...],
+        save_ra: bool,
+        locals_words: int,
+    ) -> None:
+        for reg in saves:
+            if not 0 < reg < regs.NUM_REGS:
+                raise ProgramError(f"bad save register: {reg}")
+        self._builder = builder
+        self._name = name
+        self._saves = saves
+        self._save_ra = save_ra
+        self._locals = locals_words
+
+    def __enter__(self) -> ProgramBuilder:
+        b = self._builder
+        if b._open_proc is not None:
+            raise ProgramError(
+                f"cannot open {self._name!r}: {b._open_proc.name!r} is still open"
+            )
+        frame = 4 * (self._locals + len(self._saves) + (1 if self._save_ra else 0))
+        b.label(self._name)
+        start = b.here
+        if frame:
+            b.addi(regs.SP, regs.SP, -frame)
+        offset = 4 * self._locals
+        for reg in self._saves:
+            b.live_sw(reg, offset, regs.SP)
+            offset += 4
+        if self._save_ra:
+            b.sw(regs.RA, offset, regs.SP)
+        # Record the extent starting at the label so the prologue is part
+        # of the procedure for the analyses.
+        b._open_proc = _OpenProc(self._name, start, self._saves, self._save_ra, frame)
+        return b
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        b = self._builder
+        if exc_type is None:
+            proc = b._open_proc
+            assert proc is not None and proc.name == self._name
+            b._procs.append(ProcedureDecl(proc.name, proc.start, b.here))
+        b._open_proc = None

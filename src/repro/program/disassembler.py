@@ -1,0 +1,31 @@
+"""Disassembler: render programs or encoded words back to assembly text."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import INST_BYTES, format_instruction
+from repro.program.program import Program
+
+
+def disassemble_words(words: Iterable[int]) -> List[str]:
+    """Decode and format a sequence of encoded 32-bit words."""
+    return [
+        format_instruction(decode(word, index))
+        for index, word in enumerate(words)
+    ]
+
+
+def disassemble(program: Program, *, addresses: bool = True) -> str:
+    """A labelled listing of ``program`` (like ``objdump -d``)."""
+    label_lines = {}
+    for label, index in sorted(program.labels.items(), key=lambda kv: kv[1]):
+        label_lines.setdefault(index, []).append(label)
+    lines: List[str] = []
+    for index, inst in enumerate(program.insts):
+        for label in label_lines.get(index, []):
+            lines.append(f"{label}:")
+        prefix = f"  {index * INST_BYTES:#06x}  " if addresses else "  "
+        lines.append(prefix + format_instruction(inst))
+    return "\n".join(lines)

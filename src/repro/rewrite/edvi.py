@@ -1,0 +1,218 @@
+"""The E-DVI binary rewriter.
+
+Implements the paper's E-DVI insertion strategy (sections 2 and 5.1) as a
+binary rewriting pass — the paper explicitly notes that, because liveness is
+computed over physical (architectural) registers, "EDVI instructions can be
+added to an executable using a simple binary rewriting tool" with neither
+compiler nor source code.
+
+Policy (the paper's, exactly): insert at most one ``kill`` instruction,
+carrying a kill mask, immediately before each procedure call.  A
+callee-saved register goes into the mask only if
+
+1. it is *dead at the call site* — not live-out of the call under the
+   caller's intra-procedural liveness (with the calling-convention boundary
+   conditions of :mod:`repro.analysis.liveness`), and
+2. it is *saved by the callee* — its save/restore pair is the one the LVM
+   hardware could eliminate (the paper's "assigned to in the procedure"
+   condition; for ABI-compliant code the two coincide).
+
+For indirect calls (``jalr``) the callee is unknown, so condition 2 uses
+the union of all procedures' save sets; condition 1 alone already
+guarantees correctness (killing a dead register is always safe), condition
+2 only throttles overhead.
+
+Branches that targeted a call are redirected to the inserted ``kill`` so
+every dynamic path through the call sees the annotation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import build_cfg, procedures_of
+from repro.analysis.liveness import analyze_procedure
+from repro.isa import registers as regs
+from repro.isa.abi import ABI, DEFAULT_ABI
+from repro.isa.instruction import Instruction, kill as kill_inst
+from repro.isa.opcodes import Opcode
+from repro.program.program import ProcedureDecl, Program
+
+
+@dataclass
+class CallSiteInfo:
+    """What the rewriter decided at one call site (old index space)."""
+
+    index: int
+    caller: str
+    callee: Optional[str]
+    dead_mask: int
+    inserted: bool
+
+
+@dataclass
+class RewriteReport:
+    """Summary of an E-DVI insertion pass."""
+
+    call_sites: List[CallSiteInfo] = field(default_factory=list)
+    kills_inserted: int = 0
+    original_insts: int = 0
+    rewritten_insts: int = 0
+
+    @property
+    def code_growth(self) -> float:
+        """Fractional static code size growth (the Figure 13 metric)."""
+        if not self.original_insts:
+            return 0.0
+        return (self.rewritten_insts - self.original_insts) / self.original_insts
+
+    def summary(self) -> str:
+        return (
+            f"{self.kills_inserted} kill(s) at {len(self.call_sites)} call "
+            f"site(s); code size {self.original_insts} -> "
+            f"{self.rewritten_insts} insts (+{self.code_growth:.2%})"
+        )
+
+
+@dataclass
+class RewriteResult:
+    """The rewritten program plus the decision report and index map."""
+
+    program: Program
+    report: RewriteReport
+    #: Old instruction index -> new instruction index.
+    index_map: Dict[int, int]
+
+
+def callee_save_sets(program: Program) -> Dict[str, int]:
+    """Mask of callee-saved registers each procedure saves (live-stores)."""
+    save_sets: Dict[str, int] = {}
+    for proc in procedures_of(program):
+        mask = 0
+        for index in range(proc.start, proc.end):
+            inst = program.insts[index]
+            if inst.op is Opcode.LIVE_SW:
+                mask |= 1 << inst.rs2
+        save_sets[proc.name] = mask
+    return save_sets
+
+
+def insert_edvi(program: Program, *, abi: ABI = DEFAULT_ABI) -> RewriteResult:
+    """Insert E-DVI kill instructions before calls; returns a new program."""
+    program.require_linked()
+    procs = procedures_of(program)
+    save_sets = callee_save_sets(program)
+    all_saves = 0
+    for mask in save_sets.values():
+        all_saves |= mask
+    proc_by_start = {proc.start: proc for proc in procs}
+
+    report = RewriteReport(original_insts=len(program.insts))
+    insertions: Dict[int, Instruction] = {}
+    killable = abi.killable_mask()
+
+    for proc in procs:
+        cfg = build_cfg(program, proc)
+        liveness = analyze_procedure(program, cfg, abi=abi)
+        for index in range(proc.start, proc.end):
+            inst = program.insts[index]
+            if not inst.is_call:
+                continue
+            callee = None
+            if isinstance(inst.target, int):
+                callee = proc_by_start.get(inst.target)
+            if callee is not None:
+                candidate = save_sets.get(callee.name, 0)
+            else:
+                candidate = all_saves
+            dead = liveness.dead_after(index, abi.callee_saved) & candidate & killable
+            already_annotated = (
+                index > proc.start and program.insts[index - 1].is_kill
+            )
+            inserted = bool(dead) and not already_annotated
+            report.call_sites.append(
+                CallSiteInfo(
+                    index=index,
+                    caller=proc.name,
+                    callee=callee.name if callee else None,
+                    dead_mask=dead,
+                    inserted=inserted,
+                )
+            )
+            if inserted:
+                insertions[index] = kill_inst(dead)
+                report.kills_inserted += 1
+
+    rewritten, index_map = _apply_insertions(program, insertions)
+    report.rewritten_insts = len(rewritten.insts)
+    return RewriteResult(program=rewritten, report=report, index_map=index_map)
+
+
+def strip_edvi(program: Program) -> Program:
+    """Remove every ``kill`` instruction (the inverse rewriting pass).
+
+    Useful for constructing matched binary pairs for the Figure 13 overhead
+    experiment.
+    """
+    program.require_linked()
+    removed = [i for i, inst in enumerate(program.insts) if inst.is_kill]
+    if not removed:
+        return program.with_insts(
+            program.insts, program.labels, program.procedures, linked=True
+        )
+
+    def remap(old: int) -> int:
+        return old - bisect.bisect_right(removed, old - 1)
+
+    new_insts: List[Instruction] = []
+    for index, inst in enumerate(program.insts):
+        if inst.is_kill:
+            continue
+        if isinstance(inst.target, int):
+            inst = inst.with_target(remap(inst.target))
+        new_insts.append(inst)
+    labels = {name: remap(where) for name, where in program.labels.items()}
+    procs = [
+        ProcedureDecl(p.name, remap(p.start), remap(p.end))
+        for p in program.procedures
+    ]
+    result = program.with_insts(new_insts, labels, procs, linked=True)
+    result.validate()
+    return result
+
+
+def _apply_insertions(
+    program: Program, insertions: Dict[int, Instruction]
+) -> Tuple[Program, Dict[int, int]]:
+    """Insert instructions before the given old indices, remapping targets.
+
+    A target that pointed at an instruction with an insertion is redirected
+    to the inserted instruction, so the annotation dominates the call on
+    every path.
+    """
+    points = sorted(insertions)
+
+    def remap_target(old: int) -> int:
+        """New target: lands on the inserted kill when one exists."""
+        return old + bisect.bisect_left(points, old)
+
+    new_insts: List[Instruction] = []
+    index_map: Dict[int, int] = {}
+    for index, inst in enumerate(program.insts):
+        if index in insertions:
+            new_insts.append(insertions[index])
+        if isinstance(inst.target, int):
+            inst = inst.with_target(remap_target(inst.target))
+        index_map[index] = len(new_insts)
+        new_insts.append(inst)
+
+    labels = {name: remap_target(where) for name, where in program.labels.items()}
+    procs = [
+        ProcedureDecl(p.name, remap_target(p.start), remap_target(p.end))
+        for p in program.procedures
+    ]
+    result = program.with_insts(new_insts, labels, procs, linked=True)
+    result.validate()
+    return result, index_map

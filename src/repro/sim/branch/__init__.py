@@ -1,0 +1,18 @@
+"""Branch prediction: direction predictors, BTB, and RAS."""
+
+from repro.sim.branch.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.sim.branch.predictors import (
+    BimodalPredictor,
+    CombiningPredictor,
+    GsharePredictor,
+    SaturatingCounterTable,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "CombiningPredictor",
+    "GsharePredictor",
+    "ReturnAddressStack",
+    "SaturatingCounterTable",
+]

@@ -1,0 +1,85 @@
+"""Branch target buffer and return address stack.
+
+The BTB supplies targets for taken branches and indirect jumps at fetch
+time; the RAS predicts return targets for ``jr ra``.  Both are standard
+structures; the Figure 2 machine lists a BTB alongside its combining
+predictor.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class BranchTargetBuffer:
+    """A set-associative tagged target buffer.
+
+    ``lookup`` returns the cached target for a PC (or ``None``), ``insert``
+    installs/refreshes one with LRU replacement within the set.
+    """
+
+    def __init__(self, sets: int = 512, assoc: int = 4) -> None:
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(f"BTB sets must be a power of two, got {sets}")
+        if assoc <= 0:
+            raise ValueError("BTB associativity must be positive")
+        self.sets = sets
+        self.assoc = assoc
+        # Each set: list of (pc, target), most recently used last.
+        self._sets: List[List[tuple]] = [[] for _ in range(sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def _set_of(self, pc: int) -> List[tuple]:
+        return self._sets[pc & (self.sets - 1)]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        self.lookups += 1
+        entries = self._set_of(pc)
+        for position, (tag, target) in enumerate(entries):
+            if tag == pc:
+                entries.append(entries.pop(position))  # LRU refresh
+                self.hits += 1
+                return target
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        entries = self._set_of(pc)
+        for position, (tag, _) in enumerate(entries):
+            if tag == pc:
+                entries.pop(position)
+                break
+        entries.append((pc, target))
+        if len(entries) > self.assoc:
+            entries.pop(0)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ReturnAddressStack:
+    """A bounded return-address predictor stack.
+
+    Pushed on calls, popped on returns; overflow discards the oldest entry
+    (standard hardware behaviour), underflow predicts nothing.
+    """
+
+    def __init__(self, depth: int = 32) -> None:
+        if depth < 1:
+            raise ValueError("RAS depth must be >= 1")
+        self.depth = depth
+        self._stack: List[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            del self._stack[0]
+
+    def pop(self) -> Optional[int]:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,122 @@
+"""Branch direction predictors: bimodal, gshare, and the combining predictor.
+
+The paper's machine (Figure 2) uses a "16-bit history, combinational
+gshare/bimod" predictor — SimpleScalar's ``comb`` predictor: a bimodal
+table, a gshare table indexed by the PC xor a 16-bit global history, and a
+chooser (meta) table of 2-bit counters that learns, per branch, which
+component to trust.
+
+All tables hold 2-bit saturating counters (0-3; >=2 predicts taken).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SaturatingCounterTable:
+    """A table of 2-bit saturating counters."""
+
+    def __init__(self, size: int, initial: int = 1) -> None:
+        if size <= 0 or size & (size - 1):
+            raise ValueError(f"table size must be a power of two, got {size}")
+        if not 0 <= initial <= 3:
+            raise ValueError(f"counter value out of range: {initial}")
+        self.size = size
+        self._mask = size - 1
+        self._table: List[int] = [initial] * size
+
+    def counter(self, index: int) -> int:
+        return self._table[index & self._mask]
+
+    def predict(self, index: int) -> bool:
+        return self._table[index & self._mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self._mask
+        value = self._table[index]
+        if taken:
+            if value < 3:
+                self._table[index] = value + 1
+        elif value > 0:
+            self._table[index] = value - 1
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counter predictor."""
+
+    def __init__(self, size: int = 4096) -> None:
+        self.table = SaturatingCounterTable(size)
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(pc, taken)
+
+
+class GsharePredictor:
+    """Global-history predictor: counters indexed by ``pc xor history``."""
+
+    def __init__(self, size: int = 65536, history_bits: int = 16) -> None:
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.table = SaturatingCounterTable(size)
+        self.history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        return pc ^ self.history
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(self._index(pc), taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self._history_mask
+
+
+class CombiningPredictor:
+    """McFarling-style combining (tournament) predictor.
+
+    The chooser counter moves toward the component that was correct when
+    they disagree.  This is the Figure 2 configuration's predictor.
+    """
+
+    def __init__(
+        self,
+        bimodal_size: int = 4096,
+        gshare_size: int = 65536,
+        history_bits: int = 16,
+        chooser_size: int = 4096,
+    ) -> None:
+        self.bimodal = BimodalPredictor(bimodal_size)
+        self.gshare = GsharePredictor(gshare_size, history_bits)
+        self.chooser = SaturatingCounterTable(chooser_size)
+        self.lookups = 0
+        self.hits = 0
+
+    def predict(self, pc: int) -> bool:
+        if self.chooser.predict(pc):  # >=2 -> trust gshare
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict, train all components, and return prediction correctness."""
+        bimodal_guess = self.bimodal.predict(pc)
+        gshare_guess = self.gshare.predict(pc)
+        prediction = gshare_guess if self.chooser.predict(pc) else bimodal_guess
+        if bimodal_guess != gshare_guess:
+            self.chooser.update(pc, gshare_guess == taken)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+        self.lookups += 1
+        correct = prediction == taken
+        if correct:
+            self.hits += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

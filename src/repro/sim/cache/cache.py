@@ -1,0 +1,90 @@
+"""Set-associative cache with LRU replacement.
+
+Models hit/miss behaviour and latency only — this is a timing simulator,
+so no data is stored.  Writes allocate (SimpleScalar's default for its
+write-back caches); dirty-eviction write-back traffic is counted but adds
+no latency (the paper's configuration gives fixed L1/L2/memory latencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape parameters of one cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    hit_latency: int
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line size must be a power of two: {self.line_bytes}")
+        if self.size_bytes % (self.line_bytes * self.assoc):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*line ({self.assoc}*{self.line_bytes})"
+            )
+        sets = self.size_bytes // (self.line_bytes * self.assoc)
+        if sets & (sets - 1):
+            raise ValueError(f"{self.name}: set count {sets} not a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.assoc)
+
+
+class Cache:
+    """One cache level."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._set_shift = geometry.line_bytes.bit_length() - 1
+        self._set_mask = geometry.num_sets - 1
+        # Per set: tag -> dirty flag; insertion order is LRU order (oldest
+        # first) because dict preserves insertion order and hits re-insert.
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(geometry.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def line_of(self, addr: int) -> int:
+        """The line-granular address (used to coalesce sequential fetches)."""
+        return addr >> self._set_shift
+
+    def access(self, addr: int, *, write: bool = False) -> bool:
+        """Access ``addr``; returns True on hit.  Misses allocate."""
+        self.accesses += 1
+        line = addr >> self._set_shift
+        cache_set = self._sets[line & self._set_mask]
+        tag = line
+        if tag in cache_set:
+            dirty = cache_set.pop(tag)
+            cache_set[tag] = dirty or write
+            return True
+        self.misses += 1
+        if len(cache_set) >= self.geometry.assoc:
+            victim_tag = next(iter(cache_set))
+            if cache_set.pop(victim_tag):
+                self.writebacks += 1
+        cache_set[tag] = write
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-updating lookup (for tests)."""
+        line = addr >> self._set_shift
+        return line in self._sets[line & self._set_mask]
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0

@@ -1,0 +1,64 @@
+"""Two-level cache hierarchy matching the Figure 2 machine.
+
+Split 64KB/4-way L1 I and D caches (1-cycle), a unified 512KB/4-way L2
+(8-cycle), and a flat main memory latency behind it.  ``access`` returns
+the total latency of a reference entering at L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cache.cache import Cache, CacheGeometry
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Parameters of the memory hierarchy."""
+
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 4
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 4
+    line_bytes: int = 32
+    l1_latency: int = 1
+    l2_size: int = 512 * 1024
+    l2_assoc: int = 4
+    l2_latency: int = 8
+    memory_latency: int = 40
+
+
+class MemoryHierarchy:
+    """Split L1s over a unified L2 over main memory."""
+
+    def __init__(self, config: HierarchyConfig = HierarchyConfig()) -> None:
+        self.config = config
+        self.l1i = Cache(
+            CacheGeometry("L1I", config.l1i_size, config.l1i_assoc,
+                          config.line_bytes, config.l1_latency)
+        )
+        self.l1d = Cache(
+            CacheGeometry("L1D", config.l1d_size, config.l1d_assoc,
+                          config.line_bytes, config.l1_latency)
+        )
+        self.l2 = Cache(
+            CacheGeometry("L2", config.l2_size, config.l2_assoc,
+                          config.line_bytes, config.l2_latency)
+        )
+
+    def access_data(self, addr: int, *, write: bool = False) -> int:
+        """Latency of a data reference at byte address ``addr``."""
+        return self._access(self.l1d, addr, write)
+
+    def access_inst(self, addr: int) -> int:
+        """Latency of an instruction fetch at byte address ``addr``."""
+        return self._access(self.l1i, addr, False)
+
+    def _access(self, l1: Cache, addr: int, write: bool) -> int:
+        latency = self.config.l1_latency
+        if l1.access(addr, write=write):
+            return latency
+        latency += self.config.l2_latency
+        if self.l2.access(addr, write=write):
+            return latency
+        return latency + self.config.memory_latency

@@ -1,0 +1,522 @@
+"""Functional (architectural) emulator and trace generator.
+
+Executes a linked program instruction by instruction, driving a
+:class:`~repro.dvi.engine.DVIEngine` in program order, and optionally
+records a :class:`~repro.sim.trace.Trace` for the timing model, a
+live-register histogram for the context-switch experiment, and a DVI
+correctness check (the "poison" verifier).
+
+Architectural conventions:
+
+* registers hold 32-bit values (stored unsigned; signed ops reinterpret),
+* memory is a sparse word-addressed store, little-endian for byte ops,
+* ``sp`` starts at :data:`~repro.program.program.STACK_TOP`, and ``ra``
+  starts at a sentinel return address so a top-level ``return`` ends the
+  run just like ``halt``,
+* the program's exit value is whatever ``v0`` holds at the end.
+
+Save/restore elimination is performed *architecturally*: an eliminated
+``live_sw`` writes nothing to memory and an eliminated ``live_lw`` loads
+nothing, so a run under an aggressive DVI configuration genuinely executes
+differently from the baseline — the observational-equivalence tests
+(identical data segment and exit value) are therefore a real check of the
+paper's correctness argument, not a tautology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dvi.config import DVIConfig
+from repro.dvi.engine import DVIEngine
+from repro.errors import DVIViolationError, SimulationError
+from repro.isa import registers as regs
+from repro.isa.abi import DEFAULT_ABI
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_CLASS, OpClass, Opcode
+from repro.program.program import STACK_TOP, Program
+from repro.sim.trace import Trace, TraceRecord
+
+_MASK32 = 0xFFFF_FFFF
+_SIGN32 = 0x8000_0000
+
+
+def _s32(value: int) -> int:
+    """Signed reinterpretation of an unsigned 32-bit value."""
+    return value - 0x1_0000_0000 if value & _SIGN32 else value
+
+
+@dataclass
+class FunctionalStats:
+    """Dynamic statistics of one functional run.
+
+    ``program_insts`` counts original program instructions (saves/restores
+    included whether or not they were eliminated; ``kill`` annotations
+    excluded), matching the paper's reporting conventions.
+    """
+
+    program_insts: int = 0
+    kill_insts: int = 0
+    calls: int = 0
+    returns: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    saves: int = 0
+    restores: int = 0
+    saves_eliminated: int = 0
+    restores_eliminated: int = 0
+    #: Histogram of live saveable registers, sampled after each instruction.
+    live_hist: Dict[int, int] = field(default_factory=dict)
+    exit_value: int = 0
+    completed: bool = False
+
+    @property
+    def mem_refs(self) -> int:
+        """All program memory references, eliminated ones included."""
+        return self.loads + self.stores
+
+    @property
+    def saves_restores(self) -> int:
+        return self.saves + self.restores
+
+    @property
+    def saves_restores_eliminated(self) -> int:
+        return self.saves_eliminated + self.restores_eliminated
+
+    @property
+    def pct_calls(self) -> float:
+        return 100.0 * self.calls / self.program_insts if self.program_insts else 0.0
+
+    @property
+    def pct_mem(self) -> float:
+        return 100.0 * self.mem_refs / self.program_insts if self.program_insts else 0.0
+
+    @property
+    def pct_saves_restores(self) -> float:
+        if not self.program_insts:
+            return 0.0
+        return 100.0 * self.saves_restores / self.program_insts
+
+    def average_live(self) -> float:
+        """Mean of the live-register histogram (Figure 12's statistic)."""
+        total = sum(self.live_hist.values())
+        if not total:
+            return 0.0
+        return sum(count * n for n, count in self.live_hist.items()) / total
+
+
+@dataclass
+class FunctionalResult:
+    """Everything a functional run produces."""
+
+    stats: FunctionalStats
+    trace: Optional[Trace]
+    registers: List[int]
+    memory: Dict[int, int]
+
+    def data_segment(self, base: int, limit: int) -> Dict[int, int]:
+        """Memory words in ``[base, limit)`` — the observable output."""
+        return {
+            addr: value
+            for addr, value in self.memory.items()
+            if base <= addr < limit
+        }
+
+
+class _Decoded:
+    """Pre-decoded static instruction (hoists per-step work out of the loop)."""
+
+    __slots__ = (
+        "inst", "op", "cls", "dst", "srcs", "use_check_mask",
+        "rd", "rs1", "rs2", "imm", "target", "kill_mask",
+    )
+
+    def __init__(self, inst: Instruction) -> None:
+        self.inst = inst
+        self.op = inst.op
+        self.cls = OP_CLASS[inst.op]
+        defs = inst.defs()
+        self.dst = defs[0] if defs else -1
+        self.srcs = inst.uses()
+        # Poison verification exempts the data register of a live-store:
+        # saving a dead value is explicitly permitted (its bits are
+        # irrelevant), and the LVM squashes exactly those saves.
+        check = inst.use_mask()
+        if inst.op is Opcode.LIVE_SW:
+            check &= ~(1 << inst.rs2)
+        self.use_check_mask = check
+        self.rd = inst.rd
+        self.rs1 = inst.rs1
+        self.rs2 = inst.rs2
+        self.imm = inst.imm
+        self.target = inst.target if isinstance(inst.target, int) else -1
+        self.kill_mask = inst.kill_mask
+
+
+class FunctionalSimulator:
+    """Architectural emulator for one program under one DVI configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        dvi: Optional[DVIConfig] = None,
+        *,
+        max_steps: int = 5_000_000,
+        collect_trace: bool = True,
+        collect_live_hist: bool = False,
+        verify_dvi: bool = False,
+    ) -> None:
+        program.require_linked()
+        self.program = program
+        self.dvi_config = dvi if dvi is not None else DVIConfig.none()
+        self.engine = DVIEngine(self.dvi_config)
+        self.max_steps = max_steps
+        self.collect_trace = collect_trace
+        self.collect_live_hist = collect_live_hist
+        self.verify_dvi = verify_dvi
+
+        self._decoded = [_Decoded(inst) for inst in program.insts]
+        self._sentinel = len(program.insts)
+
+        self.regs: List[int] = [0] * regs.NUM_REGS
+        self.regs[regs.SP] = STACK_TOP
+        self.regs[regs.GP] = 0x0010_0000
+        self.regs[regs.RA] = self._sentinel * 4
+        self.mem: Dict[int, int] = {
+            addr >> 2: value & _MASK32 for addr, value in program.data.items()
+        }
+        self.pc = program.entry_index
+        self._poison = 0  # registers currently asserted dead (verify mode)
+        self._saveable = self.dvi_config.abi.saveable_mask()
+        self.stats = FunctionalStats()
+        self.halted = False
+        self._records: List[TraceRecord] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+
+    def execute(self, budget: int) -> bool:
+        """Run up to ``budget`` further instructions from the current state.
+
+        Returns True while the program can still make progress, False once
+        it has halted (or returned from the top level).  This is the
+        resumable core that the thread scheduler time-slices; :meth:`run`
+        drives it once to completion.
+        """
+        if self.halted:
+            return False
+        stats = self.stats
+        records = self._records
+        engine = self.engine
+        decoded = self._decoded
+        reg_file = self.regs
+        mem = self.mem
+        sentinel = self._sentinel
+        abi = self.dvi_config.abi
+        collect_trace = self.collect_trace
+        collect_hist = self.collect_live_hist
+        verify = self.verify_dvi
+        hist = stats.live_hist
+
+        pc = self.pc
+        seq = self._seq
+        end_seq = seq + budget
+        completed = False
+
+        while seq < end_seq:
+            if pc == sentinel:
+                completed = True
+                break
+            if not 0 <= pc < sentinel:
+                raise SimulationError(f"pc out of range: {pc}")
+            d = decoded[pc]
+            op = d.op
+
+            if verify and self._poison & d.use_check_mask:
+                bad = self._poison & d.use_check_mask
+                reg = bad.bit_length() - 1
+                raise DVIViolationError(pc, reg, f"op {op.name}")
+
+            next_pc = pc + 1
+            addr = -1
+            taken = False
+            free_mask = 0
+            eliminated = False
+            is_program = True
+            dst = d.dst
+
+            # --- execute -------------------------------------------------
+            if op is Opcode.ADDI:
+                reg_file[d.rd] = (reg_file[d.rs1] + d.imm) & _MASK32
+            elif op is Opcode.ADD:
+                reg_file[d.rd] = (reg_file[d.rs1] + reg_file[d.rs2]) & _MASK32
+            elif op is Opcode.LW:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                if addr & 3:
+                    raise SimulationError(f"unaligned lw at pc={pc}: {addr:#x}")
+                reg_file[d.rd] = mem.get(addr >> 2, 0)
+                stats.loads += 1
+            elif op is Opcode.SW:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                if addr & 3:
+                    raise SimulationError(f"unaligned sw at pc={pc}: {addr:#x}")
+                mem[addr >> 2] = reg_file[d.rs2]
+                stats.stores += 1
+            elif op is Opcode.LIVE_LW:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                if addr & 3:
+                    raise SimulationError(f"unaligned live_lw at pc={pc}: {addr:#x}")
+                stats.loads += 1
+                stats.restores += 1
+                eliminated = engine.on_restore(d.rd)
+                if eliminated:
+                    stats.restores_eliminated += 1
+                    dst = -1  # not dispatched: no rename, no definition
+                else:
+                    reg_file[d.rd] = mem.get(addr >> 2, 0)
+            elif op is Opcode.LIVE_SW:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                if addr & 3:
+                    raise SimulationError(f"unaligned live_sw at pc={pc}: {addr:#x}")
+                stats.stores += 1
+                stats.saves += 1
+                eliminated = engine.on_save(d.rs2)
+                if eliminated:
+                    stats.saves_eliminated += 1
+                else:
+                    mem[addr >> 2] = reg_file[d.rs2]
+            elif op is Opcode.BEQ:
+                taken = reg_file[d.rs1] == reg_file[d.rs2]
+                stats.branches += 1
+                if taken:
+                    next_pc = d.target
+            elif op is Opcode.BNE:
+                taken = reg_file[d.rs1] != reg_file[d.rs2]
+                stats.branches += 1
+                if taken:
+                    next_pc = d.target
+            elif op is Opcode.BLT:
+                taken = _s32(reg_file[d.rs1]) < _s32(reg_file[d.rs2])
+                stats.branches += 1
+                if taken:
+                    next_pc = d.target
+            elif op is Opcode.BGE:
+                taken = _s32(reg_file[d.rs1]) >= _s32(reg_file[d.rs2])
+                stats.branches += 1
+                if taken:
+                    next_pc = d.target
+            elif op is Opcode.BLEZ:
+                taken = _s32(reg_file[d.rs1]) <= 0
+                stats.branches += 1
+                if taken:
+                    next_pc = d.target
+            elif op is Opcode.BGTZ:
+                taken = _s32(reg_file[d.rs1]) > 0
+                stats.branches += 1
+                if taken:
+                    next_pc = d.target
+            elif op is Opcode.SUB:
+                reg_file[d.rd] = (reg_file[d.rs1] - reg_file[d.rs2]) & _MASK32
+            elif op is Opcode.MUL:
+                reg_file[d.rd] = (
+                    _s32(reg_file[d.rs1]) * _s32(reg_file[d.rs2])
+                ) & _MASK32
+            elif op is Opcode.DIV:
+                a, b = _s32(reg_file[d.rs1]), _s32(reg_file[d.rs2])
+                if b == 0:
+                    quotient = 0
+                else:
+                    quotient = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        quotient = -quotient
+                reg_file[d.rd] = quotient & _MASK32
+            elif op is Opcode.REM:
+                a, b = _s32(reg_file[d.rs1]), _s32(reg_file[d.rs2])
+                if b == 0:
+                    remainder = a
+                else:
+                    quotient = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        quotient = -quotient
+                    remainder = a - quotient * b
+                reg_file[d.rd] = remainder & _MASK32
+            elif op is Opcode.AND:
+                reg_file[d.rd] = reg_file[d.rs1] & reg_file[d.rs2]
+            elif op is Opcode.OR:
+                reg_file[d.rd] = reg_file[d.rs1] | reg_file[d.rs2]
+            elif op is Opcode.XOR:
+                reg_file[d.rd] = reg_file[d.rs1] ^ reg_file[d.rs2]
+            elif op is Opcode.NOR:
+                reg_file[d.rd] = ~(reg_file[d.rs1] | reg_file[d.rs2]) & _MASK32
+            elif op is Opcode.SLL:
+                reg_file[d.rd] = (reg_file[d.rs1] << (reg_file[d.rs2] & 31)) & _MASK32
+            elif op is Opcode.SRL:
+                reg_file[d.rd] = reg_file[d.rs1] >> (reg_file[d.rs2] & 31)
+            elif op is Opcode.SRA:
+                reg_file[d.rd] = (_s32(reg_file[d.rs1]) >> (reg_file[d.rs2] & 31)) & _MASK32
+            elif op is Opcode.SLT:
+                reg_file[d.rd] = 1 if _s32(reg_file[d.rs1]) < _s32(reg_file[d.rs2]) else 0
+            elif op is Opcode.SLTU:
+                reg_file[d.rd] = 1 if reg_file[d.rs1] < reg_file[d.rs2] else 0
+            elif op is Opcode.ANDI:
+                reg_file[d.rd] = reg_file[d.rs1] & (d.imm & 0xFFFF)
+            elif op is Opcode.ORI:
+                reg_file[d.rd] = reg_file[d.rs1] | (d.imm & 0xFFFF)
+            elif op is Opcode.XORI:
+                reg_file[d.rd] = reg_file[d.rs1] ^ (d.imm & 0xFFFF)
+            elif op is Opcode.SLLI:
+                reg_file[d.rd] = (reg_file[d.rs1] << (d.imm & 31)) & _MASK32
+            elif op is Opcode.SRLI:
+                reg_file[d.rd] = reg_file[d.rs1] >> (d.imm & 31)
+            elif op is Opcode.SRAI:
+                reg_file[d.rd] = (_s32(reg_file[d.rs1]) >> (d.imm & 31)) & _MASK32
+            elif op is Opcode.SLTI:
+                reg_file[d.rd] = 1 if _s32(reg_file[d.rs1]) < d.imm else 0
+            elif op is Opcode.LUI:
+                reg_file[d.rd] = (d.imm << 16) & _MASK32
+            elif op is Opcode.LB:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                word = mem.get(addr >> 2, 0)
+                byte = (word >> (8 * (addr & 3))) & 0xFF
+                reg_file[d.rd] = (byte - 0x100 if byte & 0x80 else byte) & _MASK32
+                stats.loads += 1
+            elif op is Opcode.SB:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                shift = 8 * (addr & 3)
+                word = mem.get(addr >> 2, 0)
+                mem[addr >> 2] = (word & ~(0xFF << shift)) | (
+                    (reg_file[d.rs2] & 0xFF) << shift
+                )
+                stats.stores += 1
+            elif op is Opcode.J:
+                taken = True
+                next_pc = d.target
+            elif op is Opcode.JAL:
+                taken = True
+                reg_file[regs.RA] = (pc + 1) * 4
+                next_pc = d.target
+                stats.calls += 1
+                free_mask = engine.on_call()
+            elif op is Opcode.JALR:
+                taken = True
+                callee = reg_file[d.rs1]
+                if callee & 3:
+                    raise SimulationError(f"unaligned jalr target: {callee:#x}")
+                reg_file[d.rd] = (pc + 1) * 4
+                next_pc = callee >> 2
+                stats.calls += 1
+                free_mask = engine.on_call()
+            elif op is Opcode.JR:
+                taken = True
+                dest = reg_file[d.rs1]
+                if dest & 3:
+                    raise SimulationError(f"unaligned jr target: {dest:#x}")
+                next_pc = dest >> 2
+                if d.rs1 == regs.RA:
+                    stats.returns += 1
+                    free_mask = engine.on_return()
+            elif op is Opcode.KILL:
+                free_mask = engine.on_kill(d.kill_mask)
+                is_program = False
+                stats.kill_insts += 1
+                if verify:
+                    self._poison |= d.kill_mask
+            elif op is Opcode.NOP:
+                pass
+            elif op is Opcode.HALT:
+                next_pc = -1
+            elif op is Opcode.LVM_SAVE:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                mem[addr >> 2] = engine.save_lvm()
+            elif op is Opcode.LVM_LOAD:
+                addr = (reg_file[d.rs1] + d.imm) & _MASK32
+                engine.load_lvm(mem.get(addr >> 2, 0))
+            else:  # pragma: no cover - the opcode set is closed
+                raise SimulationError(f"unimplemented opcode {op.name}")
+
+            reg_file[regs.ZERO] = 0
+
+            # --- DVI bookkeeping ------------------------------------------
+            if dst >= 0:
+                engine.on_def(dst)
+                if verify:
+                    self._poison &= ~(1 << dst)
+            if verify and free_mask:
+                self._poison |= free_mask
+            if verify and op is Opcode.JAL or verify and op is Opcode.JALR:
+                self._poison |= abi.idvi_call_mask()
+            if verify and op is Opcode.JR and d.rs1 == regs.RA:
+                self._poison |= abi.idvi_return_mask()
+
+            if is_program:
+                stats.program_insts += 1
+            if collect_trace:
+                records.append(
+                    TraceRecord(
+                        seq, pc, op, d.cls, dst, d.srcs, addr,
+                        taken, next_pc, free_mask, eliminated, is_program,
+                    )
+                )
+            if collect_hist:
+                count = bin(engine.lvm.mask & self._saveable).count("1")
+                hist[count] = hist.get(count, 0) + 1
+
+            seq += 1
+            if next_pc < 0:
+                completed = True
+                break
+            pc = next_pc
+
+        self.pc = pc
+        self._seq = seq
+        if completed:
+            self.halted = True
+            stats.completed = True
+            stats.exit_value = reg_file[regs.V0]
+        return not self.halted
+
+    def run(self) -> FunctionalResult:
+        """Execute until halt / top-level return / step budget."""
+        self.execute(self.max_steps - self._seq)
+        return self.result()
+
+    def result(self) -> FunctionalResult:
+        """Package the current architectural state and statistics."""
+        trace = None
+        if self.collect_trace:
+            trace = Trace(
+                program_name=self.program.name,
+                dvi=self.dvi_config,
+                records=self._records,
+                completed=self.halted,
+            )
+        return FunctionalResult(
+            stats=self.stats,
+            trace=trace,
+            registers=list(self.regs),
+            memory=dict(self.mem),
+        )
+
+
+def run_program(
+    program: Program,
+    dvi: Optional[DVIConfig] = None,
+    *,
+    max_steps: int = 5_000_000,
+    collect_trace: bool = True,
+    collect_live_hist: bool = False,
+    verify_dvi: bool = False,
+) -> FunctionalResult:
+    """Convenience wrapper: build a simulator and run it once."""
+    sim = FunctionalSimulator(
+        program,
+        dvi,
+        max_steps=max_steps,
+        collect_trace=collect_trace,
+        collect_live_hist=collect_live_hist,
+        verify_dvi=verify_dvi,
+    )
+    return sim.run()

@@ -1,0 +1,363 @@
+"""Trace-driven out-of-order superscalar timing model.
+
+Replays a :class:`~repro.sim.trace.Trace` through a four-stage resource
+pipeline — fetch, dispatch (decode+rename), issue, commit — modelled after
+SimpleScalar's ``sim-outorder`` with MIPS R10000-style renaming, which is
+the paper's simulation vehicle (section 3).
+
+Stage behaviour per cycle, in simulated order:
+
+1. **Commit** retires up to ``commit_width`` completed instructions from
+   the head of the window, freeing previous physical mappings and any
+   DVI-pending physical registers attached to the retiring instruction.
+2. **Issue** selects up to ``issue_width`` ready instructions oldest-first,
+   subject to functional-unit and cache-port availability.  Loads and
+   stores access the D-cache here; a mispredicted control transfer
+   schedules the fetch redirect for its completion cycle.
+3. **Dispatch** renames and inserts up to ``decode_width`` instructions
+   into the window.  E-DVI ``kill`` annotations and LVM-eliminated
+   saves/restores are *dropped here*: they consumed fetch/decode bandwidth
+   but no window slot, no rename, no functional unit, and no cache port —
+   exactly the paper's "fetched and decoded ... but not dispatched".
+   Kills unmap their registers immediately and their physical registers
+   are freed when the most recent dispatched instruction commits (the
+   in-order-equivalent of "when the kill commits").
+4. **Fetch** brings up to ``fetch_width`` trace records into the fetch
+   queue, stopping at taken control transfers, I-cache misses, and
+   unresolved mispredictions.
+
+Wrong-path instructions are not simulated; the timing cost of a
+misprediction is the fetch gap until the branch resolves plus the
+configured redirect penalty, the standard trace-driven approximation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.isa.opcodes import OpClass, Opcode
+from repro.sim.branch.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.sim.branch.predictors import CombiningPredictor
+from repro.sim.cache.hierarchy import MemoryHierarchy
+from repro.sim.config import MachineConfig
+from repro.sim.ooo.renamer import NEVER, Renamer
+from repro.sim.ooo.stats import PipelineStats
+from repro.sim.trace import Trace, TraceRecord
+
+
+def _free_port(ports, cycle):
+    """Index of a cache port free at ``cycle``, or -1."""
+    for index, busy_until in enumerate(ports):
+        if busy_until <= cycle:
+            return index
+    return -1
+
+
+class _Entry:
+    """A dispatched, in-flight instruction (window/ROB entry)."""
+
+    __slots__ = (
+        "rec", "dst_phys", "prev_phys", "src_phys",
+        "issued", "complete_cycle", "frees", "blocks_fetch",
+    )
+
+    def __init__(self, rec: TraceRecord) -> None:
+        self.rec = rec
+        self.dst_phys = -1
+        self.prev_phys = -1
+        self.src_phys: List[int] = []
+        self.issued = False
+        self.complete_cycle = NEVER
+        self.frees: List[int] = []
+        self.blocks_fetch = False
+
+
+class OutOfOrderCore:
+    """One timing simulation of one trace on one machine configuration."""
+
+    def __init__(self, config: MachineConfig, trace: Trace) -> None:
+        self.config = config
+        self.trace = trace
+        self.stats = PipelineStats()
+        self.renamer = Renamer(config.phys_regs)
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.predictor = CombiningPredictor(
+            config.bimodal_entries,
+            config.gshare_entries,
+            config.history_bits,
+            config.chooser_entries,
+        )
+        self.btb = BranchTargetBuffer(config.btb_sets, config.btb_assoc)
+        self.ras = ReturnAddressStack(config.ras_depth)
+
+        self._window: Deque[_Entry] = deque()
+        self._fetch_queue: Deque[TraceRecord] = deque()
+        self._fetch_pos = 0
+        self._cycle = 0
+        self._fetch_blocked_until = 0
+        #: Per-cache-port busy-until cycle.  A port is held for the full
+        #: duration of an L1 miss (one outstanding miss per port -- the
+        #: limited non-blocking behaviour of mid-90s data caches), which is
+        #: what makes data bandwidth a contended resource and gives
+        #: save/restore elimination its bandwidth-relief benefit (section
+        #: 5.3's sensitivity analysis).
+        self._port_busy_until: List[int] = [0] * config.cache_ports
+        #: Sequence number of a fetched-but-unresolved mispredicted control
+        #: transfer; fetch stalls while this is set.
+        self._unresolved_mispredict: Optional[int] = None
+        self._last_fetch_line = -1
+        self._latency = config.latencies
+
+    # ------------------------------------------------------------------
+
+    def run(self, *, check_invariants: bool = False) -> PipelineStats:
+        """Simulate to completion and return the statistics."""
+        records = self.trace.records
+        total = len(records)
+        config = self.config
+        stats = self.stats
+
+        while (
+            self._fetch_pos < total
+            or self._fetch_queue
+            or self._window
+        ):
+            self._commit(config.commit_width)
+            self._issue(config.issue_width)
+            self._dispatch(config.decode_width)
+            self._fetch(config.fetch_width)
+            self._cycle += 1
+            if check_invariants:
+                in_flight = sum(
+                    1 for entry in self._window if entry.prev_phys >= 0
+                )
+                self.renamer.check_conservation(in_flight)
+
+        stats.cycles = self._cycle
+        stats.program_insts = sum(1 for r in records if r.is_program)
+        stats.annotation_insts = total - stats.program_insts
+        stats.dcache_accesses = self.hierarchy.l1d.accesses
+        stats.dcache_misses = self.hierarchy.l1d.misses
+        stats.icache_accesses = self.hierarchy.l1i.accesses
+        stats.icache_misses = self.hierarchy.l1i.misses
+        stats.unmapped_reads = self.renamer.unmapped_reads
+        stats.dvi_unmaps = self.renamer.dvi_unmaps
+        stats.min_free_phys = self.renamer.min_free
+        return stats
+
+    # ------------------------------------------------------------------
+    # Stage 1: commit.
+    # ------------------------------------------------------------------
+
+    def _commit(self, width: int) -> None:
+        window = self._window
+        cycle = self._cycle
+        renamer = self.renamer
+        committed = 0
+        while committed < width and window:
+            entry = window[0]
+            if not entry.issued or entry.complete_cycle > cycle:
+                break
+            window.popleft()
+            if entry.prev_phys >= 0:
+                renamer.release(entry.prev_phys)
+            for phys in entry.frees:
+                renamer.release(phys, pending=True)
+            committed += 1
+            self.stats.committed += 1
+
+    # ------------------------------------------------------------------
+    # Stage 2: issue + execute.
+    # ------------------------------------------------------------------
+
+    def _issue(self, width: int) -> None:
+        cycle = self._cycle
+        ready_cycle = self.renamer.ready_cycle
+        alus = self.config.int_alus
+        muldivs = self.config.int_muldiv
+        ports = self._port_busy_until
+        l1_latency = self.config.hierarchy.l1_latency
+        issued = 0
+        for entry in self._window:
+            if issued >= width:
+                break
+            if entry.issued:
+                continue
+            operands_ready = True
+            for phys in entry.src_phys:
+                if ready_cycle[phys] > cycle:
+                    operands_ready = False
+                    break
+            if not operands_ready:
+                continue
+            rec = entry.rec
+            cls = rec.cls
+            if cls is OpClass.LOAD or cls is OpClass.STORE:
+                port = _free_port(ports, cycle)
+                if port < 0:
+                    continue
+                latency = self.hierarchy.access_data(
+                    rec.addr, write=cls is OpClass.STORE
+                )
+                if latency > l1_latency:
+                    ports[port] = cycle + latency  # held until the fill
+                else:
+                    ports[port] = cycle + 1
+                if cls is OpClass.STORE:
+                    latency = self._latency[OpClass.STORE]
+            elif cls is OpClass.IMUL or cls is OpClass.IDIV:
+                if muldivs <= 0:
+                    continue
+                muldivs -= 1
+                latency = self._latency[cls]
+            else:
+                if alus <= 0:
+                    continue
+                alus -= 1
+                latency = self._latency[cls]
+            entry.issued = True
+            entry.complete_cycle = cycle + latency
+            if entry.dst_phys >= 0:
+                ready_cycle[entry.dst_phys] = entry.complete_cycle
+            if entry.blocks_fetch:
+                self._fetch_blocked_until = (
+                    entry.complete_cycle + self.config.mispredict_penalty
+                )
+                self._unresolved_mispredict = None
+            issued += 1
+
+    # ------------------------------------------------------------------
+    # Stage 3: dispatch (decode + rename).
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, width: int) -> None:
+        queue = self._fetch_queue
+        window = self._window
+        renamer = self.renamer
+        window_size = self.config.window_size
+        dispatched = 0
+        while queue:
+            rec = queue[0]
+            if rec.op is Opcode.KILL or rec.eliminated:
+                # Decoded, not dispatched.  Unmapping happens now (decode);
+                # the freed physical registers ride with the youngest
+                # in-flight instruction and return to the free list when it
+                # commits, i.e. when this annotation would have committed.
+                queue.popleft()
+                if rec.free_mask:
+                    freed = renamer.unmap(rec.free_mask)
+                    if freed:
+                        self._attach_frees(freed)
+                self.stats.eliminated += 0 if rec.op is Opcode.KILL else 1
+                continue
+            if dispatched >= width:
+                break
+            if len(window) >= window_size:
+                self.stats.window_full_stall_cycles += 1
+                break
+            if rec.dst >= 0 and not renamer.can_allocate():
+                self.stats.rename_stall_cycles += 1
+                break
+            queue.popleft()
+            entry = _Entry(rec)
+            # Sources resolve through the map table before the destination
+            # renames (an instruction never depends on itself).
+            entry.src_phys = [
+                phys
+                for phys in (renamer.source(src) for src in rec.srcs)
+                if phys >= 0
+            ]
+            if rec.free_mask:
+                # I-DVI at calls/returns: unmap now, free at this commit.
+                entry.frees = renamer.unmap(rec.free_mask)
+            if rec.dst >= 0:
+                entry.dst_phys, entry.prev_phys = renamer.allocate(rec.dst)
+            if self._unresolved_mispredict == rec.seq:
+                entry.blocks_fetch = True
+            window.append(entry)
+            dispatched += 1
+            self.stats.dispatched += 1
+
+    def _attach_frees(self, freed: List[int]) -> None:
+        """Attach kill-freed registers to the youngest in-flight entry."""
+        if self._window:
+            self._window[-1].frees.extend(freed)
+        else:
+            # Nothing in flight: the kill commits immediately.
+            for phys in freed:
+                self.renamer.release(phys, pending=True)
+
+    # ------------------------------------------------------------------
+    # Stage 4: fetch.
+    # ------------------------------------------------------------------
+
+    def _fetch(self, width: int) -> None:
+        cycle = self._cycle
+        if cycle < self._fetch_blocked_until:
+            return
+        if self._unresolved_mispredict is not None:
+            return
+        records = self.trace.records
+        total = len(records)
+        queue = self._fetch_queue
+        capacity = self.config.fetch_queue
+        hierarchy = self.hierarchy
+        l1_latency = self.config.hierarchy.l1_latency
+        fetched = 0
+        while fetched < width and len(queue) < capacity and self._fetch_pos < total:
+            rec = records[self._fetch_pos]
+            byte_pc = rec.pc * 4
+            line = hierarchy.l1i.line_of(byte_pc)
+            if line != self._last_fetch_line:
+                latency = hierarchy.access_inst(byte_pc)
+                self._last_fetch_line = line
+                if latency > l1_latency:
+                    # Miss: the line arrives later; resume fetching there.
+                    self._fetch_blocked_until = cycle + latency
+                    break
+            self._fetch_pos += 1
+            queue.append(rec)
+            fetched += 1
+            if rec.is_control:
+                mispredicted = self._predict(rec)
+                if mispredicted:
+                    self.stats.mispredicts += 1
+                    self._unresolved_mispredict = rec.seq
+                    break
+                if rec.taken:
+                    break  # fetch discontinuity
+
+    def _predict(self, rec: TraceRecord) -> bool:
+        """Train the predictors; returns True on misprediction."""
+        self.stats.control_insts += 1
+        op = rec.op
+        pc = rec.pc
+        if rec.is_branch:
+            direction_correct = self.predictor.predict_and_update(pc, rec.taken)
+            mispredicted = not direction_correct
+            if rec.taken:
+                if not mispredicted and self.btb.lookup(pc) != rec.next_pc:
+                    mispredicted = True
+                self.btb.insert(pc, rec.next_pc)
+            return mispredicted
+        if op is Opcode.J:
+            return False
+        if op is Opcode.JAL:
+            self.ras.push(pc + 1)
+            return False
+        if op is Opcode.JALR:
+            self.ras.push(pc + 1)
+            predicted = self.btb.lookup(pc)
+            self.btb.insert(pc, rec.next_pc)
+            return predicted != rec.next_pc
+        # jr: predict through the return address stack.
+        predicted_return = self.ras.pop()
+        return predicted_return != rec.next_pc
+
+
+def simulate(
+    config: MachineConfig, trace: Trace, *, check_invariants: bool = False
+) -> PipelineStats:
+    """Convenience wrapper: run one trace through one configuration."""
+    return OutOfOrderCore(config, trace).run(check_invariants=check_invariants)

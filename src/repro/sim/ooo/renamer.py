@@ -1,0 +1,163 @@
+"""MIPS R10000-style register renaming with DVI-driven early reclamation.
+
+The renamer owns the architectural-to-physical map table and the free list.
+Standard operation:
+
+* renaming a destination allocates a physical register from the free list
+  and remembers the previous mapping, which is freed when the renaming
+  instruction *commits* (the R10000 discipline);
+* sources resolve through the map table to physical registers whose
+  readiness the core tracks by completion cycle.
+
+DVI extends this (section 4.1, Figure 4): when a ``kill`` (or an implicit
+kill at a call/return) is decoded, the mappings of the killed registers are
+*unmapped immediately* — the architectural name is bound to no physical
+register — and the physical registers are returned to the free list when
+the killing instruction commits (freeing is unrecoverable, so it must be
+non-speculative; in this trace-driven model every decoded instruction
+commits, so decode-time unmapping is exact).
+
+A read of an unmapped register returns an undefined value and is *ready
+immediately*; by the DVI correctness contract such reads only ever occur
+for provably dead values (e.g. a not-eliminated save of a killed register),
+where "any value ... results in correct execution" (section 7).
+
+Conservation invariant: every physical register is at all times exactly one
+of {mapped, on the free list, pending-free (held by an in-flight
+instruction)}.  :meth:`check_conservation` asserts it and the property
+tests hammer it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.isa import registers as regs
+
+#: Sentinel readiness cycle for a physical register still being computed.
+NEVER = 1 << 60
+
+
+class Renamer:
+    """Map table + free list + physical-register ready times."""
+
+    def __init__(self, phys_regs: int) -> None:
+        if phys_regs < regs.NUM_REGS:
+            raise SimulationError(
+                f"{phys_regs} physical registers cannot back "
+                f"{regs.NUM_REGS - 1} renamable architectural registers"
+            )
+        self.phys_regs = phys_regs
+        #: Architectural -> physical; r0 is never mapped; -1 = unmapped.
+        self.map: List[int] = [-1] * regs.NUM_REGS
+        #: Cycle at which each physical register's value is available.
+        self.ready_cycle: List[int] = [0] * phys_regs
+        # Machine startup: every architectural register holds a value, so
+        # r1-r31 are mapped and ready; the rest of the file is free.
+        for arch in range(1, regs.NUM_REGS):
+            self.map[arch] = arch - 1
+        self.free_list: Deque[int] = deque(range(regs.NUM_REGS - 1, phys_regs))
+        #: Physical registers handed out for freeing at a future commit.
+        self.pending_free = 0
+        # Statistics.
+        self.allocations = 0
+        self.unmapped_reads = 0
+        self.dvi_unmaps = 0
+        self.min_free = len(self.free_list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        return len(self.free_list)
+
+    @property
+    def mapped_count(self) -> int:
+        return sum(1 for p in self.map if p >= 0)
+
+    def can_allocate(self) -> bool:
+        return bool(self.free_list)
+
+    def allocate(self, arch: int) -> Tuple[int, int]:
+        """Rename a destination; returns ``(new_phys, prev_phys)``.
+
+        ``prev_phys`` (possibly -1) must be freed when the renaming
+        instruction commits.
+        """
+        if arch == regs.ZERO:
+            raise SimulationError("r0 is not renamed")
+        if not self.free_list:
+            raise SimulationError("rename with empty free list")
+        phys = self.free_list.popleft()
+        prev = self.map[arch]
+        self.map[arch] = phys
+        self.ready_cycle[phys] = NEVER
+        self.allocations += 1
+        if len(self.free_list) < self.min_free:
+            self.min_free = len(self.free_list)
+        return phys, prev
+
+    def source(self, arch: int) -> int:
+        """Physical register of a source, or -1 for r0 / unmapped (ready)."""
+        if arch == regs.ZERO:
+            return -1
+        phys = self.map[arch]
+        if phys < 0:
+            self.unmapped_reads += 1
+        return phys
+
+    def unmap(self, mask: int) -> List[int]:
+        """DVI kill: unbind the named registers *now* (decode time).
+
+        Returns the physical registers to free at the killer's commit.
+        """
+        freed: List[int] = []
+        arch = 1
+        mask >>= 1
+        while mask:
+            if mask & 1:
+                phys = self.map[arch]
+                if phys >= 0:
+                    self.map[arch] = -1
+                    freed.append(phys)
+                    self.dvi_unmaps += 1
+                    self.pending_free += 1
+            arch += 1
+            mask >>= 1
+        return freed
+
+    def mark_ready(self, phys: int, cycle: int) -> None:
+        """The producing instruction will complete at ``cycle``."""
+        self.ready_cycle[phys] = cycle
+
+    def release(self, phys: int, *, pending: bool = False) -> None:
+        """Return a physical register to the free list (at commit)."""
+        if not 0 <= phys < self.phys_regs:
+            raise SimulationError(f"bad physical register {phys}")
+        self.free_list.append(phys)
+        if pending:
+            self.pending_free -= 1
+
+    # ------------------------------------------------------------------
+
+    def check_conservation(self, in_flight_prevs: int) -> None:
+        """Assert the conservation invariant.
+
+        ``in_flight_prevs`` counts previous mappings held by in-flight
+        (dispatched, uncommitted) instructions awaiting commit-time free.
+        """
+        total = (
+            self.mapped_count
+            + len(self.free_list)
+            + self.pending_free
+            + in_flight_prevs
+        )
+        if total != self.phys_regs:
+            raise SimulationError(
+                f"physical register conservation violated: "
+                f"{self.mapped_count} mapped + {len(self.free_list)} free + "
+                f"{self.pending_free} pending + {in_flight_prevs} in-flight "
+                f"= {total} != {self.phys_regs}"
+            )

@@ -1,0 +1,61 @@
+"""Statistics produced by a timing-simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PipelineStats:
+    """Counters and derived metrics for one out-of-order run.
+
+    ``ipc`` follows the paper's convention: *original program instructions*
+    per cycle.  Eliminated saves/restores count as completed program work;
+    ``kill`` annotations never count (they are cycle overhead only).
+    """
+
+    cycles: int = 0
+    program_insts: int = 0
+    annotation_insts: int = 0
+    dispatched: int = 0
+    committed: int = 0
+    eliminated: int = 0
+    # Stall accounting (cycles in which dispatch was blocked by ...).
+    rename_stall_cycles: int = 0
+    window_full_stall_cycles: int = 0
+    # Branch prediction.
+    control_insts: int = 0
+    mispredicts: int = 0
+    # Memory.
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    # Renaming.
+    unmapped_reads: int = 0
+    dvi_unmaps: int = 0
+    min_free_phys: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.program_insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def fetch_ipc(self) -> float:
+        """All fetched instructions (annotations included) per cycle."""
+        total = self.program_insts + self.annotation_insts
+        return total / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.control_insts if self.control_insts else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.program_insts} insts in {self.cycles} cycles "
+            f"(IPC {self.ipc:.3f}); {self.eliminated} eliminated, "
+            f"{self.mispredicts} mispredicts, "
+            f"{self.rename_stall_cycles} rename-stall cycles"
+        )

@@ -1,0 +1,145 @@
+"""Dynamic instruction trace records.
+
+The functional emulator executes a program in architectural program order
+and emits one :class:`TraceRecord` per dynamic instruction.  The
+out-of-order timing model replays these records through its resource
+pipeline.  Records carry everything the timing model needs and nothing
+else: registers for renaming, addresses for the caches, control outcomes
+for the branch predictor, and the DVI annotations (register-free masks and
+elimination flags) decided in program order by the
+:class:`~repro.dvi.engine.DVIEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dvi.config import DVIConfig
+from repro.isa.opcodes import OpClass, Opcode
+
+
+class TraceRecord:
+    """One dynamic instruction instance.
+
+    Attributes:
+        seq: Dynamic sequence number (0-based, includes kill annotations).
+        pc: Static instruction index (byte address = ``4 * pc``).
+        op: Opcode.
+        cls: Operation class (functional unit / latency selector).
+        dst: Destination architectural register, or -1.
+        srcs: Source architectural registers (r0 excluded).
+        addr: Byte address touched, or -1 for non-memory ops.
+        taken: For control transfers, whether the transfer was taken.
+        next_pc: Static index of the next executed instruction (-1 at halt).
+        free_mask: Architectural registers whose physical mappings may be
+            reclaimed when this record commits (from E-DVI kills or I-DVI at
+            calls/returns).
+        eliminated: True for saves/restores squashed by the LVM hardware;
+            such records are fetched and decoded but never dispatched.
+        is_program: False only for ``kill`` annotations, which the paper
+            counts as cycle overhead rather than program work.
+    """
+
+    __slots__ = (
+        "seq", "pc", "op", "cls", "dst", "srcs", "addr",
+        "taken", "next_pc", "free_mask", "eliminated", "is_program",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        pc: int,
+        op: Opcode,
+        cls: OpClass,
+        dst: int,
+        srcs: Tuple[int, ...],
+        addr: int,
+        taken: bool,
+        next_pc: int,
+        free_mask: int,
+        eliminated: bool,
+        is_program: bool,
+    ) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.cls = cls
+        self.dst = dst
+        self.srcs = srcs
+        self.addr = addr
+        self.taken = taken
+        self.next_pc = next_pc
+        self.free_mask = free_mask
+        self.eliminated = eliminated
+        self.is_program = is_program
+
+    @property
+    def is_control(self) -> bool:
+        return self.cls is OpClass.BRANCH or self.cls is OpClass.JUMP
+
+    @property
+    def is_branch(self) -> bool:
+        return self.cls is OpClass.BRANCH
+
+    @property
+    def is_call(self) -> bool:
+        return self.op is Opcode.JAL or self.op is Opcode.JALR
+
+    @property
+    def is_return(self) -> bool:
+        return self.op is Opcode.JR
+
+    @property
+    def is_mem(self) -> bool:
+        return self.cls is OpClass.LOAD or self.cls is OpClass.STORE
+
+    @property
+    def is_load(self) -> bool:
+        return self.cls is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.cls is OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover
+        marks = []
+        if self.eliminated:
+            marks.append("elim")
+        if self.free_mask:
+            marks.append(f"free={self.free_mask:#x}")
+        suffix = (" [" + ", ".join(marks) + "]") if marks else ""
+        return f"<{self.seq}: pc={self.pc} {self.op.name}{suffix}>"
+
+
+@dataclass
+class Trace:
+    """A complete dynamic trace plus its provenance."""
+
+    program_name: str
+    dvi: DVIConfig
+    records: List[TraceRecord] = field(default_factory=list)
+    #: True if the program ran to its halt (vs. hitting the step budget).
+    completed: bool = True
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def program_insts(self) -> int:
+        """Original program instructions (the paper's IPC numerator)."""
+        return sum(1 for record in self.records if record.is_program)
+
+    @property
+    def annotation_insts(self) -> int:
+        """Dynamic ``kill`` annotation instances (cycle overhead only)."""
+        return sum(1 for record in self.records if not record.is_program)
+
+    def op_histogram(self) -> Dict[Opcode, int]:
+        hist: Dict[Opcode, int] = {}
+        for record in self.records:
+            hist[record.op] = hist.get(record.op, 0) + 1
+        return hist

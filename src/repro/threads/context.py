@@ -1,0 +1,93 @@
+"""Per-thread context blocks for the preemptive scheduler.
+
+A context block is what the switch routine of section 6.1 manipulates: the
+saved architectural registers plus the saved LVM (written by ``lvm_save``,
+consulted to skip dead saves, and reloaded by ``lvm_load`` before the
+restores when the thread resumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dvi.lvm import ALL_LIVE
+from repro.isa import registers as regs
+
+
+@dataclass
+class ContextBlock:
+    """Saved state of one descheduled thread."""
+
+    #: Saved register values, indexed by architectural register.
+    saved_regs: Dict[int, int] = field(default_factory=dict)
+    #: The LVM at switch-out time (the ``lvm_save`` word).
+    saved_lvm: int = ALL_LIVE
+
+    def save(self, reg_file: List[int], lvm_mask: int, saveable: int) -> int:
+        """Save the live subset of the register file; returns saves executed.
+
+        A register whose LVM bit is clear is dead: its save is eliminated
+        (not executed, nothing written to the block).
+        """
+        self.saved_lvm = lvm_mask
+        self.saved_regs.clear()
+        executed = 0
+        for reg in regs.regs_in_mask(saveable):
+            if lvm_mask & (1 << reg):
+                self.saved_regs[reg] = reg_file[reg]
+                executed += 1
+        return executed
+
+    def restore(self, reg_file: List[int], saveable: int) -> int:
+        """Restore the live subset into the register file; returns restores.
+
+        Restores are skipped for registers whose *saved* LVM bit is clear —
+        the matching save was eliminated, so there is nothing to reload
+        (and the dead register's content is irrelevant by definition).
+        """
+        executed = 0
+        for reg in regs.regs_in_mask(saveable):
+            if self.saved_lvm & (1 << reg):
+                reg_file[reg] = self.saved_regs[reg]
+                executed += 1
+            else:
+                # The save was eliminated; the physical register now holds
+                # whatever the previously-running thread left behind.
+                # Clobber it with a sentinel so the end-to-end tests prove
+                # the thread really never reads an unsaved dead register.
+                reg_file[reg] = 0xDEAD_BEEF
+        return executed
+
+
+@dataclass
+class SwitchStats:
+    """Save/restore accounting across all context switches."""
+
+    switches: int = 0
+    saves_executed: int = 0
+    restores_executed: int = 0
+    saves_possible: int = 0
+    restores_possible: int = 0
+
+    @property
+    def executed(self) -> int:
+        return self.saves_executed + self.restores_executed
+
+    @property
+    def possible(self) -> int:
+        return self.saves_possible + self.restores_possible
+
+    @property
+    def pct_eliminated(self) -> float:
+        """Percentage of context-switch saves+restores eliminated."""
+        if not self.possible:
+            return 0.0
+        return 100.0 * (self.possible - self.executed) / self.possible
+
+    @property
+    def average_saved(self) -> float:
+        """Mean registers actually saved per switch."""
+        if not self.switches:
+            return 0.0
+        return self.saves_executed / self.switches

@@ -1,0 +1,90 @@
+"""System performance: combine IPC curves with register-file cycle times.
+
+Implements the Figure 6 methodology: for each register file size, overall
+performance = IPC / cycle time; curves are reported relative to the peak of
+the no-DVI configuration, and each configuration's *design point* is the
+size at which its performance peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.timing.regfile import RegFileTimingModel, ports_for_issue_width
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """A performance-optimal register file size for one configuration."""
+
+    label: str
+    registers: int
+    ipc: float
+    performance: float  # relative to the reference peak
+
+
+@dataclass
+class PerformanceCurves:
+    """Figure 6's contents: relative performance vs. register file size."""
+
+    sizes: List[int]
+    #: configuration label -> performance values aligned with ``sizes``.
+    curves: Dict[str, List[float]]
+    peaks: Dict[str, DesignPoint]
+    reference_label: str
+
+    def improvement(self, optimized: str) -> float:
+        """Peak-to-peak performance gain of ``optimized`` over the reference."""
+        return self.peaks[optimized].performance - 1.0
+
+    def size_reduction(self, optimized: str) -> float:
+        """Fractional reduction in the performance-optimal file size."""
+        reference = self.peaks[self.reference_label].registers
+        return (reference - self.peaks[optimized].registers) / reference
+
+
+def performance_curves(
+    sizes: Sequence[int],
+    ipc_curves: Dict[str, Sequence[float]],
+    *,
+    reference_label: str,
+    issue_width: int = 4,
+    model: RegFileTimingModel = RegFileTimingModel(),
+) -> PerformanceCurves:
+    """Divide IPC curves by cycle time and normalize to the reference peak."""
+    if reference_label not in ipc_curves:
+        raise ValueError(f"reference {reference_label!r} not among curves")
+    read_ports, write_ports = ports_for_issue_width(issue_width)
+    cycle_times = [
+        model.cycle_time(size, read_ports, write_ports) for size in sizes
+    ]
+
+    raw: Dict[str, List[float]] = {}
+    for label, ipcs in ipc_curves.items():
+        if len(ipcs) != len(sizes):
+            raise ValueError(
+                f"curve {label!r} has {len(ipcs)} points for {len(sizes)} sizes"
+            )
+        raw[label] = [ipc / t for ipc, t in zip(ipcs, cycle_times)]
+
+    reference_peak = max(raw[reference_label])
+    curves = {
+        label: [value / reference_peak for value in values]
+        for label, values in raw.items()
+    }
+    peaks: Dict[str, DesignPoint] = {}
+    for label, values in curves.items():
+        best = max(range(len(sizes)), key=lambda i: values[i])
+        peaks[label] = DesignPoint(
+            label=label,
+            registers=sizes[best],
+            ipc=list(ipc_curves[label])[best],
+            performance=values[best],
+        )
+    return PerformanceCurves(
+        sizes=list(sizes),
+        curves=curves,
+        peaks=peaks,
+        reference_label=reference_label,
+    )

@@ -1,0 +1,5 @@
+"""Synthetic SPEC95-analog workloads (the paper's benchmark suite)."""
+
+from repro.workloads.common import REGISTRY, Workload, lcg_stream
+
+__all__ = ["REGISTRY", "Workload", "lcg_stream"]

@@ -1,0 +1,109 @@
+"""Shared infrastructure for the synthetic SPEC95-analog workloads.
+
+Each workload mirrors the *structure* that makes its SPEC95 analog behave
+the way Figure 3 characterizes it — call density, memory reference density,
+and callee-save/restore density — using a real algorithm written in the
+assembly DSL.  All workloads follow the calling convention strictly (the
+DVI verifier runs over every one in the test suite) and compute a
+deterministic checksum into ``v0`` and a data-segment word, so functional
+correctness is pinned by golden values and observational equivalence.
+
+The save/restore *elimination* opportunities are not contrived: they arise
+from the paper's own Figure 7 pattern — a procedure uses a callee-saved
+register in an early phase, the register is dead at later call sites, and
+the (conservatively compiled, shared) callee saves it anyway.  The E-DVI
+rewriter discovers these sites by liveness analysis; nothing in the
+workloads marks them by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+
+#: Multiplier/increment of the data-generation LCG (Numerical Recipes).
+LCG_MUL = 1664525
+LCG_INC = 1013904223
+_MASK32 = 0xFFFF_FFFF
+
+
+def lcg_stream(seed: int, count: int, *, modulo: int = 0) -> List[int]:
+    """Deterministic pseudo-random 32-bit values for data-segment arrays."""
+    values = []
+    state = seed & _MASK32
+    for _ in range(count):
+        state = (state * LCG_MUL + LCG_INC) & _MASK32
+        values.append(state % modulo if modulo else state)
+    return values
+
+
+def emit_lcg_step(b: ProgramBuilder, state_reg: int, tmp_reg: int) -> None:
+    """Emit ``state = state * LCG_MUL + LCG_INC`` (guest-side LCG)."""
+    b.li(tmp_reg, LCG_MUL)
+    b.mul(state_reg, state_reg, tmp_reg)
+    b.li(tmp_reg, LCG_INC)
+    b.add(state_reg, state_reg, tmp_reg)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named, scalable guest program."""
+
+    name: str
+    analog: str
+    description: str
+    build: Callable[[int], Program]
+    #: Whether the paper includes it in the save/restore figures (9/10):
+    #: compress has too little save/restore activity to chart.
+    save_restore_heavy: bool = True
+
+    def program(self, scale: int = 1) -> Program:
+        """Build the linked program at the given scale (>= 1)."""
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        return self.build(scale)
+
+
+class WorkloadRegistry:
+    """Name -> workload, with a memoizing program cache.
+
+    Experiments re-run the same program under many machine configurations;
+    the cache keeps builds (and their E-DVI rewrites, cached by the
+    experiment runner) from dominating wall-clock time.
+    """
+
+    def __init__(self) -> None:
+        self._workloads: Dict[str, Workload] = {}
+        self._cache: Dict[tuple, Program] = {}
+
+    def register(self, workload: Workload) -> Workload:
+        if workload.name in self._workloads:
+            raise ValueError(f"workload {workload.name!r} registered twice")
+        self._workloads[workload.name] = workload
+        return workload
+
+    def get(self, name: str) -> Workload:
+        if name not in self._workloads:
+            raise KeyError(
+                f"no workload {name!r}; available: {sorted(self._workloads)}"
+            )
+        return self._workloads[name]
+
+    def names(self) -> List[str]:
+        return list(self._workloads)
+
+    def all(self) -> List[Workload]:
+        return list(self._workloads.values())
+
+    def program(self, name: str, scale: int = 1) -> Program:
+        key = (name, scale)
+        if key not in self._cache:
+            self._cache[key] = self.get(name).program(scale)
+        return self._cache[key]
+
+
+#: The global registry the workload modules populate on import.
+REGISTRY = WorkloadRegistry()

@@ -1,0 +1,122 @@
+"""compress-like workload: an LZW-flavoured hashing compression loop.
+
+Mirrors SPEC95 ``compress``: a single hot loop that hashes a rolling code
+against a table, with very rare procedure calls (one ``emit_code`` call per
+256 symbols).  Lowest call and save/restore density of the suite — the
+paper's Figure 9 accordingly omits compress from the procedure-call
+save/restore charts, while Figure 12 still includes it for context
+switches.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    A0, RA, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, T4, T5, T6, V0, ZERO,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.common import REGISTRY, Workload, lcg_stream
+
+_HASH_BITS = 12
+_HASH_SIZE = 1 << _HASH_BITS
+_EMIT_EVERY_MASK = 255  # call emit_code every 256 symbols
+
+
+def build(scale: int = 1) -> Program:
+    """Build the compress-like program; ``scale`` multiplies the input size."""
+    n_symbols = 1536 * scale
+    b = ProgramBuilder("compress_like")
+
+    b.words("input", lcg_stream(0xC0FFEE, n_symbols, modulo=256))
+    b.zeros("htab", _HASH_SIZE)
+    b.zeros("vtab", _HASH_SIZE)
+    b.zeros("out", n_symbols // (_EMIT_EVERY_MASK + 1) + 8)
+    b.zeros("out_count", 1)
+    b.zeros("checksum", 1)
+
+    # Register roles in main: s0=i, s1=code, s2=&input, s3=&htab, s4=&vtab,
+    # s5=checksum, s6=n, s7=symbols-since-emit.
+    with b.proc("main", saves=(S0, S1, S2, S3, S4, S5, S6, S7), save_ra=True):
+        b.la(S2, "input")
+        b.la(S3, "htab")
+        b.la(S4, "vtab")
+        b.li(S0, 0)
+        b.li(S1, 1)
+        b.li(S5, 0)
+        b.li(S6, n_symbols)
+        b.li(S7, 0)
+
+        b.label("loop")
+        # sym = input[i]
+        b.slli(T0, S0, 2)
+        b.add(T0, S2, T0)
+        b.lw(T1, 0, T0)
+        # code = (code << 4) ^ sym
+        b.slli(T2, S1, 4)
+        b.xor(S1, T2, T1)
+        # h = (code * 40503) >> 8 & (HASH_SIZE-1)
+        b.li(T3, 40503)
+        b.mul(T2, S1, T3)
+        b.srli(T2, T2, 8)
+        b.andi(T2, T2, _HASH_SIZE - 1)
+        b.slli(T2, T2, 2)
+        # probe htab[h]
+        b.add(T3, S3, T2)
+        b.lw(T4, 0, T3)
+        b.bne(T4, S1, "miss")
+        # hit: code = vtab[h]; checksum++
+        b.add(T5, S4, T2)
+        b.lw(S1, 0, T5)
+        b.addi(S5, S5, 1)
+        b.j("cont")
+        b.label("miss")
+        # install: htab[h] = code; vtab[h] = code ^ i
+        b.sw(S1, 0, T3)
+        b.add(T5, S4, T2)
+        b.xor(T6, S1, S0)
+        b.sw(T6, 0, T5)
+        b.label("cont")
+        # rare emit call
+        b.addi(S7, S7, 1)
+        b.andi(T0, S7, _EMIT_EVERY_MASK)
+        b.bne(T0, ZERO, "skip_emit")
+        b.move(A0, S1)
+        b.jal("emit_code")
+        b.add(S5, S5, V0)
+        b.label("skip_emit")
+        b.addi(S0, S0, 1)
+        b.blt(S0, S6, "loop")
+
+        # publish checksum and exit
+        b.la(T0, "checksum")
+        b.sw(S5, 0, T0)
+        b.move(V0, S5)
+        b.halt()
+
+    # emit_code(a0=code) -> v0: append to output ring, return a mixed value.
+    with b.proc("emit_code", saves=(S0,)):
+        b.la(T0, "out_count")
+        b.lw(T1, 0, T0)
+        b.la(T2, "out")
+        b.andi(T3, T1, 7)  # small ring to bound memory
+        b.slli(T3, T3, 2)
+        b.add(T3, T2, T3)
+        b.sw(A0, 0, T3)
+        b.addi(T1, T1, 1)
+        b.sw(T1, 0, T0)
+        b.xor(S0, A0, T1)
+        b.move(V0, S0)
+        b.epilogue()
+
+    return b.build()
+
+
+WORKLOAD = REGISTRY.register(
+    Workload(
+        name="compress_like",
+        analog="compress95",
+        description="LZW-style hashing loop; minimal calls and saves",
+        build=build,
+        save_restore_heavy=False,
+    )
+)

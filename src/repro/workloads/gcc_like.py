@@ -1,0 +1,197 @@
+"""gcc-like workload: expression-tree construction, folding, and emission.
+
+Mirrors SPEC95 ``gcc``: many small procedures over tree-shaped IR — build
+a random expression tree, constant-fold it recursively, then run an
+emission pass that walks the tree and appends "instructions" to a buffer
+through a shared ``emit_op`` routine.  High call density with varied save
+sets, and several genuinely context-sensitive call sites (the emit pass's
+registers die before its final ``emit_op`` call; the fold recursion's
+sibling register is dead at the first recursive call).
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    A0, A1, A2, S0, S1, S2, S3, S4, T0, T1, T2, T3, T4, V0, ZERO,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.common import REGISTRY, Workload
+
+_DEPTH = 6
+_NODE_WORDS = 3
+_EMIT_RING = 32
+
+
+def build(scale: int = 1) -> Program:
+    """Build the gcc-like program; ``scale`` multiplies the tree count."""
+    n_trees = 7 * scale
+    b = ProgramBuilder("gcc_like")
+
+    b.zeros("arena", _NODE_WORDS * (1 << (_DEPTH + 1)))
+    b.zeros("arena_next", 1)
+    b.zeros("emit_buf", _EMIT_RING)
+    b.zeros("emit_count", 1)
+    b.zeros("checksum", 1)
+
+    # main: s0=tree index, s1=checksum, s2=tree count, s3=current root.
+    with b.proc("main", saves=(S0, S1, S2, S3), save_ra=True):
+        b.li(S0, 0)
+        b.li(S1, 0)
+        b.li(S2, n_trees)
+        b.label("tree_loop")
+        b.la(T0, "arena_next")
+        b.sw(ZERO, 0, T0)
+        b.li(A0, _DEPTH)
+        b.slli(T1, S0, 5)
+        b.addi(A1, T1, 0x9E3)
+        b.jal("build_tree")
+        b.move(S3, V0)  # root (s3 is otherwise unused in main)
+        b.move(A0, S3)
+        b.jal("fold")
+        b.xor(S1, S1, V0)
+        b.move(A0, S3)
+        b.jal("emit_pass")
+        b.add(S1, S1, V0)
+        b.addi(S0, S0, 1)
+        b.blt(S0, S2, "tree_loop")
+        b.la(T0, "checksum")
+        b.sw(S1, 0, T0)
+        b.move(V0, S1)
+        b.halt()
+
+    # new_node(a0=tag, a1=left, a2=right) -> v0.  Leaf allocator.
+    with b.proc("new_node"):
+        b.la(T0, "arena_next")
+        b.lw(T1, 0, T0)
+        b.la(T2, "arena")
+        b.add(T2, T2, T1)
+        b.sw(A0, 0, T2)
+        b.sw(A1, 4, T2)
+        b.sw(A2, 8, T2)
+        b.addi(T1, T1, 4 * _NODE_WORDS)
+        b.sw(T1, 0, T0)
+        b.move(V0, T2)
+        b.epilogue()
+
+    # build_tree(a0=depth, a1=seed) -> v0: like the li builder but with
+    # four operator tags (add/sub/mul/xor-shift).
+    with b.proc("build_tree", saves=(S0, S1, S2), save_ra=True):
+        b.move(S0, A0)
+        b.move(S1, A1)
+        b.bgtz(S0, "bt_rec")
+        b.li(A0, 0)
+        b.andi(A1, S1, 0xFFF)
+        b.li(A2, 0)
+        b.jal("new_node")
+        b.j("bt_done")
+        b.label("bt_rec")
+        b.addi(A0, S0, -1)          # s2 dead at this call
+        b.slli(T0, S1, 1)
+        b.xori(A1, T0, 0x55)
+        b.jal("build_tree")
+        b.move(S2, V0)
+        b.addi(A0, S0, -1)          # s0 dies here
+        b.slli(T0, S1, 2)
+        b.addi(A1, T0, 3)
+        b.jal("build_tree")
+        b.andi(T0, S1, 3)
+        b.addi(A0, T0, 1)           # tag 1..4
+        b.move(A1, S2)
+        b.move(A2, V0)
+        b.jal("new_node")
+        b.label("bt_done")
+        b.epilogue()
+
+    # fold(a0=node) -> v0: recursive constant folding.  s0=node, s1=left.
+    with b.proc("fold", saves=(S0, S1), save_ra=True):
+        b.lw(T0, 0, A0)
+        b.bne(T0, ZERO, "fo_op")
+        b.lw(V0, 4, A0)
+        b.j("fo_done")
+        b.label("fo_op")
+        b.move(S0, A0)
+        b.lw(A0, 4, S0)             # s1 dead at this call
+        b.jal("fold")
+        b.move(S1, V0)
+        b.lw(A0, 8, S0)
+        b.jal("fold")
+        b.lw(T0, 0, S0)
+        b.li(T1, 1)
+        b.beq(T0, T1, "fo_add")
+        b.li(T1, 2)
+        b.beq(T0, T1, "fo_sub")
+        b.li(T1, 3)
+        b.beq(T0, T1, "fo_mul")
+        b.slli(T2, S1, 1)
+        b.xor(V0, T2, V0)
+        b.j("fo_store")
+        b.label("fo_add")
+        b.add(V0, S1, V0)
+        b.j("fo_store")
+        b.label("fo_sub")
+        b.sub(V0, S1, V0)
+        b.j("fo_store")
+        b.label("fo_mul")
+        b.mul(V0, S1, V0)
+        b.label("fo_store")
+        # fold in place: node becomes a leaf holding the folded value
+        b.sw(ZERO, 0, S0)
+        b.sw(V0, 4, S0)
+        b.label("fo_done")
+        b.epilogue()
+
+    # emit_pass(a0=node) -> v0: post-order walk calling emit_op per node.
+    # s0=node, s1=left cost.  At the trailing emit_op call both are dead,
+    # so the rewriter kills them and emit_op's saves are squashed there.
+    with b.proc("emit_pass", saves=(S0, S1), save_ra=True):
+        b.lw(T0, 0, A0)
+        b.bne(T0, ZERO, "ep_op")
+        b.lw(A0, 4, A0)             # s0, s1 dead: leaf emit
+        b.jal("emit_op")
+        b.j("ep_done")
+        b.label("ep_op")
+        b.move(S0, A0)
+        b.lw(A0, 4, S0)             # s1 dead at this call
+        b.jal("emit_pass")
+        b.move(S1, V0)
+        b.lw(A0, 8, S0)
+        b.jal("emit_pass")
+        b.add(T0, S1, V0)
+        b.lw(T1, 0, S0)
+        b.add(A0, T0, T1)           # s0, s1 dead at this call
+        b.jal("emit_op")
+        b.label("ep_done")
+        b.epilogue()
+
+    # emit_op(a0=value) -> v0 cost: append to the emission ring buffer.
+    # s0=count, s1=slot address (conservatively saved, often dead at the
+    # caller).
+    with b.proc("emit_op", saves=(S0, S1)):
+        b.la(T0, "emit_count")
+        b.lw(S0, 0, T0)
+        b.andi(T1, S0, _EMIT_RING - 1)
+        b.slli(T1, T1, 2)
+        b.la(T2, "emit_buf")
+        b.add(S1, T2, T1)
+        b.lw(T3, 0, S1)
+        b.xor(T3, T3, A0)
+        b.sw(T3, 0, S1)
+        b.addi(S0, S0, 1)
+        b.sw(S0, 0, T0)
+        b.andi(V0, A0, 0xFF)
+        b.addi(V0, V0, 1)
+        b.epilogue()
+
+    return b.build()
+
+
+WORKLOAD = REGISTRY.register(
+    Workload(
+        name="gcc_like",
+        analog="gcc",
+        description="tree build + constant fold + emission pass; many "
+                    "small procedures",
+        build=build,
+    )
+)

@@ -1,0 +1,151 @@
+"""go-like workload: recursive game-tree search with position evaluation.
+
+Mirrors SPEC95 ``go``: a branchy, integer-heavy recursive search.  A small
+board is mutated by make/undo around recursive calls; leaves run a
+wide-footprint evaluator over the whole board.  At the leaf call every
+callee-saved register of ``search`` is dead (its values are already on the
+stack, and the epilogue will restore them), so the evaluator's entire
+save/restore set is eliminated on the search frontier — which is most of
+the dynamic calls.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    A0, A1, A2, S0, S1, S2, S3, S4, T0, T1, T2, T3, T4, T5, V0, ZERO,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.common import REGISTRY, Workload, lcg_stream
+
+_BOARD_WORDS = 24
+_MOVES = 3  # branching factor
+_DEPTH = 4
+
+
+def build(scale: int = 1) -> Program:
+    """Build the go-like program; ``scale`` multiplies the search count."""
+    n_searches = 3 * scale
+    b = ProgramBuilder("go_like")
+
+    b.words("board", lcg_stream(0x60BA, _BOARD_WORDS, modulo=64))
+    b.zeros("checksum", 1)
+
+    # main: s0=search index, s1=checksum, s2=search count.
+    with b.proc("main", saves=(S0, S1, S2), save_ra=True):
+        b.li(S0, 0)
+        b.li(S1, 0)
+        b.li(S2, n_searches)
+        b.label("search_loop")
+        b.la(A0, "board")
+        b.li(A1, _DEPTH)
+        b.slli(A2, S0, 4)
+        b.addi(A2, A2, 5)
+        b.jal("search")
+        b.slli(T0, S1, 3)
+        b.srli(T1, S1, 29)
+        b.or_(S1, T0, T1)
+        b.xor(S1, S1, V0)
+        b.addi(S0, S0, 1)
+        b.blt(S0, S2, "search_loop")
+        b.la(T0, "checksum")
+        b.sw(S1, 0, T0)
+        b.move(V0, S1)
+        b.halt()
+
+    # search(a0=board, a1=depth, a2=seed) -> v0 best score.
+    # s0=board, s1=depth, s2=best, s3=move index, s4=undo value.
+    with b.proc("search", saves=(S0, S1, S2, S3, S4), save_ra=True):
+        b.bgtz(A1, "se_rec")
+        # Leaf: every s-register of this frame is dead here (the epilogue
+        # will overwrite them); the rewriter kills the evaluator's whole
+        # save set.
+        b.jal("evaluate")
+        b.j("se_done")
+        b.label("se_rec")
+        b.move(S0, A0)
+        b.move(S1, A1)
+        b.li(S2, -0x8000)
+        b.li(S3, 0)
+        b.move(S4, A2)
+        b.label("se_moves")
+        # position = (seed + move*7) % BOARD_WORDS
+        b.slli(T0, S3, 3)
+        b.sub(T0, T0, S3)
+        b.add(T0, S4, T0)
+        b.li(T1, _BOARD_WORDS)
+        b.rem(T0, T0, T1)
+        b.slli(T0, T0, 2)
+        b.add(T0, S0, T0)  # cell address
+        # make move: cell += depth + move (remember undo in s4's place? no:
+        # the cell address is recomputed for undo, the delta re-derived)
+        b.lw(T2, 0, T0)
+        b.add(T3, S1, S3)
+        b.addi(T3, T3, 1)
+        b.add(T4, T2, T3)
+        b.sw(T4, 0, T0)
+        # recurse
+        b.move(A0, S0)
+        b.addi(A1, S1, -1)
+        b.slli(T5, S4, 1)
+        b.add(A2, T5, S3)
+        b.jal("search")
+        # alpha: best = max(best, -score + move)
+        b.sub(T0, ZERO, V0)
+        b.add(T0, T0, S3)
+        b.blt(T0, S2, "se_no_improve")
+        b.move(S2, T0)
+        b.label("se_no_improve")
+        # undo move: recompute the cell and delta
+        b.slli(T0, S3, 3)
+        b.sub(T0, T0, S3)
+        b.add(T0, S4, T0)
+        b.li(T1, _BOARD_WORDS)
+        b.rem(T0, T0, T1)
+        b.slli(T0, T0, 2)
+        b.add(T0, S0, T0)
+        b.lw(T2, 0, T0)
+        b.add(T3, S1, S3)
+        b.addi(T3, T3, 1)
+        b.sub(T4, T2, T3)
+        b.sw(T4, 0, T0)
+        b.addi(S3, S3, 1)
+        b.slti(T5, S3, _MOVES)
+        b.bne(T5, ZERO, "se_moves")
+        b.move(V0, S2)
+        b.label("se_done")
+        b.epilogue()
+
+    # evaluate(a0=board) -> v0: weighted fold over all cells with
+    # neighbour differences.  s0=index, s1=acc, s2=previous cell.
+    with b.proc("evaluate", saves=(S0, S1, S2)):
+        b.li(S0, 0)
+        b.li(S1, 0)
+        b.li(S2, 0)
+        b.label("ev_loop")
+        b.slli(T0, S0, 2)
+        b.add(T0, A0, T0)
+        b.lw(T1, 0, T0)
+        b.sub(T2, T1, S2)
+        b.mul(T3, T2, T2)
+        b.add(S1, S1, T3)
+        b.slli(T4, T1, 1)
+        b.xor(S1, S1, T4)
+        b.move(S2, T1)
+        b.addi(S0, S0, 1)
+        b.slti(T5, S0, _BOARD_WORDS)
+        b.bne(T5, ZERO, "ev_loop")
+        b.andi(V0, S1, 0x7FFF)
+        b.epilogue()
+
+    return b.build()
+
+
+WORKLOAD = REGISTRY.register(
+    Workload(
+        name="go_like",
+        analog="go",
+        description="recursive game-tree search with leaf evaluation",
+        build=build,
+    )
+)

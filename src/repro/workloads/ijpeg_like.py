@@ -1,0 +1,167 @@
+"""ijpeg-like workload: 8x8 block transforms and quantization.
+
+Mirrors SPEC95 ``ijpeg``: long-running loop-nest arithmetic over image
+blocks with very few procedure calls (two per block).  The block transform
+is register-hungry (it saves six callee-saved registers, like heavily
+unrolled compiled code), while ``main`` only needs two of those registers
+during its setup phase — so the E-DVI rewriter kills ``s4``/``s5`` at the
+in-loop call sites and the LVM eliminates that slice of the transform's
+save/restore traffic, the Figure 7 pattern at low call frequency.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    A0, A1, A2, A3, S0, S1, S2, S3, S4, S5, S6,
+    T0, T1, T2, T3, T4, T5, T6, T7, T8, T9, V0, V1, ZERO,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.common import REGISTRY, Workload, lcg_stream
+
+_BLOCK_WORDS = 64  # 8x8
+_QTAB_WORDS = 16
+
+
+def build(scale: int = 1) -> Program:
+    """Build the ijpeg-like program; ``scale`` multiplies the block count."""
+    n_blocks = 24 * scale
+    b = ProgramBuilder("ijpeg_like")
+
+    b.words("blocks", lcg_stream(0x1DEA, n_blocks * _BLOCK_WORDS, modulo=4096))
+    b.zeros("qtab", _QTAB_WORDS)
+    b.zeros("checksum", 1)
+
+    # main: s0=block idx, s1=&blocks, s2=checksum, s3=n_blocks, s6=&qtab;
+    # s4 (qtab cursor) and s5 (scale factor) are live only during setup.
+    with b.proc("main", saves=(S0, S1, S2, S3, S4, S5, S6), save_ra=True):
+        # -- setup phase: build the quantization table using s4/s5 --------
+        b.la(S6, "qtab")
+        b.li(S4, 0)
+        b.li(S5, 7)
+        b.label("qsetup")
+        b.mul(T0, S4, S5)
+        b.andi(T0, T0, 31)
+        b.addi(T0, T0, 1)
+        b.slli(T1, S4, 2)
+        b.add(T1, S6, T1)
+        b.sw(T0, 0, T1)
+        b.addi(S4, S4, 1)
+        b.slti(T2, S4, _QTAB_WORDS)
+        b.bne(T2, ZERO, "qsetup")
+
+        # -- block loop: s4/s5 are dead at every call site below ----------
+        b.la(S1, "blocks")
+        b.li(S0, 0)
+        b.li(S2, 0)
+        b.li(S3, n_blocks)
+        b.label("block_loop")
+        b.slli(T0, S0, 8)  # block byte offset = idx * 64 words * 4
+        b.add(A0, S1, T0)
+        b.jal("transform_block")
+        b.xor(S2, S2, V0)
+        b.slli(T0, S0, 8)
+        b.add(A0, S1, T0)
+        b.move(A1, S6)
+        b.jal("quant_block")
+        b.add(S2, S2, V0)
+        b.addi(S0, S0, 1)
+        b.blt(S0, S3, "block_loop")
+
+        b.la(T0, "checksum")
+        b.sw(S2, 0, T0)
+        b.move(V0, S2)
+        b.halt()
+
+    # transform_block(a0=block) -> v0: in-place row and column butterflies
+    # with running accumulators.  s0=row/col counter, s1=line pointer,
+    # s2..s5=accumulators (a wide register footprint, as unrolled compiled
+    # code would have).
+    with b.proc("transform_block", saves=(S0, S1, S2, S3, S4, S5)):
+        b.li(S2, 0)
+        b.li(S3, 0)
+        b.li(S4, 0)
+        b.li(S5, 1)
+        # --- row pass: 8 rows of 4 unrolled butterflies ------------------
+        b.li(S0, 0)
+        b.label("tb_row")
+        b.slli(T0, S0, 5)  # row byte offset = row * 8 words * 4
+        b.add(S1, A0, T0)
+        for k in range(4):
+            lo, hi = 4 * k, 4 * (7 - k)
+            b.lw(T1, lo, S1)
+            b.lw(T2, hi, S1)
+            b.add(T3, T1, T2)
+            b.sub(T4, T1, T2)
+            b.srai(T4, T4, 1)
+            b.sw(T3, lo, S1)
+            b.sw(T4, hi, S1)
+        b.lw(T5, 0, S1)
+        b.add(S2, S2, T5)
+        b.lw(T6, 28, S1)
+        b.xor(S3, S3, T6)
+        b.addi(S0, S0, 1)
+        b.slti(T0, S0, 8)
+        b.bne(T0, ZERO, "tb_row")
+        # --- column pass: 8 columns, stride 32 bytes ----------------------
+        b.li(S0, 0)
+        b.label("tb_col")
+        b.slli(T0, S0, 2)
+        b.add(S1, A0, T0)
+        for k in range(4):
+            lo, hi = 32 * k, 32 * (7 - k)
+            b.lw(T1, lo, S1)
+            b.lw(T2, hi, S1)
+            b.add(T3, T1, T2)
+            b.sub(T4, T1, T2)
+            b.srai(T4, T4, 1)
+            b.sw(T3, lo, S1)
+            b.sw(T4, hi, S1)
+        b.lw(T7, 0, S1)
+        b.add(S4, S4, T7)
+        b.lw(T8, 224, S1)
+        b.add(S5, S5, T8)
+        b.addi(S0, S0, 1)
+        b.slti(T0, S0, 8)
+        b.bne(T0, ZERO, "tb_col")
+        # summary value
+        b.add(T0, S2, S3)
+        b.add(T1, S4, S5)
+        b.xor(V0, T0, T1)
+        b.epilogue()
+
+    # quant_block(a0=block, a1=qtab) -> v0: divide every coefficient by a
+    # table entry (exercising the long-latency divider) and accumulate.
+    # s0=index, s1=accumulator, s2=bound.
+    with b.proc("quant_block", saves=(S0, S1, S2)):
+        b.li(S0, 0)
+        b.li(S1, 0)
+        b.li(S2, _BLOCK_WORDS)
+        b.label("qb_loop")
+        b.slli(T0, S0, 2)
+        b.add(T1, A0, T0)
+        b.lw(T2, 0, T1)
+        b.andi(T3, S0, _QTAB_WORDS - 1)
+        b.slli(T3, T3, 2)
+        b.add(T3, A1, T3)
+        b.lw(T4, 0, T3)
+        b.div(T5, T2, T4)
+        b.sw(T5, 0, T1)
+        b.xor(S1, S1, T5)
+        b.addi(S0, S0, 1)
+        b.blt(S0, S2, "qb_loop")
+        b.move(V0, S1)
+        b.epilogue()
+
+    return b.build()
+
+
+WORKLOAD = REGISTRY.register(
+    Workload(
+        name="ijpeg_like",
+        analog="ijpeg",
+        description="8x8 block transform + quantization; few calls, "
+                    "wide-footprint leaf procedures",
+        build=build,
+    )
+)

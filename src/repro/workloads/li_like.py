@@ -1,0 +1,158 @@
+"""li-like workload: a recursive expression-tree builder and evaluator.
+
+Mirrors SPEC95 ``li`` (xlisp): deeply recursive tree construction and
+evaluation over cons-cell-style nodes in an arena, giving the suite's
+highest call density and heavy callee-save traffic.  Elimination arises
+from the natural recursion pattern: at the first recursive call a sibling
+register is not yet live (``s2`` before the left subtree is built), and at
+the second the depth register is already dead — exactly the
+context-sensitive liveness that calling conventions cannot express.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    A0, A1, A2, S0, S1, S2, S3, T0, T1, T2, V0, ZERO,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.common import REGISTRY, Workload
+
+_DEPTH = 7  # 2^7 - 1 = 127 nodes per tree
+_NODE_WORDS = 3  # [tag, left/value, right]
+
+
+def build(scale: int = 1) -> Program:
+    """Build the li-like program; ``scale`` multiplies the tree count."""
+    n_trees = 4 * scale
+    b = ProgramBuilder("li_like")
+
+    b.zeros("arena", _NODE_WORDS * (1 << (_DEPTH + 1)))
+    b.zeros("arena_next", 1)
+    b.zeros("checksum", 1)
+
+    # main: s0=tree index, s1=checksum accumulator, s2=tree count.
+    with b.proc("main", saves=(S0, S1, S2), save_ra=True):
+        b.li(S0, 0)
+        b.li(S1, 0)
+        b.li(S2, n_trees)
+
+        b.label("tree_loop")
+        # reset the arena bump pointer for each tree
+        b.la(T0, "arena_next")
+        b.sw(ZERO, 0, T0)
+        # build_expr(depth, seed)
+        b.li(A0, _DEPTH)
+        b.slli(T1, S0, 3)
+        b.addi(A1, T1, 0x135)
+        b.jal("build_expr")
+        # eval(root)
+        b.move(A0, V0)
+        b.jal("eval")
+        # checksum = rotl(checksum, 1) ^ value
+        b.slli(T0, S1, 1)
+        b.srli(T1, S1, 31)
+        b.or_(S1, T0, T1)
+        b.xor(S1, S1, V0)
+        b.addi(S0, S0, 1)
+        b.blt(S0, S2, "tree_loop")
+
+        b.la(T0, "checksum")
+        b.sw(S1, 0, T0)
+        b.move(V0, S1)
+        b.halt()
+
+    # alloc_node(a0=tag, a1=left, a2=right) -> v0 node address.  Leaf
+    # procedure: bump-allocates three words from the arena.
+    with b.proc("alloc_node"):
+        b.la(T0, "arena_next")
+        b.lw(T1, 0, T0)
+        b.la(T2, "arena")
+        b.add(T2, T2, T1)
+        b.sw(A0, 0, T2)
+        b.sw(A1, 4, T2)
+        b.sw(A2, 8, T2)
+        b.addi(T1, T1, 4 * _NODE_WORDS)
+        b.sw(T1, 0, T0)
+        b.move(V0, T2)
+        b.epilogue()
+
+    # build_expr(a0=depth, a1=seed) -> v0 node.
+    # s0=depth, s1=seed, s2=left child (assigned only on the
+    # recursive path, after the first recursive call).
+    with b.proc("build_expr", saves=(S0, S1, S2), save_ra=True):
+        b.move(S0, A0)
+        b.move(S1, A1)
+        b.bgtz(S0, "be_rec")
+        # leaf node: tag 0, value derived from the seed
+        b.li(A0, 0)
+        b.andi(A1, S1, 0x1FFF)
+        b.li(A2, 0)
+        b.jal("alloc_node")
+        b.j("be_done")
+        b.label("be_rec")
+        # left = build_expr(depth-1, seed*2+1)   [s2 dead here]
+        b.addi(A0, S0, -1)
+        b.slli(T0, S1, 1)
+        b.addi(A1, T0, 1)
+        b.jal("build_expr")
+        b.move(S2, V0)
+        # right = build_expr(depth-1, seed*3+7)  [s0 dead after arg setup]
+        b.addi(A0, S0, -1)
+        b.slli(T0, S1, 1)
+        b.add(T0, T0, S1)
+        b.addi(A1, T0, 7)
+        b.jal("build_expr")
+        # op node: tag in 1..3 from the seed    [s1, s2 die at this call]
+        b.li(T1, 3)
+        b.rem(T0, S1, T1)
+        b.addi(A0, T0, 1)
+        b.move(A1, S2)
+        b.move(A2, V0)
+        b.jal("alloc_node")
+        b.label("be_done")
+        b.epilogue()
+
+    # eval(a0=node) -> v0 value.  s0=node, s1=left value.
+    with b.proc("eval", saves=(S0, S1), save_ra=True):
+        b.lw(T0, 0, A0)
+        b.bne(T0, ZERO, "ev_op")
+        # leaf: return the stored value
+        b.lw(V0, 4, A0)
+        b.j("ev_done")
+        b.label("ev_op")
+        b.move(S0, A0)
+        # left value                               [s1 dead at this call]
+        b.lw(A0, 4, S0)
+        b.jal("eval")
+        b.move(S1, V0)
+        # right value                              [s0, s1 both live]
+        b.lw(A0, 8, S0)
+        b.jal("eval")
+        # combine by tag
+        b.lw(T0, 0, S0)
+        b.li(T1, 1)
+        b.beq(T0, T1, "ev_add")
+        b.li(T2, 2)
+        b.beq(T0, T2, "ev_sub")
+        b.mul(V0, S1, V0)
+        b.j("ev_done")
+        b.label("ev_add")
+        b.add(V0, S1, V0)
+        b.j("ev_done")
+        b.label("ev_sub")
+        b.sub(V0, S1, V0)
+        b.label("ev_done")
+        b.epilogue()
+
+    return b.build()
+
+
+WORKLOAD = REGISTRY.register(
+    Workload(
+        name="li_like",
+        analog="li (xlisp)",
+        description="recursive expression build + eval; highest call density",
+        build=build,
+    )
+)

@@ -1,0 +1,216 @@
+"""vortex-like workload: an object store with hashed index.
+
+Mirrors SPEC95 ``vortex``: an object database exercised through layered
+accessor procedures — inserts allocate fixed-shape records and register
+them in an open-addressing hash index; queries probe the index and fold a
+record checksum; updates rewrite record fields.  The mid-level procedures
+(``do_insert``/``do_query``/``do_update``) hold setup state in a
+callee-saved register that dies before their trailing helper calls, which
+is where the E-DVI rewriter earns its keep.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    A0, A1, S0, S1, S2, S3, S4, S5, T0, T1, T2, T3, T4, T5, T6, V0, ZERO,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.common import REGISTRY, Workload, emit_lcg_step
+
+_REC_WORDS = 8  # key, 6 data fields, checksum slot
+_INDEX_BITS = 10
+_INDEX_SIZE = 1 << _INDEX_BITS
+
+
+def build(scale: int = 1) -> Program:
+    """Build the vortex-like program; ``scale`` multiplies the op count."""
+    n_ops = 150 * scale
+    max_records = min(n_ops + 4, _INDEX_SIZE // 2)
+    b = ProgramBuilder("vortex_like")
+
+    b.zeros("records", _REC_WORDS * max_records)
+    b.zeros("rec_count", 1)
+    # index entries: 0 = empty, else record address
+    b.zeros("index", _INDEX_SIZE)
+    b.zeros("checksum", 1)
+
+    # main: s0=op counter, s1=lcg state, s2=checksum, s3=op count.
+    with b.proc("main", saves=(S0, S1, S2, S3), save_ra=True):
+        b.li(S0, 0)
+        b.li(S1, 0xBEEF)
+        b.li(S2, 0)
+        b.li(S3, n_ops)
+        b.label("op_loop")
+        emit_lcg_step(b, S1, T0)
+        b.srli(T1, S1, 8)
+        b.andi(A0, T1, 0xFFFF)  # key
+        b.andi(T2, S1, 3)       # selector
+        b.li(T3, 2)
+        b.blt(T2, T3, "do_ins")
+        b.beq(T2, T3, "do_upd")
+        b.jal("do_query")
+        b.j("op_next")
+        b.label("do_ins")
+        b.jal("do_insert")
+        b.j("op_next")
+        b.label("do_upd")
+        b.srli(A1, S1, 3)
+        b.jal("do_update")
+        b.label("op_next")
+        b.add(S2, S2, V0)
+        b.addi(S0, S0, 1)
+        b.blt(S0, S3, "op_loop")
+        b.la(T0, "checksum")
+        b.sw(S2, 0, T0)
+        b.move(V0, S2)
+        b.halt()
+
+    # hash_slot(a0=key) -> v0 &index[slot]: linear probe to the key's
+    # record or the first empty slot.  Leaf, temporaries only.
+    with b.proc("hash_slot"):
+        b.li(T0, 2654435761 & 0xFFFFFFFF)
+        b.mul(T1, A0, T0)
+        b.srli(T1, T1, 32 - _INDEX_BITS)
+        b.la(T2, "index")
+        b.label("hs_probe")
+        b.slli(T3, T1, 2)
+        b.add(T3, T2, T3)
+        b.lw(T4, 0, T3)
+        b.beq(T4, ZERO, "hs_found")  # empty slot
+        b.lw(T5, 0, T4)              # record key
+        b.beq(T5, A0, "hs_found")
+        b.addi(T1, T1, 1)
+        b.andi(T1, T1, _INDEX_SIZE - 1)
+        b.j("hs_probe")
+        b.label("hs_found")
+        b.move(V0, T3)
+        b.epilogue()
+
+    # rec_fill(a0=rec, a1=seed): write the six data fields.  s2=cursor,
+    # s3=value state.  The register choice overlaps the mid-level callers'
+    # dead registers, so their kills eliminate part of this save set.
+    with b.proc("rec_fill", saves=(S2, S3)):
+        b.li(S2, 1)
+        b.move(S3, A1)
+        b.label("rf_loop")
+        b.slli(T0, S2, 2)
+        b.add(T0, A0, T0)
+        b.li(T1, 0x9E37)
+        b.mul(S3, S3, T1)
+        b.addi(S3, S3, 0x79B9)
+        b.sw(S3, 0, T0)
+        b.addi(S2, S2, 1)
+        b.slti(T2, S2, 7)
+        b.bne(T2, ZERO, "rf_loop")
+        b.li(V0, 0)
+        b.epilogue()
+
+    # rec_checksum(a0=rec) -> v0: fold all eight words.  s2=index,
+    # s3=accumulator.
+    with b.proc("rec_checksum", saves=(S2, S3)):
+        b.li(S2, 0)
+        b.li(S3, 0)
+        b.label("rc_loop")
+        b.slli(T0, S2, 2)
+        b.add(T0, A0, T0)
+        b.lw(T1, 0, T0)
+        b.slli(T2, S3, 1)
+        b.srli(T3, S3, 31)
+        b.or_(S3, T2, T3)
+        b.xor(S3, S3, T1)
+        b.addi(S2, S2, 1)
+        b.slti(T4, S2, _REC_WORDS)
+        b.bne(T4, ZERO, "rc_loop")
+        b.move(V0, S3)
+        b.epilogue()
+
+    # do_insert(a0=key) -> v0: allocate + index + fill a record.
+    # s0=key, s1=record, s2=index slot address (dead after the store,
+    # i.e. before the rec_fill/rec_checksum calls).
+    with b.proc("do_insert", saves=(S0, S1, S2), save_ra=True):
+        b.move(S0, A0)
+        b.jal("hash_slot")
+        b.move(S2, V0)
+        b.lw(T0, 0, S2)
+        b.bne(T0, ZERO, "di_exists")
+        # capacity guard: drop the insert once the store is full
+        b.la(T1, "rec_count")
+        b.lw(T2, 0, T1)
+        b.slti(T3, T2, max_records)
+        b.beq(T3, ZERO, "di_full")
+        # allocate
+        b.addi(T4, T2, 1)
+        b.sw(T4, 0, T1)
+        b.li(T5, 4 * _REC_WORDS)
+        b.mul(T6, T2, T5)
+        b.la(T5, "records")
+        b.add(S1, T5, T6)
+        b.sw(S0, 0, S1)   # record key
+        b.sw(S1, 0, S2)   # index entry (s2 dead after this)
+        b.move(A0, S1)
+        b.srli(A1, S0, 2)
+        b.jal("rec_fill")
+        b.move(A0, S1)
+        b.jal("rec_checksum")
+        b.slli(T0, S0, 2)
+        b.add(T1, S1, T0)  # fold key back in
+        b.xor(V0, V0, T1)
+        b.j("di_done")
+        b.label("di_exists")
+        b.li(V0, 1)
+        b.j("di_done")
+        b.label("di_full")
+        b.li(V0, 2)
+        b.label("di_done")
+        b.epilogue()
+
+    # do_query(a0=key) -> v0: probe; checksum the record if present.
+    # s2=record -- dead once staged into a0, so the rewriter kills it at
+    # the rec_checksum call and that half of the helper's saves vanishes.
+    with b.proc("do_query", saves=(S2,), save_ra=True):
+        b.jal("hash_slot")
+        b.lw(S2, 0, V0)
+        b.bne(S2, ZERO, "dq_hit")
+        b.li(V0, 3)
+        b.j("dq_done")
+        b.label("dq_hit")
+        b.move(A0, S2)   # s2 dead from here on
+        b.jal("rec_checksum")
+        b.label("dq_done")
+        b.epilogue()
+
+    # do_update(a0=key, a1=seed) -> v0: rewrite a record's fields.
+    # s0=record, s1=seed, s2=probe slot (dead before the helper calls).
+    with b.proc("do_update", saves=(S0, S1, S2), save_ra=True):
+        b.move(S1, A1)
+        b.jal("hash_slot")
+        b.move(S2, V0)
+        b.lw(S0, 0, S2)
+        b.bne(S0, ZERO, "du_hit")
+        b.li(V0, 4)
+        b.j("du_done")
+        b.label("du_hit")
+        b.move(A0, S0)
+        b.move(A1, S1)
+        b.jal("rec_fill")
+        b.move(A0, S0)
+        b.jal("rec_checksum")
+        b.slli(T0, V0, 18)
+        b.srli(T1, V0, 14)
+        b.or_(V0, T0, T1)
+        b.label("du_done")
+        b.epilogue()
+
+    return b.build()
+
+
+WORKLOAD = REGISTRY.register(
+    Workload(
+        name="vortex_like",
+        analog="vortex",
+        description="object store: layered insert/query/update accessors "
+                    "over a hashed index",
+        build=build,
+    )
+)

@@ -1,0 +1,149 @@
+"""Tests for CFG construction and procedure discovery."""
+
+import pytest
+
+from repro.analysis.cfg import (
+    CFGError,
+    build_cfg,
+    build_all_cfgs,
+    discover_procedures,
+    procedures_of,
+)
+from repro.isa import registers as R
+from repro.program.assembler import assemble
+from repro.program.builder import ProgramBuilder
+
+
+def straightline():
+    return assemble("""
+        main:
+            addi t0, zero, 1
+            addi t1, t0, 2
+            halt
+    """)
+
+
+def diamond():
+    return assemble("""
+        main:
+            beq t0, zero, right
+            addi t1, zero, 1
+            j join
+        right:
+            addi t1, zero, 2
+        join:
+            halt
+    """)
+
+
+class TestBlocks:
+    def test_straightline_is_one_block(self):
+        program = straightline()
+        cfg = build_cfg(program, procedures_of(program)[0])
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].exits
+
+    def test_diamond_shape(self):
+        program = diamond()
+        cfg = build_cfg(program, procedures_of(program)[0])
+        assert len(cfg.blocks) == 4
+        entry = cfg.blocks[cfg.entry_bid]
+        assert len(entry.succs) == 2
+        join = cfg.block_at(program.labels["join"])
+        assert sorted(join.preds) == sorted(
+            [cfg.block_of[1], cfg.block_of[3]]
+        )
+
+    def test_block_of_covers_every_instruction(self):
+        program = diamond()
+        cfg = build_cfg(program, procedures_of(program)[0])
+        assert set(cfg.block_of) == set(range(len(program.insts)))
+
+    def test_loop_backedge(self):
+        program = assemble("""
+            main:
+            top:
+                addi t0, t0, 1
+                blt  t0, t1, top
+                halt
+        """)
+        cfg = build_cfg(program, procedures_of(program)[0])
+        top_block = cfg.block_at(0)
+        assert top_block.bid in top_block.succs  # self loop
+
+    def test_call_falls_through(self):
+        program = assemble("""
+            main:
+                jal f
+                halt
+            f:
+                jr ra
+        """)
+        cfg = build_cfg(program, procedures_of(program)[0])
+        call_block = cfg.block_at(0)
+        assert cfg.block_of[1] in call_block.succs
+
+    def test_return_block_exits(self):
+        program = assemble("""
+            main:
+                jal f
+                halt
+            f:
+                addi v0, a0, 1
+                jr ra
+        """)
+        cfgs = build_all_cfgs(program)
+        f_cfg = cfgs["f"]
+        assert f_cfg.blocks[-1].exits
+
+    def test_empty_procedure_rejected(self):
+        from repro.program.program import ProcedureDecl
+        program = straightline()
+        with pytest.raises(CFGError):
+            build_cfg(program, ProcedureDecl("empty", 1, 1))
+
+    def test_indirect_jump_rejected(self):
+        b = ProgramBuilder("t")
+        b.label("main")
+        b.jr(R.T0)  # computed goto: not analyzable
+        b.halt()
+        program = b.build()
+        with pytest.raises(CFGError):
+            build_cfg(program, procedures_of(program)[0])
+
+
+class TestDiscovery:
+    def test_discovers_entry_and_call_targets(self):
+        program = assemble("""
+            main:
+                jal f
+                jal g
+                halt
+            f:
+                jr ra
+            g:
+                jr ra
+        """)
+        procs = discover_procedures(program)
+        assert [p.name for p in procs] == ["main", "f", "g"]
+        assert procs[0].end == procs[1].start
+
+    def test_declared_procedures_preferred(self):
+        program = assemble("""
+            .proc main
+                epilogue
+            .endproc
+        """)
+        assert procedures_of(program)[0].name == "main"
+
+    def test_discovery_extents_tile_the_program(self):
+        program = assemble("""
+            main:
+                jal f
+                halt
+            f:
+                jr ra
+        """)
+        procs = discover_procedures(program)
+        assert procs[0].start == 0
+        assert procs[-1].end == len(program.insts)

@@ -1,0 +1,160 @@
+"""Tests for the DVI engine: decode-order semantics of sections 4-6."""
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.dvi.engine import DVIEngine
+from repro.dvi.lvm import ALL_LIVE
+from repro.isa import registers as R
+from repro.isa.abi import DEFAULT_ABI
+
+
+def full_engine(scheme=SRScheme.LVM_STACK):
+    return DVIEngine(DVIConfig.full(scheme))
+
+
+class TestKill:
+    def test_kill_marks_dead_and_reports_reclaimable(self):
+        engine = full_engine()
+        freed = engine.on_kill(1 << R.S0)
+        assert freed == 1 << R.S0
+        assert not engine.lvm.is_live(R.S0)
+
+    def test_kill_ignored_without_edvi(self):
+        engine = DVIEngine(DVIConfig.idvi_only())
+        assert engine.on_kill(1 << R.S0) == 0
+        assert engine.lvm.is_live(R.S0)
+        assert engine.counters.kills_seen == 1
+
+    def test_def_resurrects(self):
+        engine = full_engine()
+        engine.on_kill(1 << R.S0)
+        engine.on_def(R.S0)
+        assert engine.lvm.is_live(R.S0)
+
+
+class TestCallReturn:
+    def test_call_applies_idvi_mask(self):
+        engine = full_engine()
+        freed = engine.on_call()
+        assert freed == DEFAULT_ABI.idvi_call_mask()
+        assert not engine.lvm.is_live(R.T0)
+        assert engine.lvm.is_live(R.A0)
+
+    def test_return_applies_idvi_mask(self):
+        engine = full_engine()
+        engine.on_call()
+        engine.on_def(R.V0)
+        freed = engine.on_return()
+        assert freed & (1 << R.A0)
+        assert engine.lvm.is_live(R.V0)  # return value survives
+
+    def test_no_idvi_config_frees_nothing(self):
+        engine = DVIEngine(DVIConfig(use_idvi=False, use_edvi=True,
+                                     scheme=SRScheme.LVM_STACK))
+        assert engine.on_call() == 0
+        assert engine.on_return() == 0
+
+    def test_copyback_restores_callee_saved_snapshot(self):
+        engine = full_engine()
+        engine.on_kill(1 << R.S0)     # s0 dead at the call
+        engine.on_call()              # snapshot pushed
+        engine.on_def(R.S0)           # callee defines s0 (live)
+        engine.on_return()            # copy-back: s0 reverts to dead
+        assert not engine.lvm.is_live(R.S0)
+
+    def test_copyback_does_not_kill_fresh_return_value(self):
+        """Regression: a stale call-time snapshot must not mark the
+        just-written return value dead (the copy-back is masked to the
+        callee-saved set)."""
+        engine = full_engine()
+        engine.on_call()              # v0 dead at call time, snapshot holds that
+        engine.on_def(R.V0)           # callee computes a return value
+        engine.on_return()
+        assert engine.lvm.is_live(R.V0)
+
+    def test_copyback_does_not_resurrect_caller_saved(self):
+        engine = full_engine()
+        engine.on_call()              # kills t0 and pushes pre-kill snapshot
+        engine.on_def(R.V0)
+        engine.on_return()
+        # t0 stays dead: the return I-DVI kills it again regardless.
+        assert not engine.lvm.is_live(R.T0)
+
+
+class TestSaveRestoreElimination:
+    def test_save_of_live_register_executes(self):
+        engine = full_engine()
+        assert engine.on_save(R.S0) is False
+
+    def test_save_of_dead_register_eliminated(self):
+        engine = full_engine()
+        engine.on_kill(1 << R.S0)
+        assert engine.on_save(R.S0) is True
+        assert engine.counters.saves_eliminated == 1
+
+    def test_scheme_none_never_eliminates(self):
+        engine = DVIEngine(DVIConfig(use_idvi=True, use_edvi=True,
+                                     scheme=SRScheme.NONE))
+        engine.on_kill(1 << R.S0)
+        assert engine.on_save(R.S0) is False
+
+    def test_restore_elimination_uses_entry_snapshot(self):
+        engine = full_engine()
+        engine.on_kill(1 << R.S0)
+        engine.on_call()
+        # callee saved s0 (eliminated), then redefined it:
+        assert engine.on_save(R.S0) is True
+        engine.on_def(R.S0)
+        # the LVM now says live, but the *snapshot* says dead, so the
+        # matching restore is eliminated (Figure 8(c), step 3)
+        assert engine.on_restore(R.S0) is True
+
+    def test_restore_not_eliminated_when_live_at_entry(self):
+        engine = full_engine()
+        engine.on_call()
+        assert engine.on_save(R.S0) is False
+        engine.on_def(R.S0)
+        assert engine.on_restore(R.S0) is False
+
+    def test_lvm_scheme_never_eliminates_restores(self):
+        engine = full_engine(SRScheme.LVM)
+        engine.on_kill(1 << R.S0)
+        engine.on_call()
+        assert engine.on_save(R.S0) is True
+        assert engine.on_restore(R.S0) is False
+
+    def test_save_restore_elimination_matched_within_capacity(self):
+        """Within stack capacity, a save is eliminated iff its matching
+        restore is eliminated -- the invariant Figure 8 is about."""
+        engine = full_engine()
+        engine.on_kill(1 << R.S2)
+        for _ in range(5):  # nested calls, within the 16-entry capacity
+            engine.on_call()
+        saves = [engine.on_save(R.S2)]
+        engine.on_def(R.S2)
+        restores = [engine.on_restore(R.S2)]
+        assert saves == restores == [True]
+
+
+class TestContextSwitchSupport:
+    def test_save_and_load_lvm(self):
+        engine = full_engine()
+        engine.on_kill(1 << R.S0)
+        saved = engine.save_lvm()
+        engine.on_def(R.S0)
+        engine.load_lvm(saved)
+        assert not engine.lvm.is_live(R.S0)
+
+    def test_flush_resets_everything(self):
+        engine = full_engine()
+        engine.on_kill(1 << R.S0)
+        engine.on_call()
+        engine.flush()
+        assert engine.lvm.mask == ALL_LIVE
+        assert engine.stack.top() == ALL_LIVE
+
+    def test_live_count(self):
+        engine = full_engine()
+        saveable = DEFAULT_ABI.saveable_mask()
+        full_count = engine.live_count(saveable)
+        engine.on_kill(1 << R.S0)
+        assert engine.live_count(saveable) == full_count - 1

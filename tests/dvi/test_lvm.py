@@ -1,0 +1,155 @@
+"""Tests for the Live Value Mask and the LVM-Stack."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dvi.lvm import ALL_LIVE, LiveValueMask
+from repro.dvi.lvm_stack import DEFAULT_DEPTH, LVMStack
+from repro.isa import registers as R
+
+
+class TestLVM:
+    def test_resets_all_live(self):
+        lvm = LiveValueMask()
+        assert lvm.mask == ALL_LIVE
+        for reg in range(R.NUM_REGS):
+            assert lvm.is_live(reg)
+
+    def test_kill_clears_bits_and_reports_cleared(self):
+        lvm = LiveValueMask()
+        cleared = lvm.kill((1 << R.S0) | (1 << R.S1))
+        assert cleared == (1 << R.S0) | (1 << R.S1)
+        assert not lvm.is_live(R.S0)
+        assert lvm.is_live(R.S2)
+
+    def test_kill_of_dead_register_reports_nothing(self):
+        lvm = LiveValueMask()
+        lvm.kill(1 << R.S0)
+        assert lvm.kill(1 << R.S0) == 0
+
+    def test_set_live(self):
+        lvm = LiveValueMask()
+        lvm.kill(1 << R.S0)
+        lvm.set_live(R.S0)
+        assert lvm.is_live(R.S0)
+
+    def test_load_overwrites(self):
+        lvm = LiveValueMask()
+        lvm.load(0b1010)
+        assert lvm.mask == 0b1010
+
+    def test_reset(self):
+        lvm = LiveValueMask(0)
+        lvm.reset()
+        assert lvm.mask == ALL_LIVE
+
+    def test_live_count_within_subset(self):
+        lvm = LiveValueMask()
+        lvm.kill((1 << R.S0) | (1 << R.S1))
+        subset = (1 << R.S0) | (1 << R.S1) | (1 << R.S2)
+        assert lvm.live_count(subset) == 1
+
+    def test_is_live_range_check(self):
+        with pytest.raises(ValueError):
+            LiveValueMask().is_live(32)
+
+
+class TestLVMStack:
+    def test_push_pop_lifo(self):
+        stack = LVMStack()
+        stack.push(0b01)
+        stack.push(0b10)
+        assert stack.pop() == 0b10
+        assert stack.pop() == 0b01
+
+    def test_top_without_pop(self):
+        stack = LVMStack()
+        stack.push(0b11)
+        assert stack.top() == 0b11
+        assert len(stack) == 1
+
+    def test_empty_top_is_all_live(self):
+        assert LVMStack().top() == ALL_LIVE
+
+    def test_underflow_returns_all_live(self):
+        stack = LVMStack()
+        assert stack.pop() == ALL_LIVE
+        assert stack.underflows == 1
+
+    def test_overflow_drops_oldest(self):
+        stack = LVMStack(depth=2)
+        stack.push(1)
+        stack.push(2)
+        stack.push(3)  # wraps: snapshot 1 is lost
+        assert stack.overflows == 1
+        assert stack.pop() == 3
+        assert stack.pop() == 2
+        # the wrapped-away frame answers all-live (safe)
+        assert stack.pop() == ALL_LIVE
+
+    def test_default_depth_is_papers_16(self):
+        assert LVMStack().depth == DEFAULT_DEPTH == 16
+
+    def test_unbounded_stack(self):
+        stack = LVMStack(depth=None)
+        for value in range(100):
+            stack.push(value)
+        for value in reversed(range(100)):
+            assert stack.pop() == value
+        assert stack.overflows == 0
+
+    def test_flush(self):
+        stack = LVMStack()
+        stack.push(5)
+        stack.flush()
+        assert stack.top() == ALL_LIVE
+        assert len(stack) == 0
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            LVMStack(depth=0)
+
+    def test_statistics(self):
+        stack = LVMStack(depth=4)
+        for _ in range(6):
+            stack.push(0)
+        for _ in range(6):
+            stack.pop()
+        assert stack.pushes == 6
+        assert stack.pops == 6
+        assert stack.overflows == 2
+        assert stack.underflows == 2
+
+
+# ----------------------------------------------------------------------
+# Property: whatever the push/pop sequence, a pop either returns a real
+# snapshot that was pushed for the matching frame, or the safe all-live
+# mask — never a snapshot belonging to a *different* (shallower) frame.
+# ----------------------------------------------------------------------
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.integers(0, ALL_LIVE)),
+            st.tuples(st.just("pop"), st.just(0)),
+        ),
+        max_size=80,
+    ),
+    depth=st.integers(min_value=1, max_value=8),
+)
+def test_lvm_stack_pop_is_snapshot_or_safe(ops, depth):
+    stack = LVMStack(depth=depth)
+    model = []  # unbounded reference stack
+    for op, value in ops:
+        if op == "push":
+            stack.push(value)
+            model.append(value)
+        else:
+            popped = stack.pop()
+            expected = model.pop() if model else None
+            if expected is None:
+                assert popped == ALL_LIVE
+            else:
+                # either the true snapshot (within capacity) or all-live
+                # (wrapped away); never some other frame's snapshot
+                assert popped == expected or popped == ALL_LIVE

@@ -1,0 +1,168 @@
+"""Tests for the experiment harnesses (tiny profile for speed).
+
+These check the *shape* of each figure — the qualitative claims DESIGN.md
+commits to — on a reduced sweep.  The benchmarks regenerate the fuller
+tables.
+"""
+
+import pytest
+
+from repro.experiments import fig3_characterization
+from repro.experiments import fig5_regfile_ipc
+from repro.experiments import fig6_performance
+from repro.experiments import fig9_eliminated
+from repro.experiments import fig10_speedup
+from repro.experiments import fig12_context_switch
+from repro.experiments import fig13_edvi_overhead
+from repro.experiments import ablation_lvmstack_depth
+from repro.experiments.runner import (
+    ExperimentContext,
+    ExperimentProfile,
+    format_table,
+    regfile_modes,
+)
+
+TINY = ExperimentProfile(
+    name="tiny",
+    regfile_sizes=(34, 42, 50, 64, 96),
+    workloads=("li_like", "perl_like"),
+    sr_workloads=("li_like", "perl_like"),
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(TINY)
+
+
+class TestRunnerInfrastructure:
+    def test_profiles(self):
+        assert ExperimentProfile.full().regfile_sizes == tuple(range(34, 99, 4))
+        quick = ExperimentProfile.quick()
+        assert len(quick.workloads) < 7
+
+    def test_binary_cache(self, context):
+        a = context.binary("li_like", edvi=False)
+        b = context.binary("li_like", edvi=False)
+        assert a is b
+        annotated = context.binary("li_like", edvi=True)
+        assert any(inst.is_kill for inst in annotated.insts)
+        assert not any(inst.is_kill for inst in a.insts)
+
+    def test_regfile_modes_are_the_three_curves(self):
+        labels = [label for label, _, _ in regfile_modes()]
+        assert labels == ["No DVI", "I-DVI", "E-DVI and I-DVI"]
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["y", 2]], title="T")
+        assert "T" in text and "1.500" in text and "bb" in text
+
+    def test_format_table_empty_rows(self):
+        assert "a" in format_table(["a"], [])
+
+
+class TestFig3(object):
+    def test_characterization_rows(self, context):
+        result = fig3_characterization.run(TINY, context)
+        rows = result.by_name()
+        assert set(rows) == {"li_like", "perl_like"}
+        for row in result.rows:
+            assert row.dynamic_insts > 0
+            assert 0 <= row.pct_calls < 100
+        assert "Figure 3" in result.format_table()
+
+    def test_machine_description_lists_figure2_values(self):
+        text = fig3_characterization.machine_description()
+        assert "64KB" in text and "512KB" in text and "gshare" in text
+
+
+class TestFig5And6:
+    @pytest.fixture(scope="class")
+    def fig5(self, context):
+        return fig5_regfile_ipc.run(TINY, context)
+
+    def test_curves_monotone_in_size(self, fig5):
+        for label, series in fig5.curves.items():
+            assert series[-1] >= series[0], label
+
+    def test_dvi_dominates_no_dvi_at_small_sizes(self, fig5):
+        assert fig5.curves["I-DVI"][0] > fig5.curves["No DVI"][0] * 1.1
+
+    def test_edvi_adds_little_over_idvi(self, fig5):
+        # Paper: "The E-DVI instructions we insert before procedure calls
+        # have little added value."
+        for idvi, full in zip(fig5.curves["I-DVI"],
+                              fig5.curves["E-DVI and I-DVI"]):
+            assert abs(full - idvi) / idvi < 0.05
+
+    def test_idvi_reaches_90pct_peak_at_smaller_size(self, fig5):
+        assert fig5.size_reaching("I-DVI", 0.9) <= fig5.size_reaching(
+            "No DVI", 0.9
+        )
+
+    def test_fig6_shifts_design_point_down(self, context, fig5):
+        result = fig6_performance.run(TINY, context, fig5=fig5)
+        assert result.optimized_peak_size <= result.reference_peak_size
+        assert result.improvement > 0
+        assert "Peak design points" in result.format_table()
+
+
+class TestFig9:
+    def test_stack_scheme_doubles_lvm_scheme(self, context):
+        result = fig9_eliminated.run(TINY, context)
+        lvm = result.average("LVM", "pct_of_saves_restores")
+        stack = result.average("LVM-Stack", "pct_of_saves_restores")
+        # "The LVM scheme, which eliminates only saves, provides half
+        # the benefit."
+        assert stack == pytest.approx(2 * lvm, rel=0.2)
+
+    def test_percent_orderings(self, context):
+        result = fig9_eliminated.run(TINY, context)
+        for row in result.rows:
+            assert row.pct_of_saves_restores >= row.pct_of_mem_refs >= \
+                row.pct_of_insts
+
+
+class TestFig10:
+    def test_stack_beats_lvm_beats_nothing(self, context):
+        result = fig10_speedup.run(TINY, context)
+        best = result.best()
+        assert best.lvm_stack_speedup > 0
+        for row in result.rows:
+            assert row.lvm_stack_speedup >= row.lvm_speedup - 0.5
+
+
+class TestFig12:
+    def test_full_dvi_beats_idvi(self, context):
+        result = fig12_context_switch.run(TINY, context)
+        assert result.average("pct_eliminated_full") >= result.average(
+            "pct_eliminated_idvi"
+        )
+        assert result.average("pct_eliminated_idvi") > 20.0
+
+    def test_scheduler_measurement_correct(self, context):
+        result = fig12_context_switch.run(TINY, context)
+        for measurement in result.scheduler:
+            assert measurement.all_correct
+            assert measurement.switches > 0
+
+
+class TestFig13:
+    def test_overhead_is_small(self, context):
+        result = fig13_edvi_overhead.run(TINY, context)
+        for row in result.rows:
+            assert row.pct_dynamic < 10.0
+            assert row.pct_static < 10.0
+            for value in row.pct_ipc.values():
+                # IPC overhead bounded by (roughly) the fetch overhead
+                assert value < row.pct_dynamic + 1.0
+
+
+class TestAblation:
+    def test_16_entries_capture_most_of_unbounded(self, context):
+        result = ablation_lvmstack_depth.run(
+            TINY, context, depths=(1, 4, 16, None)
+        )
+        for row in result.rows:
+            assert row.capture_fraction(16) > 0.9
+            assert row.capture_fraction(1) <= row.capture_fraction(4) + 1e-9

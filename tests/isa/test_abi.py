@@ -1,0 +1,91 @@
+"""Tests for the calling convention and its I-DVI masks."""
+
+import pytest
+
+from repro.isa import registers as regs
+from repro.isa.abi import ABI, DEFAULT_ABI, no_idvi_abi
+
+
+class TestPartition:
+    def test_caller_and_callee_sets_disjoint(self):
+        assert DEFAULT_ABI.caller_saved & DEFAULT_ABI.callee_saved == 0
+
+    def test_callee_saved_contains_s_registers_and_fp(self):
+        for reg in (regs.S0, regs.S7, regs.FP):
+            assert DEFAULT_ABI.callee_saved & (1 << reg)
+
+    def test_caller_saved_contains_temporaries_and_ra(self):
+        for reg in (regs.T0, regs.T9, regs.V0, regs.A0, regs.RA):
+            assert DEFAULT_ABI.caller_saved & (1 << reg)
+
+    def test_zero_in_neither_set(self):
+        assert not DEFAULT_ABI.caller_saved & 1
+        assert not DEFAULT_ABI.callee_saved & 1
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(ValueError):
+            ABI(callee_saved=1 << regs.T0, caller_saved=1 << regs.T0)
+
+
+class TestIDVIMasks:
+    def test_call_mask_excludes_arguments(self):
+        mask = DEFAULT_ABI.idvi_call_mask()
+        for reg in (regs.A0, regs.A1, regs.A2, regs.A3):
+            assert not mask & (1 << reg)
+
+    def test_call_mask_excludes_ra(self):
+        assert not DEFAULT_ABI.idvi_call_mask() & (1 << regs.RA)
+
+    def test_call_mask_kills_temporaries_and_return_regs(self):
+        mask = DEFAULT_ABI.idvi_call_mask()
+        for reg in (regs.T0, regs.T7, regs.T9, regs.V0, regs.V1, regs.AT):
+            assert mask & (1 << reg)
+
+    def test_return_mask_excludes_return_values(self):
+        mask = DEFAULT_ABI.idvi_return_mask()
+        assert not mask & (1 << regs.V0)
+        assert not mask & (1 << regs.V1)
+
+    def test_return_mask_kills_arguments_and_temporaries(self):
+        mask = DEFAULT_ABI.idvi_return_mask()
+        for reg in (regs.A0, regs.A3, regs.T0, regs.T9):
+            assert mask & (1 << reg)
+
+    def test_masks_never_name_callee_saved_registers(self):
+        assert DEFAULT_ABI.idvi_call_mask() & DEFAULT_ABI.callee_saved == 0
+        assert DEFAULT_ABI.idvi_return_mask() & DEFAULT_ABI.callee_saved == 0
+
+    def test_no_idvi_abi_has_empty_masks(self):
+        abi = no_idvi_abi()
+        assert abi.idvi_call_mask() == 0
+        assert abi.idvi_return_mask() == 0
+
+    def test_no_idvi_abi_keeps_callee_saved_set(self):
+        assert no_idvi_abi().callee_saved == DEFAULT_ABI.callee_saved
+
+
+class TestBoundaries:
+    def test_live_at_return_includes_callee_saved(self):
+        live = DEFAULT_ABI.live_at_return()
+        assert live & DEFAULT_ABI.callee_saved == DEFAULT_ABI.callee_saved
+
+    def test_live_at_return_includes_return_values_and_sp(self):
+        live = DEFAULT_ABI.live_at_return()
+        for reg in (regs.V0, regs.V1, regs.SP, regs.GP):
+            assert live & (1 << reg)
+
+    def test_killable_excludes_structural_registers(self):
+        killable = DEFAULT_ABI.killable_mask()
+        for reg in (regs.ZERO, regs.SP, regs.GP, regs.K0, regs.K1):
+            assert not killable & (1 << reg)
+
+    def test_killable_includes_callee_saved(self):
+        killable = DEFAULT_ABI.killable_mask()
+        assert killable & DEFAULT_ABI.callee_saved == DEFAULT_ABI.callee_saved
+
+    def test_saveable_excludes_zero_and_kernel_only(self):
+        saveable = DEFAULT_ABI.saveable_mask()
+        assert not saveable & (1 << regs.ZERO)
+        assert not saveable & (1 << regs.K0)
+        assert not saveable & (1 << regs.K1)
+        assert bin(saveable).count("1") == regs.NUM_REGS - 3

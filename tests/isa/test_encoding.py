@@ -1,0 +1,163 @@
+"""Tests for the 32-bit binary encoding, including property-based roundtrips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import registers as regs
+from repro.isa.encoding import (
+    EncodingError,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+)
+from repro.isa.instruction import Instruction, kill
+from repro.isa.opcodes import Opcode
+
+
+def roundtrip(inst: Instruction, index: int = 0) -> Instruction:
+    return decode(encode(inst, index), index)
+
+
+class TestRoundtrips:
+    def test_rrr(self):
+        inst = Instruction(Opcode.ADD, rd=3, rs1=4, rs2=5)
+        assert roundtrip(inst) == inst
+
+    def test_rri_negative_immediate(self):
+        inst = Instruction(Opcode.ADDI, rd=29, rs1=29, imm=-32768)
+        assert roundtrip(inst) == inst
+
+    def test_load_store(self):
+        lw = Instruction(Opcode.LW, rd=8, rs1=29, imm=124)
+        sw = Instruction(Opcode.SW, rs2=8, rs1=29, imm=-4)
+        assert roundtrip(lw) == lw
+        assert roundtrip(sw) == sw
+
+    def test_live_variants(self):
+        save = Instruction(Opcode.LIVE_SW, rs2=16, rs1=29, imm=0)
+        restore = Instruction(Opcode.LIVE_LW, rd=16, rs1=29, imm=8)
+        assert roundtrip(save) == save
+        assert roundtrip(restore) == restore
+
+    def test_branch_relative_offset(self):
+        inst = Instruction(Opcode.BEQ, rs1=1, rs2=2, target=10)
+        assert roundtrip(inst, index=20) == inst
+
+    def test_branch_backward(self):
+        inst = Instruction(Opcode.BNE, rs1=1, rs2=2, target=0)
+        assert roundtrip(inst, index=100) == inst
+
+    def test_jumps(self):
+        j = Instruction(Opcode.J, target=1234)
+        jal = Instruction(Opcode.JAL, target=0)
+        assert roundtrip(j) == j
+        assert roundtrip(jal) == jal
+
+    def test_jr_jalr(self):
+        jr = Instruction(Opcode.JR, rs1=regs.RA)
+        jalr = Instruction(Opcode.JALR, rd=regs.RA, rs1=regs.T2)
+        assert roundtrip(jr) == jr
+        assert roundtrip(jalr) == jalr
+
+    def test_kill_mask(self):
+        inst = kill(regs.mask_of([regs.S0, regs.S5, regs.RA]))
+        assert roundtrip(inst) == inst
+
+    def test_misc(self):
+        for op in (Opcode.NOP, Opcode.HALT):
+            inst = Instruction(op)
+            assert roundtrip(inst) == inst
+        lvm = Instruction(Opcode.LVM_SAVE, rs1=29, imm=16)
+        assert roundtrip(lvm) == lvm
+
+    def test_lui(self):
+        inst = Instruction(Opcode.LUI, rd=5, imm=0x10)
+        assert roundtrip(inst) == inst
+
+
+class TestErrors:
+    def test_immediate_overflow(self):
+        inst = Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1 << 16)
+        with pytest.raises(EncodingError):
+            encode(inst, 0)
+
+    def test_unlinked_target_rejected(self):
+        inst = Instruction(Opcode.J, target="label")
+        with pytest.raises(EncodingError):
+            encode(inst, 0)
+
+    def test_kill_mask_below_r8_rejected(self):
+        inst = Instruction(Opcode.KILL, kill_mask=1 << 4)
+        with pytest.raises(EncodingError):
+            encode(inst, 0)
+
+    def test_branch_offset_overflow(self):
+        inst = Instruction(Opcode.BEQ, rs1=1, rs2=2, target=(1 << 16) + 100)
+        with pytest.raises(EncodingError):
+            encode(inst, 0)
+
+    def test_decode_invalid_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(63 << 26, 0)
+
+    def test_decode_out_of_range_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32, 0)
+        with pytest.raises(EncodingError):
+            decode(-1, 0)
+
+
+class TestProgramLevel:
+    def test_encode_decode_program(self):
+        insts = [
+            Instruction(Opcode.ADDI, rd=8, rs1=0, imm=5),
+            Instruction(Opcode.BEQ, rs1=8, rs2=0, target=3),
+            Instruction(Opcode.ADD, rd=9, rs1=8, rs2=8),
+            Instruction(Opcode.HALT),
+        ]
+        words = encode_program(insts)
+        assert len(words) == 4
+        assert decode_program(words) == insts
+
+    def test_all_words_are_32_bit(self):
+        insts = [Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-1)]
+        for word in encode_program(insts):
+            assert 0 <= word < (1 << 32)
+
+
+# ----------------------------------------------------------------------
+# Property-based roundtrips over the whole operand space.
+# ----------------------------------------------------------------------
+
+reg_st = st.integers(min_value=0, max_value=31)
+imm_st = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+
+
+@given(rd=reg_st, rs1=reg_st, rs2=reg_st)
+def test_rrr_roundtrip_property(rd, rs1, rs2):
+    inst = Instruction(Opcode.XOR, rd=rd, rs1=rs1, rs2=rs2)
+    assert roundtrip(inst) == inst
+
+
+@given(rd=reg_st, rs1=reg_st, imm=imm_st)
+def test_load_roundtrip_property(rd, rs1, imm):
+    inst = Instruction(Opcode.LW, rd=rd, rs1=rs1, imm=imm)
+    assert roundtrip(inst) == inst
+
+
+@given(index=st.integers(min_value=0, max_value=10000),
+       offset=st.integers(min_value=-(1 << 14), max_value=(1 << 14) - 1))
+def test_branch_roundtrip_property(index, offset):
+    target = index + 1 + offset
+    if target < 0:
+        return
+    inst = Instruction(Opcode.BLT, rs1=3, rs2=7, target=target)
+    assert roundtrip(inst, index) == inst
+
+
+@given(mask_bits=st.sets(st.integers(min_value=8, max_value=31)))
+def test_kill_roundtrip_property(mask_bits):
+    mask = regs.mask_of(sorted(mask_bits))
+    inst = Instruction(Opcode.KILL, kill_mask=mask)
+    assert roundtrip(inst) == inst

@@ -1,0 +1,170 @@
+"""Tests for the instruction type: def/use sets, predicates, constructors."""
+
+import pytest
+
+from repro.isa import registers as regs
+from repro.isa.instruction import (
+    Instruction,
+    branch,
+    format_instruction,
+    kill,
+    load,
+    rri,
+    rrr,
+    store,
+)
+from repro.isa.opcodes import Opcode
+
+
+class TestDefUse:
+    def test_rrr_defs_and_uses(self):
+        inst = rrr(Opcode.ADD, rd=3, rs1=4, rs2=5)
+        assert inst.defs() == (3,)
+        assert inst.uses() == (4, 5)
+
+    def test_rri_defs_and_uses(self):
+        inst = rri(Opcode.ADDI, rd=8, rs1=9, imm=4)
+        assert inst.defs() == (8,)
+        assert inst.uses() == (9,)
+
+    def test_load_defs_and_uses(self):
+        inst = load(Opcode.LW, rd=10, base=29, offset=8)
+        assert inst.defs() == (10,)
+        assert inst.uses() == (29,)
+
+    def test_store_has_no_defs(self):
+        inst = store(Opcode.SW, data=10, base=29, offset=0)
+        assert inst.defs() == ()
+        assert set(inst.uses()) == {10, 29}
+
+    def test_zero_register_excluded_from_defs_and_uses(self):
+        inst = rrr(Opcode.ADD, rd=0, rs1=0, rs2=5)
+        assert inst.defs() == ()
+        assert inst.uses() == (5,)
+
+    def test_branch_uses_both_sources(self):
+        inst = branch(Opcode.BEQ, 4, 5, "target")
+        assert set(inst.uses()) == {4, 5}
+        assert inst.defs() == ()
+
+    def test_zero_compare_branch_uses_one_source(self):
+        inst = Instruction(Opcode.BLEZ, rs1=7, target="t")
+        assert inst.uses() == (7,)
+
+    def test_jal_defines_ra(self):
+        inst = Instruction(Opcode.JAL, target="f")
+        assert inst.defs() == (regs.RA,)
+        assert inst.uses() == ()
+
+    def test_jalr_defines_rd_uses_rs1(self):
+        inst = Instruction(Opcode.JALR, rd=regs.RA, rs1=regs.T3)
+        assert inst.defs() == (regs.RA,)
+        assert inst.uses() == (regs.T3,)
+
+    def test_jr_uses_rs1(self):
+        inst = Instruction(Opcode.JR, rs1=regs.RA)
+        assert inst.uses() == (regs.RA,)
+        assert inst.defs() == ()
+
+    def test_kill_has_no_syntactic_defs_or_uses(self):
+        inst = kill(1 << regs.S0)
+        assert inst.defs() == ()
+        assert inst.uses() == ()
+        assert inst.kill_mask == 1 << regs.S0
+
+    def test_lui_defines_rd(self):
+        inst = Instruction(Opcode.LUI, rd=5, imm=16)
+        assert inst.defs() == (5,)
+        assert inst.uses() == ()
+
+    def test_lvm_ops_use_base_register(self):
+        inst = Instruction(Opcode.LVM_SAVE, rs1=regs.SP, imm=0)
+        assert inst.uses() == (regs.SP,)
+
+
+class TestPredicates:
+    def test_is_branch(self):
+        assert branch(Opcode.BNE, 1, 2, "x").is_branch
+        assert not Instruction(Opcode.J, target="x").is_branch
+
+    def test_is_control(self):
+        for op in (Opcode.BEQ, Opcode.J, Opcode.JAL, Opcode.JR, Opcode.JALR):
+            assert Instruction(op, target="x").is_control
+        assert not Instruction(Opcode.ADD).is_control
+
+    def test_is_call(self):
+        assert Instruction(Opcode.JAL, target="f").is_call
+        assert Instruction(Opcode.JALR, rd=31, rs1=8).is_call
+        assert not Instruction(Opcode.J, target="f").is_call
+
+    def test_is_return_only_for_jr_ra(self):
+        assert Instruction(Opcode.JR, rs1=regs.RA).is_return
+        assert not Instruction(Opcode.JR, rs1=regs.T0).is_return
+
+    def test_save_restore_predicates(self):
+        assert store(Opcode.LIVE_SW, 16, 29, 0).is_save
+        assert load(Opcode.LIVE_LW, 16, 29, 0).is_restore
+        assert not store(Opcode.SW, 16, 29, 0).is_save
+
+    def test_falls_through(self):
+        assert Instruction(Opcode.ADD).falls_through
+        assert branch(Opcode.BEQ, 1, 2, "x").falls_through  # may not be taken
+        assert Instruction(Opcode.JAL, target="f").falls_through  # returns
+        assert not Instruction(Opcode.J, target="x").falls_through
+        assert not Instruction(Opcode.JR, rs1=regs.RA).falls_through
+        assert not Instruction(Opcode.HALT).falls_through
+
+    def test_mem_predicates(self):
+        assert load(Opcode.LW, 1, 2, 0).is_mem
+        assert store(Opcode.SB, 1, 2, 0).is_mem
+        assert not Instruction(Opcode.ADD).is_mem
+
+
+class TestConstructors:
+    def test_rrr_rejects_non_rrr_opcode(self):
+        with pytest.raises(ValueError):
+            rrr(Opcode.ADDI, 1, 2, 3)
+
+    def test_rri_rejects_non_rri_opcode(self):
+        with pytest.raises(ValueError):
+            rri(Opcode.ADD, 1, 2, 3)
+
+    def test_load_store_reject_wrong_opcodes(self):
+        with pytest.raises(ValueError):
+            load(Opcode.SW, 1, 2, 0)
+        with pytest.raises(ValueError):
+            store(Opcode.LW, 1, 2, 0)
+
+    def test_branch_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            branch(Opcode.J, 1, 2, "x")
+
+    def test_kill_rejects_r0(self):
+        with pytest.raises(ValueError):
+            kill(1)
+
+    def test_kill_rejects_oversized_mask(self):
+        with pytest.raises(ValueError):
+            kill(1 << 32)
+
+    def test_with_target(self):
+        inst = branch(Opcode.BEQ, 1, 2, "label")
+        linked = inst.with_target(42)
+        assert linked.target == 42
+        assert inst.target == "label"  # original unchanged
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "inst,expected",
+        [
+            (rrr(Opcode.ADD, 2, 4, 8), "add v0, a0, t0"),
+            (rri(Opcode.ADDI, 29, 29, -16), "addi sp, sp, -16"),
+            (load(Opcode.LW, 8, 29, 4), "lw t0, 4(sp)"),
+            (store(Opcode.LIVE_SW, 16, 29, 0), "live_sw s0, 0(sp)"),
+            (Instruction(Opcode.JR, rs1=regs.RA), "jr ra"),
+            (kill(1 << 16), "kill {s0}"),
+        ],
+    )
+    def test_format(self, inst, expected):
+        assert format_instruction(inst) == expected

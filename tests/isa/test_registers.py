@@ -1,0 +1,101 @@
+"""Tests for register names, aliases, and mask utilities."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+class TestNames:
+    def test_all_32_registers_have_aliases(self):
+        assert len(regs.ALIASES) == regs.NUM_REGS
+        assert set(regs.ALIASES.values()) == set(range(regs.NUM_REGS))
+
+    def test_reg_name_aliases(self):
+        assert regs.reg_name(regs.SP) == "sp"
+        assert regs.reg_name(regs.ZERO) == "zero"
+        assert regs.reg_name(regs.S0) == "s0"
+        assert regs.reg_name(regs.RA) == "ra"
+
+    def test_reg_name_numeric(self):
+        assert regs.reg_name(16, numeric=True) == "r16"
+        assert regs.reg_name(0, numeric=True) == "r0"
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            regs.reg_name(32)
+        with pytest.raises(ValueError):
+            regs.reg_name(-1)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("sp", regs.SP),
+            ("$sp", regs.SP),
+            ("r16", 16),
+            ("$31", None),  # "$31" -> strip "$" -> "31" is not rN form
+            ("S0", regs.S0),
+            ("RA", regs.RA),
+            (" t3 ", regs.T3),
+        ],
+    )
+    def test_parse(self, text, expected):
+        if expected is None:
+            with pytest.raises(ValueError):
+                regs.parse_reg(text)
+        else:
+            assert regs.parse_reg(text) == expected
+
+    def test_parse_numeric(self):
+        for index in range(regs.NUM_REGS):
+            assert regs.parse_reg(f"r{index}") == index
+
+    def test_parse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            regs.parse_reg("r32")
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "x5", "reg1", "r", "r-1"):
+            with pytest.raises(ValueError):
+                regs.parse_reg(bad)
+
+    def test_roundtrip_alias_names(self):
+        for index in range(regs.NUM_REGS):
+            assert regs.parse_reg(regs.reg_name(index)) == index
+
+
+class TestMasks:
+    def test_mask_of(self):
+        assert regs.mask_of([]) == 0
+        assert regs.mask_of([0]) == 1
+        assert regs.mask_of([regs.S0, regs.S1]) == (1 << 16) | (1 << 17)
+
+    def test_mask_of_duplicates_idempotent(self):
+        assert regs.mask_of([5, 5, 5]) == 1 << 5
+
+    def test_mask_of_rejects_bad_register(self):
+        with pytest.raises(ValueError):
+            regs.mask_of([40])
+
+    def test_regs_in_mask_ascending(self):
+        mask = regs.mask_of([31, 4, 16])
+        assert list(regs.regs_in_mask(mask)) == [4, 16, 31]
+
+    def test_regs_in_mask_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            list(regs.regs_in_mask(1 << 32))
+        with pytest.raises(ValueError):
+            list(regs.regs_in_mask(-1))
+
+    def test_popcount(self):
+        assert regs.popcount(0) == 0
+        assert regs.popcount(0b1011) == 3
+
+    def test_format_mask(self):
+        assert regs.format_mask(regs.mask_of([regs.S0, regs.S1])) == "{s0, s1}"
+        assert regs.format_mask(0) == "{}"
+
+    def test_mask_roundtrip(self):
+        members = [1, 2, 16, 29, 31]
+        assert list(regs.regs_in_mask(regs.mask_of(members))) == members

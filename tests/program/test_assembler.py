@@ -1,0 +1,215 @@
+"""Tests for the text assembler and disassembler."""
+
+import pytest
+
+from repro.isa import registers as R
+from repro.isa.opcodes import Opcode
+from repro.program.assembler import AssemblerError, assemble
+from repro.program.disassembler import disassemble, disassemble_words
+from repro.isa.encoding import encode_program
+from repro.sim.functional import run_program
+
+
+class TestBasics:
+    def test_simple_program(self):
+        program = assemble("""
+            .text
+            main:
+                li   v0, 42
+                halt
+        """)
+        result = run_program(program, collect_trace=False)
+        assert result.stats.exit_value == 42
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            # a comment
+            main:            ; another comment style
+                addi t0, zero, 1   # trailing
+                halt
+        """)
+        assert len(program.insts) == 2
+
+    def test_operand_separators(self):
+        program = assemble("""
+            main:
+                add t0 t1 t2
+                add t3, t4, t5
+                halt
+        """)
+        assert program.insts[0].rd == R.T0
+        assert program.insts[1].rs2 == R.T5
+
+    def test_memory_operands(self):
+        program = assemble("""
+            main:
+                lw  t0, 8(sp)
+                sw  t0, -4(sp)
+                live_sw s0, 0(sp)
+                live_lw s0, 0(sp)
+                halt
+        """)
+        ops = [inst.op for inst in program.insts]
+        assert ops[:4] == [Opcode.LW, Opcode.SW, Opcode.LIVE_SW, Opcode.LIVE_LW]
+        assert program.insts[1].imm == -4
+
+    def test_branches_and_jumps(self):
+        program = assemble("""
+            main:
+            top:
+                addi t0, t0, 1
+                blt  t0, t1, top
+                beq  t0, t1, done
+                j    top
+            done:
+                halt
+        """)
+        assert program.insts[1].target == 0
+        assert program.insts[2].target == 4
+
+    def test_kill_instruction(self):
+        program = assemble("""
+            main:
+                kill s0, s1
+                halt
+        """)
+        assert program.insts[0].kill_mask == (1 << R.S0) | (1 << R.S1)
+
+    def test_hex_immediates(self):
+        program = assemble("""
+            main:
+                li t0, 0xff
+                halt
+        """)
+        assert program.insts[0].imm == 255
+
+
+class TestDataSection:
+    def test_word_directive(self):
+        program = assemble("""
+            .data
+            table: .word 1, 2, 3
+            .text
+            main:
+                la  t0, table
+                lw  v0, 4(t0)
+                halt
+        """)
+        result = run_program(program, collect_trace=False)
+        assert result.stats.exit_value == 2
+
+    def test_space_directive_rounds_to_words(self):
+        program = assemble("""
+            .data
+            buf: .space 6
+            after: .word 9
+            .text
+            main: halt
+        """)
+        # buf occupies ceil(6/4) = 2 words, so 'after' sits 8 bytes in.
+        (after_addr,) = [addr for addr, value in program.data.items() if value == 9]
+        from repro.program.program import DATA_BASE
+        assert after_addr == DATA_BASE + 8
+
+    def test_data_name_usable_as_immediate(self):
+        program = assemble("""
+            .data
+            x: .word 7
+            .text
+            main:
+                li  t0, x
+                lw  v0, 0(t0)
+                halt
+        """)
+        assert run_program(program, collect_trace=False).stats.exit_value == 7
+
+
+class TestProcDirective:
+    def test_proc_emits_prologue_and_records_extent(self):
+        program = assemble("""
+            .text
+            main:
+                jal f
+                halt
+            .proc f saves=s0+s1 save_ra
+                addi v0, a0, 1
+                epilogue
+            .endproc
+        """)
+        proc = program.procedure_named("f")
+        assert program.insts[proc.start].op is Opcode.ADDI  # sp adjust
+        saves = [i for i in program.insts if i.op is Opcode.LIVE_SW]
+        assert {s.rs2 for s in saves} == {R.S0, R.S1}
+
+    def test_proc_executes_correctly(self):
+        program = assemble("""
+            .text
+            main:
+                li  a0, 41
+                jal f
+                halt
+            .proc f
+                addi v0, a0, 1
+                epilogue
+            .endproc
+        """)
+        assert run_program(program, collect_trace=False).stats.exit_value == 42
+
+    def test_missing_endproc_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".proc f\nepilogue\n")
+
+    def test_stray_endproc_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".endproc")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="line 1"):
+            assemble("frobnicate t0")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add t0, t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add q0, t1, t2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw t0, sp")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".frob x")
+
+    def test_data_directive_without_label(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.word 1")
+
+
+class TestDisassembler:
+    def test_disassemble_contains_labels(self):
+        program = assemble("""
+            main:
+                li v0, 1
+            done:
+                halt
+        """)
+        text = disassemble(program)
+        assert "main:" in text and "done:" in text and "halt" in text
+
+    def test_disassemble_words_roundtrip(self):
+        program = assemble("""
+            main:
+                addi t0, zero, 3
+                add  t1, t0, t0
+                beq  t1, zero, main
+                halt
+        """)
+        words = encode_program(program.insts)
+        lines = disassemble_words(words)
+        assert lines[0] == "addi t0, zero, 3"
+        assert lines[1] == "add t1, t0, t0"

@@ -1,0 +1,219 @@
+"""Tests for the ProgramBuilder DSL."""
+
+import pytest
+
+from repro.isa import registers as R
+from repro.isa.opcodes import Opcode
+from repro.program.builder import ProgramBuilder
+from repro.program.program import DATA_BASE, ProgramError
+
+
+class TestEmission:
+    def test_simple_sequence(self):
+        b = ProgramBuilder("t")
+        b.label("main")
+        b.addi(R.T0, R.ZERO, 5)
+        b.add(R.T1, R.T0, R.T0)
+        b.halt()
+        program = b.build()
+        assert [inst.op for inst in program.insts] == [
+            Opcode.ADDI, Opcode.ADD, Opcode.HALT,
+        ]
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder("t")
+        b.label("x")
+        with pytest.raises(ProgramError):
+            b.label("x")
+
+    def test_unique_labels_are_distinct(self):
+        b = ProgramBuilder("t")
+        assert b.unique("loop") != b.unique("loop")
+
+    def test_here_tracks_position(self):
+        b = ProgramBuilder("t")
+        assert b.here == 0
+        b.nop()
+        assert b.here == 1
+
+    def test_branch_targets_link(self):
+        b = ProgramBuilder("t")
+        b.label("main")
+        b.label("top")
+        b.addi(R.T0, R.T0, 1)
+        b.bne(R.T0, R.ZERO, "top")
+        b.halt()
+        program = b.build()
+        assert program.insts[1].target == 0
+
+
+class TestPseudoInstructions:
+    def test_li_small_positive(self):
+        b = ProgramBuilder("t")
+        b.li(R.T0, 100)
+        assert len(b._insts) == 1
+        assert b._insts[0].op is Opcode.ADDI
+
+    def test_li_small_negative(self):
+        b = ProgramBuilder("t")
+        b.li(R.T0, -5)
+        assert len(b._insts) == 1
+        assert b._insts[0].imm == -5
+
+    def test_li_large_uses_lui_ori(self):
+        b = ProgramBuilder("t")
+        b.li(R.T0, 0x12345678)
+        assert [i.op for i in b._insts] == [Opcode.LUI, Opcode.ORI]
+
+    def test_li_large_round_value_skips_ori(self):
+        b = ProgramBuilder("t")
+        b.li(R.T0, 0x10000)
+        assert [i.op for i in b._insts] == [Opcode.LUI]
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 0x7FFF, -0x8000, 0x8000,
+                                       0xFFFF, 0x10000, 0xDEADBEEF, -12345678])
+    def test_li_executes_to_value(self, value):
+        from repro.sim.functional import run_program
+        b = ProgramBuilder("t")
+        b.label("main")
+        b.li(R.V0, value)
+        b.halt()
+        result = run_program(b.build(), collect_trace=False)
+        assert result.stats.exit_value == value & 0xFFFFFFFF
+
+    def test_move(self):
+        b = ProgramBuilder("t")
+        b.move(R.T1, R.T0)
+        inst = b._insts[0]
+        assert inst.op is Opcode.OR and inst.rs2 == R.ZERO
+
+
+class TestData:
+    def test_words_allocates_and_initializes(self):
+        b = ProgramBuilder("t")
+        addr = b.words("arr", [10, 20])
+        assert addr == DATA_BASE
+        program_data = b.build(link=False).data
+        assert program_data[addr] == 10
+        assert program_data[addr + 4] == 20
+
+    def test_zeros_advances_allocator(self):
+        b = ProgramBuilder("t")
+        first = b.zeros("a", 3)
+        second = b.zeros("b", 1)
+        assert second == first + 12
+
+    def test_addr_of(self):
+        b = ProgramBuilder("t")
+        b.zeros("x", 1)
+        assert b.addr_of("x") == DATA_BASE
+        with pytest.raises(ProgramError):
+            b.addr_of("missing")
+
+    def test_duplicate_allocation_rejected(self):
+        b = ProgramBuilder("t")
+        b.zeros("x", 1)
+        with pytest.raises(ProgramError):
+            b.words("x", [1])
+
+    def test_label_words_resolve_at_build(self):
+        b = ProgramBuilder("t")
+        addr = b.label_words("table", ["f", "g"])
+        b.label("main")
+        b.halt()
+        b.label("f")
+        b.jr(R.RA)
+        b.label("g")
+        b.jr(R.RA)
+        program = b.build()
+        assert program.data[addr] == program.labels["f"] * 4
+        assert program.data[addr + 4] == program.labels["g"] * 4
+        assert (addr, "f") in program.relocations
+
+    def test_label_words_undefined_label_rejected(self):
+        b = ProgramBuilder("t")
+        b.label_words("table", ["ghost"])
+        b.label("main")
+        b.halt()
+        with pytest.raises(ProgramError):
+            b.build()
+
+
+class TestProcedures:
+    def test_prologue_and_epilogue_shape(self):
+        b = ProgramBuilder("t")
+        with b.proc("f", saves=(R.S0, R.S1), save_ra=True):
+            b.epilogue()
+        program = b.build(link=False)
+        ops = [inst.op for inst in program.insts]
+        assert ops == [
+            Opcode.ADDI,            # sp -= 12
+            Opcode.LIVE_SW, Opcode.LIVE_SW, Opcode.SW,   # saves + ra
+            Opcode.LIVE_LW, Opcode.LIVE_LW, Opcode.LW,   # restores + ra
+            Opcode.ADDI, Opcode.JR,                       # sp += 12, return
+        ]
+        assert program.insts[0].imm == -12
+        assert program.insts[7].imm == 12
+
+    def test_save_offsets_match_restore_offsets(self):
+        b = ProgramBuilder("t")
+        with b.proc("f", saves=(R.S0, R.S1), save_ra=True, locals_words=2):
+            b.epilogue()
+        program = b.build(link=False)
+        saves = [i for i in program.insts if i.op is Opcode.LIVE_SW]
+        restores = [i for i in program.insts if i.op is Opcode.LIVE_LW]
+        assert [(s.rs2, s.imm) for s in saves] == [
+            (r.rd, r.imm) for r in restores
+        ]
+
+    def test_leaf_proc_without_saves(self):
+        b = ProgramBuilder("t")
+        with b.proc("f"):
+            b.addi(R.V0, R.A0, 1)
+            b.epilogue()
+        program = b.build(link=False)
+        assert program.procedures[0].name == "f"
+        assert not any(i.op is Opcode.LIVE_SW for i in program.insts)
+
+    def test_procedure_extent_recorded(self):
+        b = ProgramBuilder("t")
+        b.label("main")
+        b.halt()
+        with b.proc("f", saves=(R.S0,)):
+            b.epilogue()
+        program = b.build()
+        proc = program.procedure_named("f")
+        assert proc.start == program.labels["f"]
+        assert proc.end == len(program.insts)
+
+    def test_nested_procs_rejected(self):
+        b = ProgramBuilder("t")
+        ctx = b.proc("f")
+        ctx.__enter__()
+        with pytest.raises(ProgramError):
+            b.proc("g").__enter__()
+
+    def test_build_with_open_proc_rejected(self):
+        b = ProgramBuilder("t")
+        b.proc("f").__enter__()
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_epilogue_outside_proc_rejected(self):
+        b = ProgramBuilder("t")
+        with pytest.raises(ProgramError):
+            b.epilogue()
+
+    def test_local_offset(self):
+        b = ProgramBuilder("t")
+        with b.proc("f", saves=(R.S0,), locals_words=2):
+            assert b.local_offset(0) == 0
+            assert b.local_offset(1) == 4
+            with pytest.raises(ProgramError):
+                b.local_offset(2)  # would collide with saved s0
+            b.epilogue()
+
+    def test_kill_emits_mask(self):
+        b = ProgramBuilder("t")
+        b.kill(R.S0, R.S1)
+        assert b._insts[0].kill_mask == (1 << R.S0) | (1 << R.S1)

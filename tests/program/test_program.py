@@ -1,0 +1,158 @@
+"""Tests for the program container: linking, labels, data, relocations."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.program.program import (
+    DATA_BASE,
+    ProcedureDecl,
+    Program,
+    ProgramError,
+    call_targets,
+)
+
+
+def tiny_program() -> Program:
+    return Program(
+        name="tiny",
+        insts=[
+            Instruction(Opcode.ADDI, rd=8, rs1=0, imm=1),
+            Instruction(Opcode.BEQ, rs1=8, rs2=0, target="end"),
+            Instruction(Opcode.J, target="loop"),
+            Instruction(Opcode.HALT),
+        ],
+        labels={"main": 0, "loop": 1, "end": 3},
+        procedures=[ProcedureDecl("main", 0, 4)],
+    )
+
+
+class TestLinking:
+    def test_link_resolves_labels(self):
+        program = tiny_program().link()
+        assert program.insts[1].target == 3
+        assert program.insts[2].target == 1
+        assert program.linked
+
+    def test_link_is_idempotent(self):
+        program = tiny_program().link()
+        again = program.link()
+        assert again.insts == program.insts
+
+    def test_undefined_label_rejected(self):
+        program = tiny_program()
+        program.insts[1] = program.insts[1].with_target("nowhere")
+        with pytest.raises(ProgramError, match="nowhere"):
+            program.link()
+
+    def test_out_of_range_numeric_target_rejected(self):
+        program = tiny_program()
+        program.insts[2] = program.insts[2].with_target(99)
+        with pytest.raises(ProgramError):
+            program.link()
+
+    def test_require_linked(self):
+        with pytest.raises(ProgramError):
+            tiny_program().require_linked()
+        tiny_program().link().require_linked()
+
+
+class TestQueries:
+    def test_entry_index(self):
+        assert tiny_program().entry_index == 0
+
+    def test_missing_entry_rejected(self):
+        program = tiny_program()
+        program.entry = "nope"
+        with pytest.raises(ProgramError):
+            program.entry_index
+
+    def test_code_bytes(self):
+        assert tiny_program().code_bytes == 16
+
+    def test_label_at(self):
+        program = tiny_program()
+        assert program.label_at(3) == "end"
+        assert program.label_at(2) is None
+
+    def test_procedure_at(self):
+        program = tiny_program()
+        assert program.procedure_at(2).name == "main"
+        assert program.procedure_at(10) is None
+
+    def test_procedure_named(self):
+        assert tiny_program().procedure_named("main").start == 0
+        with pytest.raises(ProgramError):
+            tiny_program().procedure_named("ghost")
+
+    def test_call_targets(self):
+        program = Program(
+            name="calls",
+            insts=[
+                Instruction(Opcode.JAL, target="f"),
+                Instruction(Opcode.HALT),
+                Instruction(Opcode.JR, rs1=31),
+            ],
+            labels={"main": 0, "f": 2},
+        ).link()
+        assert call_targets(program) == {0: (2,)}
+
+
+class TestData:
+    def test_set_words(self):
+        program = tiny_program()
+        program.set_words(DATA_BASE, [1, 2, 3])
+        assert program.data[DATA_BASE + 4] == 2
+
+    def test_set_words_rejects_unaligned(self):
+        with pytest.raises(ProgramError):
+            tiny_program().set_words(DATA_BASE + 2, [1])
+
+    def test_set_words_wraps_to_32_bits(self):
+        program = tiny_program()
+        program.set_words(DATA_BASE, [-1])
+        assert program.data[DATA_BASE] == 0xFFFF_FFFF
+
+
+class TestRelocations:
+    def test_apply_relocations(self):
+        program = tiny_program()
+        program.relocations.append((DATA_BASE, "end"))
+        program.apply_relocations()
+        assert program.data[DATA_BASE] == 3 * 4
+
+    def test_relocation_to_unknown_label_rejected(self):
+        program = tiny_program()
+        program.relocations.append((DATA_BASE, "ghost"))
+        with pytest.raises(ProgramError):
+            program.apply_relocations()
+
+    def test_with_insts_reapplies_relocations(self):
+        program = tiny_program()
+        program.relocations.append((DATA_BASE, "end"))
+        program.apply_relocations()
+        moved = program.with_insts(
+            [Instruction(Opcode.NOP)] + program.insts,
+            {name: index + 1 for name, index in program.labels.items()},
+            [ProcedureDecl("main", 1, 5)],
+        )
+        assert moved.data[DATA_BASE] == 4 * 4
+
+
+class TestValidate:
+    def test_bad_label_position_rejected(self):
+        program = tiny_program()
+        program.labels["bad"] = 77
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_bad_procedure_extent_rejected(self):
+        program = tiny_program()
+        program.procedures.append(ProcedureDecl("ghost", 2, 99))
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_listing_contains_labels_and_mnemonics(self):
+        text = tiny_program().link().listing()
+        assert "main:" in text
+        assert "addi" in text

@@ -1,0 +1,206 @@
+"""Tests for the E-DVI binary rewriter — including the paper's Figure 7."""
+
+import pytest
+
+from repro.isa import registers as R
+from repro.isa.opcodes import Opcode
+from repro.program.assembler import assemble
+from repro.program.builder import ProgramBuilder
+from repro.rewrite.edvi import callee_save_sets, insert_edvi, strip_edvi
+from repro.sim.functional import run_program
+
+
+def figure7_program():
+    """The paper's Figure 7: two callers, one conservative callee.
+
+    caller1 holds s0 live across the call; caller2 does not.  The callee
+    saves s0 unconditionally.  The rewriter must insert a kill before the
+    caller2 call only.
+    """
+    b = ProgramBuilder("fig7")
+    with b.proc("main", save_ra=True):
+        b.jal("caller1")
+        b.jal("caller2")
+        b.move(R.V0, R.ZERO)
+        b.halt()
+    with b.proc("caller1", saves=(R.S0,), save_ra=True):
+        b.li(R.S0, 11)
+        b.jal("proc")          # s0 live: used after the call
+        b.add(R.V0, R.S0, R.V0)
+        b.epilogue()
+    with b.proc("caller2", saves=(R.S0,), save_ra=True):
+        b.li(R.S0, 22)
+        b.move(R.A0, R.S0)
+        b.jal("proc")          # s0 dead: never used again
+        b.epilogue()
+    with b.proc("proc", saves=(R.S0,)):
+        b.addi(R.S0, R.A0, 1)
+        b.move(R.V0, R.S0)
+        b.epilogue()
+    return b.build()
+
+
+class TestFigure7:
+    def test_kill_inserted_only_at_dead_call_site(self):
+        result = insert_edvi(figure7_program())
+        decisions = {
+            (cs.caller, cs.callee): cs for cs in result.report.call_sites
+        }
+        assert not decisions[("caller1", "proc")].inserted
+        assert decisions[("caller2", "proc")].inserted
+        assert decisions[("caller2", "proc")].dead_mask == 1 << R.S0
+
+    def test_every_kill_immediately_precedes_a_call(self):
+        result = insert_edvi(figure7_program())
+        program = result.program
+        kill_indices = [i for i, inst in enumerate(program.insts) if inst.is_kill]
+        assert kill_indices  # at least the caller2 site
+        for index in kill_indices:
+            assert program.insts[index + 1].is_call
+
+    def test_kill_count_matches_report(self):
+        result = insert_edvi(figure7_program())
+        kills = sum(1 for inst in result.program.insts if inst.is_kill)
+        assert kills == result.report.kills_inserted
+        # main's entry-procedure call sites also legitimately kill s0
+        # (main never uses it and ends in halt), plus the caller2 site.
+        assert kills == 3
+
+    def test_rewritten_program_still_executes(self):
+        original = figure7_program()
+        rewritten = insert_edvi(original).program
+        a = run_program(original, collect_trace=False).stats.exit_value
+        b = run_program(rewritten, collect_trace=False).stats.exit_value
+        assert a == b
+
+
+class TestTargetRemapping:
+    def test_branch_to_call_lands_on_kill(self):
+        source = """
+            main:
+                beq  t0, zero, callsite
+                addi t0, zero, 1
+            callsite:
+                jal  f
+                halt
+            .proc f saves=s0
+                addi s0, a0, 1
+                epilogue
+            .endproc
+        """
+        program = assemble(source)
+        result = insert_edvi(program)
+        rewritten = result.program
+        if not result.report.kills_inserted:
+            pytest.skip("no kill inserted in this layout")
+        branch = rewritten.insts[0]
+        assert rewritten.insts[branch.target].is_kill
+
+    def test_labels_and_procedures_remapped(self):
+        program = figure7_program()
+        result = insert_edvi(program)
+        rewritten = result.program
+        for name, index in rewritten.labels.items():
+            assert 0 <= index <= len(rewritten.insts)
+        for proc in rewritten.procedures:
+            assert rewritten.insts[proc.start : proc.end], proc
+        rewritten.validate()
+
+    def test_index_map_is_monotonic(self):
+        result = insert_edvi(figure7_program())
+        values = [result.index_map[i] for i in sorted(result.index_map)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_relocations_are_fixed_up(self):
+        b = ProgramBuilder("reloc")
+        table = b.label_words("table", ["h"])
+        with b.proc("main", saves=(R.S0,), save_ra=True):
+            b.li(R.S0, 7)
+            b.move(R.A0, R.S0)
+            b.jal("callee")      # s0 dead here -> kill inserted
+            b.la(R.T0, "table")
+            b.lw(R.T1, 0, R.T0)
+            b.jalr(R.T1)
+            b.halt()
+        with b.proc("callee", saves=(R.S0,)):
+            b.addi(R.S0, R.A0, 1)
+            b.move(R.V0, R.S0)
+            b.epilogue()
+        with b.proc("h"):
+            b.epilogue()
+        program = b.build()
+        result = insert_edvi(program)
+        assert result.report.kills_inserted >= 1
+        rewritten = result.program
+        assert rewritten.data[table] == rewritten.labels["h"] * 4
+        # and it still runs
+        run_program(rewritten, collect_trace=False)
+
+
+class TestPolicy:
+    def test_no_duplicate_kill_on_rerun(self):
+        once = insert_edvi(figure7_program()).program
+        twice = insert_edvi(once)
+        assert twice.report.kills_inserted == 0
+
+    def test_kill_mask_restricted_to_callee_saves(self):
+        result = insert_edvi(figure7_program())
+        save_sets = callee_save_sets(figure7_program())
+        for site in result.report.call_sites:
+            if site.callee is not None:
+                assert site.dead_mask & ~save_sets[site.callee] == 0
+
+    def test_leaf_callee_without_saves_gets_no_kill(self):
+        program = assemble("""
+            main:
+                jal f
+                halt
+            .proc f
+                addi v0, a0, 1
+                epilogue
+            .endproc
+        """)
+        result = insert_edvi(program)
+        assert result.report.kills_inserted == 0
+
+    def test_report_code_growth(self):
+        result = insert_edvi(figure7_program())
+        report = result.report
+        assert report.rewritten_insts == report.original_insts + report.kills_inserted
+        assert report.code_growth == pytest.approx(
+            report.kills_inserted / report.original_insts
+        )
+        assert "kill" in report.summary()
+
+
+class TestCalleeSaveSets:
+    def test_scans_live_stores(self):
+        sets = callee_save_sets(figure7_program())
+        assert sets["proc"] == 1 << R.S0
+        assert sets["main"] == 0
+
+
+class TestStrip:
+    def test_strip_removes_all_kills(self):
+        rewritten = insert_edvi(figure7_program()).program
+        stripped = strip_edvi(rewritten)
+        assert not any(inst.is_kill for inst in stripped.insts)
+
+    def test_strip_restores_original_length(self):
+        original = figure7_program()
+        rewritten = insert_edvi(original).program
+        stripped = strip_edvi(rewritten)
+        assert len(stripped.insts) == len(original.insts)
+
+    def test_strip_preserves_behaviour(self):
+        original = figure7_program()
+        stripped = strip_edvi(insert_edvi(original).program)
+        a = run_program(original, collect_trace=False).stats.exit_value
+        b = run_program(stripped, collect_trace=False).stats.exit_value
+        assert a == b
+
+    def test_strip_of_clean_program_is_copy(self):
+        program = figure7_program()
+        stripped = strip_edvi(program)
+        assert [i.op for i in stripped.insts] == [i.op for i in program.insts]

@@ -1,0 +1,128 @@
+"""Tests for the DVI verifier and the observational-equivalence oracle."""
+
+import pytest
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.errors import DVIViolationError
+from repro.isa import registers as R
+from repro.program.builder import ProgramBuilder
+from repro.rewrite.edvi import insert_edvi
+from repro.rewrite.verify import check_equivalence, verify_dvi
+
+
+def program_with_bad_kill():
+    """A kill asserting s0 dead... followed by a read of s0."""
+    b = ProgramBuilder("bad")
+    b.label("main")
+    b.li(R.S0, 5)
+    b.kill(R.S0)
+    b.add(R.V0, R.S0, R.S0)  # reads the killed register: compiler bug
+    b.halt()
+    return b.build()
+
+
+def program_with_good_kill():
+    b = ProgramBuilder("good")
+    b.label("main")
+    b.li(R.S0, 5)
+    b.move(R.V0, R.S0)
+    b.kill(R.S0)
+    b.li(R.S0, 6)            # redefinition: the kill was correct
+    b.add(R.V0, R.V0, R.S0)
+    b.halt()
+    return b.build()
+
+
+class TestVerifier:
+    def test_bad_kill_detected(self):
+        with pytest.raises(DVIViolationError) as excinfo:
+            verify_dvi(program_with_bad_kill())
+        assert excinfo.value.reg == R.S0
+
+    def test_good_kill_passes(self):
+        result = verify_dvi(program_with_good_kill())
+        assert result.stats.exit_value == 11
+
+    def test_idvi_violation_detected(self):
+        # Holding a temporary live across a call violates the convention.
+        b = ProgramBuilder("t")
+        with b.proc("main", save_ra=True):
+            b.li(R.T0, 9)
+            b.jal("f")
+            b.add(R.V0, R.T0, R.T0)  # t0 was implicitly killed by the call
+            b.halt()
+        with b.proc("f"):
+            b.epilogue()
+        with pytest.raises(DVIViolationError):
+            verify_dvi(b.build())
+
+    def test_live_store_of_dead_value_is_exempt(self):
+        # A save (live_sw) may read a dead register: that is the whole
+        # point of the optimization.
+        b = ProgramBuilder("t")
+        b.label("main")
+        b.kill(R.S0)
+        b.live_sw(R.S0, -4, R.SP)
+        b.li(R.V0, 1)
+        b.halt()
+        verify_dvi(b.build())  # must not raise
+
+    def test_rewriter_output_always_verifies(self):
+        from tests.rewrite.test_edvi import figure7_program
+        rewritten = insert_edvi(figure7_program()).program
+        verify_dvi(rewritten)
+
+
+class TestEquivalence:
+    def test_equivalent_programs(self):
+        from tests.rewrite.test_edvi import figure7_program
+        original = figure7_program()
+        rewritten = insert_edvi(original).program
+        report = check_equivalence(
+            original, DVIConfig.none(), rewritten, DVIConfig.full()
+        )
+        assert report.equivalent
+        assert bool(report)
+
+    def test_different_programs_not_equivalent(self):
+        b1 = ProgramBuilder("a")
+        b1.label("main")
+        b1.li(R.V0, 1)
+        b1.halt()
+        b2 = ProgramBuilder("b")
+        b2.label("main")
+        b2.li(R.V0, 2)
+        b2.halt()
+        report = check_equivalence(
+            b1.build(), DVIConfig.none(), b2.build(), DVIConfig.none()
+        )
+        assert not report.equivalent
+        assert report.exit_values == (1, 2)
+
+    def test_data_segment_mismatch_detected(self):
+        def prog(value):
+            b = ProgramBuilder("p")
+            addr = b.zeros("out", 1)
+            b.label("main")
+            b.li(R.T0, addr)
+            b.li(R.T1, value)
+            b.sw(R.T1, 0, R.T0)
+            b.li(R.V0, 0)
+            b.halt()
+            return b.build()
+
+        report = check_equivalence(
+            prog(1), DVIConfig.none(), prog(2), DVIConfig.none()
+        )
+        assert not report.equivalent
+        assert report.mismatched_words
+
+    def test_lvm_scheme_equivalence_across_all_schemes(self):
+        from tests.rewrite.test_edvi import figure7_program
+        original = figure7_program()
+        rewritten = insert_edvi(original).program
+        for scheme in (SRScheme.NONE, SRScheme.LVM, SRScheme.LVM_STACK):
+            report = check_equivalence(
+                original, DVIConfig.none(), rewritten, DVIConfig.full(scheme)
+            )
+            assert report.equivalent, scheme

@@ -1,0 +1,199 @@
+"""Tests for the branch predictors, BTB/RAS, and cache models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.branch.btb import BranchTargetBuffer, ReturnAddressStack
+from repro.sim.branch.predictors import (
+    BimodalPredictor,
+    CombiningPredictor,
+    GsharePredictor,
+    SaturatingCounterTable,
+)
+from repro.sim.cache.cache import Cache, CacheGeometry
+from repro.sim.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+class TestSaturatingCounters:
+    def test_saturates_at_bounds(self):
+        table = SaturatingCounterTable(4, initial=0)
+        for _ in range(10):
+            table.update(0, True)
+        assert table.counter(0) == 3
+        for _ in range(10):
+            table.update(0, False)
+        assert table.counter(0) == 0
+
+    def test_predicts_taken_at_2_or_above(self):
+        table = SaturatingCounterTable(4, initial=2)
+        assert table.predict(0)
+        table.update(0, False)
+        assert not table.predict(0)
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(3)
+
+
+class TestPredictors:
+    def test_bimodal_learns_a_bias(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(12, True)
+        assert predictor.predict(12)
+
+    def test_gshare_learns_an_alternating_pattern(self):
+        predictor = GsharePredictor(1024, history_bits=4)
+        outcomes = [True, False] * 50
+        correct = 0
+        for outcome in outcomes:
+            if predictor.predict(100) == outcome:
+                correct += 1
+            predictor.update(100, outcome)
+        # with history, the alternating pattern becomes predictable
+        assert correct > 70
+
+    def test_combining_beats_components_on_mixed_behaviour(self):
+        predictor = CombiningPredictor(256, 1024, 8, 256)
+        # branch A: strongly biased; branch B: alternating
+        for round_ in range(200):
+            predictor.predict_and_update(4, True)
+            predictor.predict_and_update(8, round_ % 2 == 0)
+        assert predictor.accuracy > 0.8
+
+    def test_accuracy_starts_at_zero(self):
+        assert CombiningPredictor().accuracy == 0.0
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, assoc=2)
+        assert btb.lookup(40) is None
+        btb.insert(40, 900)
+        assert btb.lookup(40) == 900
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(sets=16, assoc=2)
+        btb.insert(40, 900)
+        btb.insert(40, 901)
+        assert btb.lookup(40) == 901
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(sets=1, assoc=2)
+        btb.insert(1, 10)
+        btb.insert(2, 20)
+        btb.lookup(1)          # refresh 1
+        btb.insert(3, 30)      # evicts 2
+        assert btb.lookup(2) is None
+        assert btb.lookup(1) == 10
+
+    def test_hit_rate(self):
+        btb = BranchTargetBuffer(sets=16, assoc=2)
+        btb.lookup(4)
+        btb.insert(4, 44)
+        btb.lookup(4)
+        assert btb.hit_rate == 0.5
+
+
+class TestRAS:
+    def test_lifo_prediction(self):
+        ras = ReturnAddressStack(8)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+
+    def test_underflow_returns_none(self):
+        assert ReturnAddressStack(4).pop() is None
+
+    def test_overflow_discards_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+
+class TestCache:
+    def geometry(self, **kw):
+        defaults = dict(name="t", size_bytes=1024, assoc=2,
+                        line_bytes=32, hit_latency=1)
+        defaults.update(kw)
+        return CacheGeometry(**defaults)
+
+    def test_cold_miss_then_hit(self):
+        cache = Cache(self.geometry())
+        assert cache.access(0x100) is False
+        assert cache.access(0x100) is True
+        assert cache.access(0x104) is True  # same line
+
+    def test_lru_eviction(self):
+        cache = Cache(self.geometry(size_bytes=2 * 32, assoc=2))  # 1 set
+        cache.access(0 * 32)
+        cache.access(1 * 32)
+        cache.access(0 * 32)        # refresh line 0
+        cache.access(2 * 32)        # evicts line 1
+        assert cache.contains(0)
+        assert not cache.contains(32)
+
+    def test_writeback_counted_for_dirty_victims(self):
+        cache = Cache(self.geometry(size_bytes=2 * 32, assoc=2))
+        cache.access(0, write=True)
+        cache.access(32)
+        cache.access(64)            # evicts dirty line 0
+        assert cache.writebacks == 1
+
+    def test_miss_rate(self):
+        cache = Cache(self.geometry())
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry("t", 1000, 3, 32, 1)
+        with pytest.raises(ValueError):
+            CacheGeometry("t", 1024, 2, 24, 1)
+
+    @given(addresses=st.lists(st.integers(0, 0xFFFF), max_size=200))
+    def test_lru_matches_reference_model(self, addresses):
+        geometry = self.geometry(size_bytes=4 * 32, assoc=4)  # fully assoc, 1 set
+        cache = Cache(geometry)
+        reference = []  # LRU order, most recent last
+        for addr in addresses:
+            line = addr // 32
+            hit = cache.access(addr)
+            assert hit == (line in reference)
+            if line in reference:
+                reference.remove(line)
+            reference.append(line)
+            if len(reference) > 4:
+                reference.pop(0)
+
+
+class TestHierarchy:
+    def test_latency_levels(self):
+        hierarchy = MemoryHierarchy(HierarchyConfig(
+            l1_latency=1, l2_latency=8, memory_latency=40))
+        cold = hierarchy.access_data(0x2000)
+        assert cold == 1 + 8 + 40
+        warm = hierarchy.access_data(0x2000)
+        assert warm == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        config = HierarchyConfig(l1d_size=2 * 32, l1d_assoc=2, line_bytes=32,
+                                 l2_size=1024, l2_assoc=2)
+        hierarchy = MemoryHierarchy(config)
+        hierarchy.access_data(0)
+        hierarchy.access_data(32)
+        hierarchy.access_data(64)   # evicts line 0 from L1, still in L2
+        latency = hierarchy.access_data(0)
+        assert latency == config.l1_latency + config.l2_latency
+
+    def test_instruction_and_data_paths_are_split(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.access_inst(0x40)
+        assert hierarchy.l1i.accesses == 1
+        assert hierarchy.l1d.accesses == 0

@@ -1,0 +1,137 @@
+"""Tests for R10000-style renaming with DVI early reclamation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.isa import registers as R
+from repro.sim.ooo.renamer import NEVER, Renamer
+
+
+class TestBasics:
+    def test_initial_state(self):
+        renamer = Renamer(40)
+        assert renamer.mapped_count == 31
+        assert renamer.free_count == 40 - 31
+        renamer.check_conservation(0)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(SimulationError):
+            Renamer(20)
+
+    def test_allocate_returns_previous_mapping(self):
+        renamer = Renamer(40)
+        old = renamer.map[R.T0]
+        phys, prev = renamer.allocate(R.T0)
+        assert prev == old
+        assert renamer.map[R.T0] == phys
+        assert renamer.ready_cycle[phys] == NEVER
+
+    def test_r0_never_renamed(self):
+        renamer = Renamer(40)
+        with pytest.raises(SimulationError):
+            renamer.allocate(R.ZERO)
+        assert renamer.source(R.ZERO) == -1
+
+    def test_free_list_exhaustion(self):
+        renamer = Renamer(32)  # exactly one free register
+        assert renamer.can_allocate()
+        renamer.allocate(R.T0)
+        assert not renamer.can_allocate()
+        with pytest.raises(SimulationError):
+            renamer.allocate(R.T1)
+
+    def test_commit_frees_previous(self):
+        renamer = Renamer(33)
+        _, prev = renamer.allocate(R.T0)
+        renamer.allocate(R.T1)
+        assert not renamer.can_allocate()
+        renamer.release(prev)
+        assert renamer.can_allocate()
+
+
+class TestDVIUnmap:
+    def test_unmap_unbinds_and_reports(self):
+        renamer = Renamer(40)
+        phys = renamer.map[R.S0]
+        freed = renamer.unmap(1 << R.S0)
+        assert freed == [phys]
+        assert renamer.map[R.S0] == -1
+        assert renamer.pending_free == 1
+        renamer.check_conservation(0)
+
+    def test_unmap_of_unmapped_register_is_noop(self):
+        renamer = Renamer(40)
+        renamer.unmap(1 << R.S0)
+        assert renamer.unmap(1 << R.S0) == []
+
+    def test_unmapped_source_reads_as_ready(self):
+        renamer = Renamer(40)
+        renamer.unmap(1 << R.S0)
+        assert renamer.source(R.S0) == -1
+        assert renamer.unmapped_reads == 1
+
+    def test_release_pending_restores_conservation(self):
+        renamer = Renamer(40)
+        (phys,) = renamer.unmap(1 << R.S0)
+        renamer.release(phys, pending=True)
+        assert renamer.pending_free == 0
+        renamer.check_conservation(0)
+
+    def test_redefinition_after_kill_has_no_previous(self):
+        """The double-free hazard: kill unbinds, so a later redefinition
+        must not hand the same physical register back again."""
+        renamer = Renamer(40)
+        (killed_phys,) = renamer.unmap(1 << R.S0)
+        _, prev = renamer.allocate(R.S0)
+        assert prev == -1          # nothing to free at the redef's commit
+        renamer.release(killed_phys, pending=True)
+        renamer.check_conservation(0)
+
+    def test_figure4_scenario(self):
+        """Figure 4: kill frees p1 long before the redefinition commits."""
+        renamer = Renamer(33)
+        p1, prev = renamer.allocate(R.T0)       # I1: r1 <- ...
+        renamer.release(prev)                   # I1 commits
+        freed = renamer.unmap(1 << R.T0)        # I3: kill r1 (decode)
+        assert freed == [p1]
+        renamer.release(p1, pending=True)       # I3 commits
+        # p1 is available for renaming the intermediate instructions:
+        new_phys, _ = renamer.allocate(R.T5)
+        assert renamer.free_count >= 0
+        renamer.check_conservation(1)
+
+
+@settings(max_examples=60)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("def"), st.integers(1, 31)),
+            st.tuples(st.just("kill"), st.integers(1, 31)),
+        ),
+        max_size=120,
+    ),
+    size=st.integers(min_value=34, max_value=48),
+)
+def test_conservation_under_random_def_kill_streams(ops, size):
+    """Physical registers are conserved under any def/kill interleaving.
+
+    Models an in-order machine: every instruction commits immediately
+    (prev mappings and pending kills free right away).
+    """
+    renamer = Renamer(size)
+    for op, reg in ops:
+        if op == "def":
+            if not renamer.can_allocate():
+                continue
+            phys, prev = renamer.allocate(reg)
+            renamer.mark_ready(phys, 0)
+            if prev >= 0:
+                renamer.release(prev)
+        else:
+            for phys in renamer.unmap(1 << reg):
+                renamer.release(phys, pending=True)
+        renamer.check_conservation(0)
+    # Every mapped register resolves, every unmapped one reads ready.
+    for reg in range(1, 32):
+        renamer.source(reg)

@@ -1,0 +1,126 @@
+"""Tests for the preemptive thread scheduler and context blocks."""
+
+import pytest
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.isa import registers as R
+from repro.program.builder import ProgramBuilder
+from repro.rewrite.edvi import insert_edvi
+from repro.sim.functional import run_program
+from repro.threads.context import ContextBlock, SwitchStats
+from repro.threads.scheduler import RoundRobinScheduler
+from repro.workloads.suite import get_program
+
+
+def counting_program(name, n, result_mix):
+    b = ProgramBuilder(name)
+    b.label("main")
+    b.li(R.T0, 0)
+    b.li(R.T1, n)
+    b.label("top")
+    b.addi(R.T0, R.T0, 1)
+    b.blt(R.T0, R.T1, "top")
+    b.li(R.T2, result_mix)
+    b.add(R.V0, R.T0, R.T2)
+    b.halt()
+    return b.build()
+
+
+class TestContextBlock:
+    def test_save_restores_live_registers_only(self):
+        block = ContextBlock()
+        reg_file = list(range(32))
+        saveable = (1 << R.T0) | (1 << R.T1) | (1 << R.S0)
+        lvm = (1 << R.T0) | (1 << R.S0)  # t1 dead
+        saves = block.save(reg_file, lvm, saveable)
+        assert saves == 2
+        scratched = [0xBAD] * 32
+        restores = block.restore(scratched, saveable)
+        assert restores == 2
+        assert scratched[R.T0] == R.T0
+        assert scratched[R.S0] == R.S0
+        assert scratched[R.T1] == 0xDEAD_BEEF  # clobbered dead register
+
+    def test_switch_stats_percentages(self):
+        stats = SwitchStats(
+            switches=2,
+            saves_executed=10, restores_executed=10,
+            saves_possible=20, restores_possible=20,
+        )
+        assert stats.pct_eliminated == 50.0
+        assert stats.average_saved == 5.0
+
+    def test_empty_stats(self):
+        assert SwitchStats().pct_eliminated == 0.0
+        assert SwitchStats().average_saved == 0.0
+
+
+class TestScheduler:
+    def test_threads_complete_with_correct_results(self):
+        programs = [counting_program(f"p{i}", 500 + i, i * 100) for i in range(3)]
+        solo = [run_program(p, collect_trace=False).stats.exit_value
+                for p in programs]
+        result = RoundRobinScheduler(programs, quantum=37).run()
+        assert [t.exit_value for t in result.threads] == solo
+
+    def test_single_thread_never_switches(self):
+        result = RoundRobinScheduler(
+            [counting_program("solo", 100, 0)], quantum=10
+        ).run()
+        assert result.switch_stats.switches == 0
+
+    def test_baseline_saves_everything(self):
+        programs = [counting_program(f"p{i}", 2000, 0) for i in range(2)]
+        result = RoundRobinScheduler(programs, DVIConfig.none(), quantum=100).run()
+        stats = result.switch_stats
+        assert stats.switches > 0
+        assert stats.pct_eliminated == 0.0
+
+    def test_idvi_eliminates_switch_work(self):
+        programs = [get_program(n) for n in ("vortex_like", "gcc_like")]
+        result = RoundRobinScheduler(
+            programs, DVIConfig.idvi_only(), quantum=911
+        ).run()
+        assert result.switch_stats.pct_eliminated > 20.0
+
+    def test_full_dvi_eliminates_at_least_as_much_as_idvi(self):
+        names = ("vortex_like", "gcc_like", "li_like")
+        plain = [get_program(n) for n in names]
+        annotated = [insert_edvi(p).program for p in plain]
+        idvi = RoundRobinScheduler(
+            plain, DVIConfig.idvi_only(), quantum=911
+        ).run()
+        full = RoundRobinScheduler(
+            annotated, DVIConfig.full(SRScheme.LVM_STACK), quantum=911
+        ).run()
+        assert (full.switch_stats.pct_eliminated
+                >= idvi.switch_stats.pct_eliminated - 1.0)
+
+    def test_full_dvi_preserves_results_under_preemption(self):
+        """End-to-end: aggressive elimination + register clobbering at
+        every switch must not change any thread's observable result."""
+        names = ("li_like", "gcc_like", "perl_like")
+        annotated = [insert_edvi(get_program(n)).program for n in names]
+        solo = {
+            p.name: run_program(p, DVIConfig.full(SRScheme.LVM_STACK),
+                                collect_trace=False).stats.exit_value
+            for p in annotated
+        }
+        result = RoundRobinScheduler(
+            annotated, DVIConfig.full(SRScheme.LVM_STACK), quantum=463
+        ).run()
+        for thread in result.threads:
+            assert thread.exit_value == solo[thread.name], thread.name
+
+    @pytest.mark.parametrize("quantum", [50, 1000, 5000])
+    def test_results_independent_of_quantum(self, quantum):
+        programs = [counting_program(f"p{i}", 1200, 7 * i) for i in range(2)]
+        result = RoundRobinScheduler(programs, quantum=quantum).run()
+        expected = [1200 + 0, 1200 + 7]
+        assert [t.exit_value for t in result.threads] == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler([])
+        with pytest.raises(ValueError):
+            RoundRobinScheduler([counting_program("p", 10, 0)], quantum=0)

@@ -1,0 +1,97 @@
+"""Tests for the register-file timing model and performance composition."""
+
+import pytest
+
+from repro.timing.regfile import RegFileTimingModel, ports_for_issue_width
+from repro.timing.system import performance_curves
+
+
+class TestAccessTime:
+    def setup_method(self):
+        self.model = RegFileTimingModel()
+
+    def test_monotonic_in_registers(self):
+        times = [self.model.access_time(n) for n in range(34, 99)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_linear_in_registers_within_decoder_band(self):
+        # Within one decoder level (33..64), increments are constant.
+        deltas = [
+            self.model.access_time(n + 1) - self.model.access_time(n)
+            for n in range(34, 63)
+        ]
+        assert max(deltas) - min(deltas) < 1e-15
+
+    def test_decoder_step_at_power_of_two(self):
+        below = self.model.access_time(64)
+        above = self.model.access_time(65)
+        linear_step = self.model.access_time(63) - self.model.access_time(62)
+        assert above - below > 10 * linear_step
+
+    def test_superlinear_in_ports(self):
+        # Quadratic port growth: equal port increments buy growing deltas.
+        t4 = self.model.access_time(64, 4, 2)
+        t8 = self.model.access_time(64, 8, 4)
+        t16 = self.model.access_time(64, 16, 8)
+        assert (t16 - t8) > (t8 - t4) > 0
+
+    def test_mid90s_ballpark(self):
+        access = self.model.access_time(64, 8, 4)
+        assert 1e-9 < access < 10e-9  # a few nanoseconds
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            self.model.access_time(1)
+        with pytest.raises(ValueError):
+            self.model.access_time(64, 0, 4)
+
+    def test_cycle_time_equals_access_time(self):
+        assert self.model.cycle_time(50) == self.model.access_time(50)
+
+    def test_relative_performance(self):
+        rel = self.model.relative_performance(
+            2.0, 50, baseline_ipc=2.0, baseline_registers=64
+        )
+        assert rel > 1.0  # same IPC on a smaller, faster file wins
+
+    def test_ports_for_issue_width(self):
+        assert ports_for_issue_width(4) == (8, 4)
+        assert ports_for_issue_width(8) == (16, 8)
+        with pytest.raises(ValueError):
+            ports_for_issue_width(0)
+
+
+class TestPerformanceCurves:
+    def test_normalization_and_peaks(self):
+        sizes = [40, 50, 64, 80]
+        curves = performance_curves(
+            sizes,
+            {
+                "No DVI": [1.0, 1.5, 2.0, 2.05],
+                "DVI": [1.9, 2.0, 2.02, 2.05],
+            },
+            reference_label="No DVI",
+        )
+        assert curves.peaks["No DVI"].performance == pytest.approx(1.0)
+        assert curves.peaks["DVI"].registers < curves.peaks["No DVI"].registers
+        assert curves.improvement("DVI") > 0
+        assert curves.size_reduction("DVI") > 0
+
+    def test_curve_length_validation(self):
+        with pytest.raises(ValueError):
+            performance_curves(
+                [40, 50], {"No DVI": [1.0]}, reference_label="No DVI"
+            )
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(ValueError):
+            performance_curves([40], {"DVI": [1.0]}, reference_label="No DVI")
+
+    def test_flat_ipc_prefers_smaller_file(self):
+        sizes = [40, 50, 64]
+        curves = performance_curves(
+            sizes,
+            {"No DVI": [2.0, 2.0, 2.0]},
+            reference_label="No DVI",
+        )
+        assert curves.peaks["No DVI"].registers == 40

@@ -1,0 +1,173 @@
+"""Tests for the synthetic SPEC95-analog workload suite.
+
+Every workload must: complete deterministically, follow the calling
+convention (DVI verification), keep its Figure 3 character in band, and be
+observationally equivalent under the full DVI configuration.
+"""
+
+import pytest
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.rewrite.edvi import insert_edvi
+from repro.rewrite.verify import check_equivalence, verify_dvi
+from repro.sim.functional import run_program
+from repro.workloads.common import REGISTRY, lcg_stream
+from repro.workloads.suite import (
+    ALL_ORDER,
+    SAVE_RESTORE_ORDER,
+    all_workloads,
+    get_program,
+    get_workload,
+    save_restore_suite,
+)
+
+# Build-once caches shared by the parametrized tests.
+_programs = {}
+_rewritten = {}
+
+
+def program_of(name):
+    if name not in _programs:
+        _programs[name] = get_program(name)
+    return _programs[name]
+
+
+def rewritten_of(name):
+    if name not in _rewritten:
+        _rewritten[name] = insert_edvi(program_of(name))
+    return _rewritten[name]
+
+
+class TestSuiteStructure:
+    def test_seven_workloads_registered(self):
+        assert len(all_workloads()) == 7
+        assert set(ALL_ORDER) == set(REGISTRY.names())
+
+    def test_save_restore_suite_excludes_compress(self):
+        names = [w.name for w in save_restore_suite()]
+        assert "compress_like" not in names
+        assert len(names) == 6
+
+    def test_get_workload_accepts_bare_analog_names(self):
+        assert get_workload("perl").name == "perl_like"
+        assert get_workload("perl_like").name == "perl_like"
+        with pytest.raises(KeyError):
+            get_workload("spice")
+
+    def test_registry_caches_programs(self):
+        a = REGISTRY.program("li_like", 1)
+        b = REGISTRY.program("li_like", 1)
+        assert a is b
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            get_workload("li_like").program(0)
+
+    def test_lcg_stream_deterministic(self):
+        assert lcg_stream(42, 5) == lcg_stream(42, 5)
+        assert lcg_stream(42, 5) != lcg_stream(43, 5)
+        assert all(0 <= v < 100 for v in lcg_stream(1, 50, modulo=100))
+
+
+@pytest.mark.parametrize("name", ALL_ORDER)
+class TestEveryWorkload:
+    def test_completes(self, name):
+        stats = run_program(program_of(name), collect_trace=False).stats
+        assert stats.completed
+        assert stats.program_insts > 10_000
+
+    def test_deterministic(self, name):
+        a = run_program(program_of(name), collect_trace=False).stats
+        b = run_program(get_workload(name).program(1), collect_trace=False).stats
+        assert a.exit_value == b.exit_value
+        assert a.program_insts == b.program_insts
+
+    def test_dvi_verifies(self, name):
+        verify_dvi(rewritten_of(name).program)
+
+    def test_observational_equivalence(self, name):
+        report = check_equivalence(
+            program_of(name), DVIConfig.none(),
+            rewritten_of(name).program, DVIConfig.full(SRScheme.LVM_STACK),
+        )
+        assert report.equivalent
+
+    def test_scales_with_parameter(self, name):
+        small = run_program(program_of(name), collect_trace=False).stats
+        big = run_program(get_workload(name).program(2),
+                          max_steps=10_000_000, collect_trace=False).stats
+        assert big.program_insts > 1.5 * small.program_insts
+
+
+class TestFigure3Character:
+    """Pin each workload's density bands (the Figure 3 shape)."""
+
+    def stats_of(self, name):
+        return run_program(program_of(name), collect_trace=False).stats
+
+    def test_compress_has_lowest_call_density(self):
+        densities = {
+            name: self.stats_of(name).pct_calls for name in ALL_ORDER
+        }
+        assert min(densities, key=densities.get) == "compress_like"
+        assert densities["compress_like"] < 0.1
+
+    def test_interpreters_have_high_call_density(self):
+        for name in ("li_like", "gcc_like"):
+            assert self.stats_of(name).pct_calls > 3.0
+
+    def test_perl_has_highest_save_restore_density_of_interpreters(self):
+        perl = self.stats_of("perl_like")
+        assert perl.pct_saves_restores > 5.0
+
+    def test_ijpeg_has_low_calls_but_high_memory(self):
+        stats = self.stats_of("ijpeg_like")
+        assert stats.pct_calls < 0.5
+        assert stats.pct_mem > 20.0
+
+    def test_save_restore_suite_all_have_significant_activity(self):
+        for name in SAVE_RESTORE_ORDER:
+            assert self.stats_of(name).pct_saves_restores > 1.0
+
+
+class TestEliminationCharacter:
+    """Pin the Figure 9 shape: who benefits, and by roughly how much."""
+
+    def elimination_pct(self, name, scheme=SRScheme.LVM_STACK):
+        stats = run_program(
+            rewritten_of(name).program, DVIConfig.full(scheme),
+            collect_trace=False,
+        ).stats
+        if not stats.saves_restores:
+            return 0.0
+        return 100.0 * stats.saves_restores_eliminated / stats.saves_restores
+
+    def test_perl_is_the_biggest_winner(self):
+        rates = {
+            name: self.elimination_pct(name) for name in SAVE_RESTORE_ORDER
+        }
+        assert max(rates, key=rates.get) == "perl_like"
+        assert rates["perl_like"] > 60.0
+
+    def test_every_sr_workload_eliminates_something(self):
+        for name in SAVE_RESTORE_ORDER:
+            assert self.elimination_pct(name) > 10.0, name
+
+    def test_lvm_scheme_is_saves_only(self):
+        for name in ("li_like", "perl_like"):
+            stats = run_program(
+                rewritten_of(name).program, DVIConfig.full(SRScheme.LVM),
+                collect_trace=False,
+            ).stats
+            assert stats.saves_eliminated > 0
+            assert stats.restores_eliminated == 0
+
+    def test_stack_scheme_eliminates_matched_pairs(self):
+        for name in SAVE_RESTORE_ORDER:
+            stats = run_program(
+                rewritten_of(name).program,
+                DVIConfig.full(SRScheme.LVM_STACK),
+                collect_trace=False,
+            ).stats
+            # restores trail saves only by frames still open at halt
+            assert abs(stats.saves_eliminated - stats.restores_eliminated) < 16
