@@ -1,0 +1,23 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test smoke docs-check bench clean-cache
+
+## Tier-1 test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## End-to-end pipeline smoke: every figure, reduced profile, 2 workers.
+smoke:
+	$(PYTHON) -m repro run-all --profile quick --jobs 2 --cache-dir .repro-cache --json smoke-results.json
+
+## Fail if README.md / DESIGN.md drift from the CLI's --help surface.
+docs-check:
+	$(PYTHON) scripts/check_docs.py
+
+## pytest-benchmark harness.
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+clean-cache:
+	rm -rf .repro-cache smoke-results.json

@@ -24,8 +24,16 @@ def profile() -> ExperimentProfile:
 
 
 @pytest.fixture(scope="session")
-def context(profile) -> ExperimentContext:
+def _session_context(profile) -> ExperimentContext:
     return ExperimentContext(profile)
+
+
+@pytest.fixture
+def context(_session_context) -> ExperimentContext:
+    # Share binaries/traces across benchmarks, but never timing results:
+    # each benchmark must measure its own simulation work, not a replay
+    # of a memo another benchmark populated.
+    return _session_context.with_fresh_timing()
 
 
 def publish(name: str, table: str) -> None:

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Fail if README.md / DESIGN.md drift from the CLI's --help output.
+
+A deliberately simple grep-based check (run by ``make docs-check`` and
+CI): every user-facing CLI surface — each long option in ``python -m
+repro --help`` and each experiment target — must be mentioned in
+README.md, and DESIGN.md must keep documenting the subjects the code
+cross-references (workload substitution, cache keys, invalidation).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: DESIGN.md must keep covering these subjects (runner.py, config.py and
+#: cache.py docstrings point readers at them).
+DESIGN_REQUIRED = (
+    "workload substitution",
+    "scale",
+    "cache key",
+    "invalidat",
+    "fetch",
+)
+
+
+def cli_help() -> str:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return result.stdout
+
+
+def main() -> int:
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    help_text = cli_help()
+    problems = []
+
+    # Every long option the CLI advertises must appear in the README.
+    for option in sorted(set(re.findall(r"--[a-z][a-z-]+", help_text))):
+        if option == "--help":
+            continue
+        if option not in readme:
+            problems.append(f"README.md does not mention CLI option {option}")
+
+    # Every experiment target (fig3, ..., ablation) and the run-all verb.
+    targets = re.search(r"figure id \(([^)]*)\)", help_text)
+    assert targets, "could not parse experiment ids from --help"
+    for target in [t.strip() for t in targets.group(1).split(",")] + ["run-all"]:
+        if target not in readme:
+            problems.append(f"README.md does not mention CLI target {target!r}")
+
+    # The tier-1 test command must stay documented verbatim.
+    if "python -m pytest -x -q" not in readme:
+        problems.append("README.md lost the tier-1 test command")
+
+    for needle in DESIGN_REQUIRED:
+        if needle.lower() not in design.lower():
+            problems.append(f"DESIGN.md no longer discusses {needle!r}")
+
+    if problems:
+        print("docs-check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("docs-check OK: README.md and DESIGN.md cover the CLI surface")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

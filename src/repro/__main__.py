@@ -3,15 +3,27 @@
 Usage::
 
     python -m repro list
-    python -m repro fig9                # quick profile
+    python -m repro fig9                      # quick profile, cached
     python -m repro fig5 --profile full
-    python -m repro all --profile quick
-    python -m repro machine             # print the Figure 2 table
+    python -m repro run-all --jobs 4          # every figure, 4 workers
+    python -m repro run-all --json out.json   # machine-readable results
+    python -m repro fig10 --no-cache          # force recomputation
+    python -m repro machine                   # print the Figure 2 table
+
+Simulation artifacts (binaries, traces, functional results, timing
+stats) are cached content-addressed under ``--cache-dir`` (default
+``.repro-cache``), keyed by workload, profile scale, DVI and machine
+configuration, and source version — a warm re-run replays every figure
+from disk without re-simulating anything.  ``--jobs N`` fans the
+experiments' independent simulation cells out over N worker processes;
+results are merged deterministically, so parallel output is identical
+to serial output.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -26,6 +38,8 @@ from repro.experiments import (
     fig12_context_switch,
     fig13_edvi_overhead,
 )
+from repro.experiments.cache import ArtifactCache
+from repro.experiments.export import render_manifest
 from repro.experiments.runner import ExperimentContext, ExperimentProfile
 
 EXPERIMENTS = {
@@ -40,6 +54,12 @@ EXPERIMENTS = {
     "ablation": (ablation_lvmstack_depth, "LVM-Stack depth ablation"),
 }
 
+PROFILES = {
+    "tiny": ExperimentProfile.tiny,
+    "quick": ExperimentProfile.quick,
+    "full": ExperimentProfile.full,
+}
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -49,14 +69,33 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        help="figure id (%s), 'all', 'list', or 'machine'"
+        help="figure id (%s), 'run-all' (or 'all'), 'list', or 'machine'"
              % ", ".join(EXPERIMENTS),
     )
     parser.add_argument(
-        "--profile", choices=("quick", "full"), default="quick",
-        help="sweep size: quick (default) or the paper-shaped full sweep",
+        "--profile", choices=tuple(PROFILES), default="quick",
+        help="sweep size: tiny (tests/smoke), quick (default), or the "
+             "paper-shaped full sweep",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the simulation cells (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="on-disk artifact cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache (never read or write artifacts)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write every result as deterministic JSON to PATH",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.target == "list":
         for name, (_, description) in EXPERIMENTS.items():
@@ -66,22 +105,41 @@ def main(argv=None) -> int:
         print(fig3_characterization.machine_description())
         return 0
 
-    targets = list(EXPERIMENTS) if args.target == "all" else [args.target]
+    run_all = args.target in ("all", "run-all")
+    targets = list(EXPERIMENTS) if run_all else [args.target]
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown target(s): {', '.join(unknown)}")
+    if args.json:
+        # Catch an unwritable path now, not after minutes of simulation —
+        # without leaving an empty file behind if the run later fails.
+        try:
+            probe_existed = os.path.exists(args.json)
+            with open(args.json, "a", encoding="utf-8"):
+                pass
+            if not probe_existed:
+                os.unlink(args.json)
+        except OSError as error:
+            parser.error(f"cannot write --json file: {error}")
 
-    profile = (
-        ExperimentProfile.full() if args.profile == "full"
-        else ExperimentProfile.quick()
-    )
-    context = ExperimentContext(profile)
+    profile = PROFILES[args.profile]()
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    context = ExperimentContext(profile, cache=cache, jobs=args.jobs)
+
+    results = {}
     for name in targets:
         module, description = EXPERIMENTS[name]
         started = time.time()
         result = module.run(profile, context)
+        results[name] = result
         print(result.format_table())
         print(f"[{name}: {description}; {time.time() - started:.1f}s]\n")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(render_manifest(profile.name, results))
+    if cache is not None:
+        print(cache.summary(), file=sys.stderr)
     return 0
 
 

@@ -13,9 +13,33 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
 
 DEPTHS: Tuple[Optional[int], ...] = (1, 2, 4, 8, 16, 32, None)
+
+
+def _dvi_at_depth(depth: Optional[int]) -> DVIConfig:
+    return DVIConfig(
+        use_idvi=True,
+        use_edvi=True,
+        scheme=SRScheme.LVM_STACK,
+        lvm_stack_depth=depth,
+    )
+
+
+def jobs(
+    profile: ExperimentProfile,
+    *,
+    depths: Sequence[Optional[int]] = DEPTHS,
+):
+    """One functional cell per (save/restore workload, LVM-Stack depth)."""
+    return [
+        Job(kind="functional", workload=workload, dvi=_dvi_at_depth(depth),
+            edvi_binary=True)
+        for workload in profile.sr_workloads
+        for depth in depths
+    ]
 
 
 @dataclass
@@ -60,17 +84,14 @@ def run(
 ) -> AblationResult:
     """Sweep the LVM-Stack depth over the save/restore-heavy workloads."""
     context = context or ExperimentContext(profile)
+    execute(jobs(profile, depths=depths), context)
     rows: List[DepthRow] = []
     for workload in profile.sr_workloads:
         eliminated: Dict[Optional[int], int] = {}
         for depth in depths:
-            dvi = DVIConfig(
-                use_idvi=True,
-                use_edvi=True,
-                scheme=SRScheme.LVM_STACK,
-                lvm_stack_depth=depth,
-            )
-            stats = context.functional(workload, dvi, edvi_binary=True).stats
+            stats = context.functional(
+                workload, _dvi_at_depth(depth), edvi_binary=True
+            ).stats
             eliminated[depth] = stats.saves_restores_eliminated
         rows.append(DepthRow(workload=workload, eliminated=eliminated))
     return AblationResult(rows=rows, depths=tuple(depths))

@@ -1,0 +1,196 @@
+"""Content-addressed on-disk artifact cache for the experiment pipeline.
+
+Every expensive artifact an experiment produces — built binaries, dynamic
+traces, functional-run results, timing-simulation stats — is addressable
+by a deterministic *cache key*: the SHA-256 digest of
+
+* the artifact **kind** (``binary`` / ``trace`` / ``functional`` /
+  ``timed`` / experiment-specific kinds),
+* a canonical rendering of the **key tuple** (workload name, profile
+  scale, :class:`~repro.dvi.config.DVIConfig`,
+  :class:`~repro.sim.config.MachineConfig`, flags), and
+* the **code version** — a digest of every ``.py`` file under
+  ``src/repro`` — so any source change invalidates the whole store
+  rather than serving stale simulations.
+
+DESIGN.md documents the key/invalidation scheme; the short version is
+that a key canonicalizes *values*, never object identities, so two
+processes (or two runs on different days) that request the same cell
+produce the same digest and share one artifact file.
+
+Artifacts are pickled to ``<root>/<kind>/<digest[:2]>/<digest>.pkl``.
+Writes go through a temporary file followed by :func:`os.replace`, so
+concurrent writers (the :mod:`repro.experiments.parallel` worker pool)
+race benignly: both compute the same bytes and the last rename wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "ArtifactCache",
+    "CacheCounters",
+    "canonical",
+    "code_version",
+    "fingerprint",
+]
+
+
+# ----------------------------------------------------------------------
+# Canonicalization and fingerprinting.
+# ----------------------------------------------------------------------
+
+def canonical(obj: Any) -> str:
+    """A deterministic, value-based rendering of ``obj``.
+
+    Handles the types experiment keys are built from: primitives,
+    tuples/lists, dicts (sorted by canonical key), enums (by class and
+    member name), and dataclasses (by class name and field values, which
+    covers ``DVIConfig``, ``MachineConfig``, ``ABI``, and
+    ``HierarchyConfig`` recursively).  Object identity, dict insertion
+    order, and float formatting quirks never leak into the result.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__qualname__}({fields})"
+    if isinstance(obj, Enum):
+        return f"{type(obj).__qualname__}.{obj.name}"
+    if isinstance(obj, dict):
+        entries = sorted(
+            (canonical(key), canonical(value)) for key, value in obj.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in entries) + "}"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(canonical(item) for item in obj) + "]"
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return repr(obj)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for a cache key")
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical rendering of ``parts``."""
+    payload = "|".join(canonical(part) for part in parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``.py`` source file under ``src/repro``.
+
+    Baked into every cache key so that editing *any* simulator, workload,
+    or experiment source invalidates previously stored artifacts — the
+    coarse-but-safe invalidation rule DESIGN.md motivates.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# The store.
+# ----------------------------------------------------------------------
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/store tallies for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ArtifactCache:
+    """A content-addressed pickle store rooted at a directory.
+
+    ``lookup``/``store`` take an artifact *kind* plus a key tuple; the
+    digest additionally covers :func:`code_version` (overridable for
+    tests).  Counters are kept per kind so callers can assert properties
+    like "a warm run performs zero functional or timing misses".
+    """
+
+    def __init__(self, root: os.PathLike, *, version: str = None) -> None:
+        self.root = Path(root)
+        self.version = version if version is not None else code_version()
+        self.counters: Dict[str, CacheCounters] = {}
+
+    # -- key handling ---------------------------------------------------
+
+    def digest(self, kind: str, key: Tuple) -> str:
+        return fingerprint(kind, key, self.version)
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.root / kind / digest[:2] / f"{digest}.pkl"
+
+    def _counter(self, kind: str) -> CacheCounters:
+        return self.counters.setdefault(kind, CacheCounters())
+
+    # -- store/lookup ---------------------------------------------------
+
+    def lookup(self, kind: str, key: Tuple) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
+        path = self._path(kind, self.digest(kind, key))
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            self._counter(kind).misses += 1
+            return False, None
+        self._counter(kind).hits += 1
+        return True, value
+
+    def store(self, kind: str, key: Tuple, value: Any) -> None:
+        """Persist ``value`` atomically under the key's digest."""
+        path = self._path(kind, self.digest(kind, key))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._counter(kind).stores += 1
+
+    # -- reporting ------------------------------------------------------
+
+    def misses(self, *kinds: str) -> int:
+        """Total misses, optionally restricted to the given kinds."""
+        selected = kinds or tuple(self.counters)
+        return sum(self._counter(kind).misses for kind in selected)
+
+    def hits(self, *kinds: str) -> int:
+        """Total hits, optionally restricted to the given kinds."""
+        selected = kinds or tuple(self.counters)
+        return sum(self._counter(kind).hits for kind in selected)
+
+    def summary(self) -> str:
+        """One line per kind, for the CLI's stderr report."""
+        if not self.counters:
+            return "cache: idle"
+        parts = [
+            f"{kind}: {c.hits} hit / {c.misses} miss / {c.stores} stored"
+            for kind, c in sorted(self.counters.items())
+        ]
+        return "cache [" + "; ".join(parts) + "]"

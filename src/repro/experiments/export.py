@@ -1,0 +1,69 @@
+"""Deterministic JSON export of experiment results.
+
+Every ``Fig*Result`` is a tree of dataclasses, lists, and dicts (some
+keyed by tuples or ints); :func:`to_jsonable` lowers that tree to plain
+JSON types without losing information, and :func:`render_manifest`
+assembles the ``--json`` payload the CLI writes.
+
+Determinism matters here: the acceptance bar for the pipeline is that a
+parallel run's JSON is *byte-identical* to a serial run's, so nothing
+time-, path-, or host-dependent may enter the payload, and key order is
+the deterministic assembly order of the results themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from typing import Any, Dict
+
+__all__ = ["to_jsonable", "render_manifest"]
+
+
+def _key_str(key: Any) -> str:
+    """Lower a dict key to a stable string (JSON keys must be strings)."""
+    if isinstance(key, str):
+        return key
+    if key is None:
+        return "null"
+    if isinstance(key, tuple):
+        return "|".join(_key_str(part) for part in key)
+    if isinstance(key, Enum):
+        return key.name
+    return str(key)
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively lower dataclasses/enums/tuple-keyed dicts to JSON types."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: to_jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, Enum):
+        return obj.name
+    if isinstance(obj, dict):
+        return {_key_str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    return obj
+
+
+def render_manifest(profile_name: str, results: Dict[str, Any]) -> str:
+    """The ``--json`` document: profile + every result's data and table.
+
+    ``results`` maps experiment id (``fig3`` ... ``ablation``) to its
+    ``Fig*Result`` in execution order.
+    """
+    payload = {
+        "profile": profile_name,
+        "results": {
+            name: {
+                "table": result.format_table(),
+                "data": to_jsonable(result),
+            }
+            for name, result in results.items()
+        },
+    }
+    return json.dumps(payload, indent=2) + "\n"

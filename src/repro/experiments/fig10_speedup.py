@@ -13,8 +13,16 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
 from repro.sim.config import MachineConfig
+
+#: (dvi config, uses E-DVI binary) for the three bars of each workload.
+MODES = (
+    (DVIConfig.none(), False),
+    (DVIConfig.full(SRScheme.LVM), True),
+    (DVIConfig.full(SRScheme.LVM_STACK), True),
+)
 
 
 @dataclass
@@ -56,6 +64,17 @@ class Fig10Result:
         )
 
 
+def jobs(profile: ExperimentProfile, *, config: MachineConfig = None):
+    """Baseline/LVM/LVM-Stack timing cells for each save/restore workload."""
+    config = config or MachineConfig.micro97_unconstrained()
+    return [
+        Job(kind="timed", workload=workload, dvi=dvi, edvi_binary=edvi_binary,
+            machine=config)
+        for workload in profile.sr_workloads
+        for dvi, edvi_binary in MODES
+    ]
+
+
 def run(
     profile: ExperimentProfile,
     context: ExperimentContext = None,
@@ -65,6 +84,7 @@ def run(
     """Time each workload under baseline, LVM, and LVM-Stack."""
     context = context or ExperimentContext(profile)
     config = config or MachineConfig.micro97_unconstrained()
+    execute(jobs(profile, config=config), context)
     rows: List[SpeedupRow] = []
     for workload in profile.sr_workloads:
         base = context.timed(

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
 from repro.sim.config import MachineConfig
 
@@ -59,9 +60,27 @@ class Fig11Result:
         )
 
 
+def jobs(profile: ExperimentProfile):
+    """Baseline + LVM-Stack timing cells over (workload x width x ports)."""
+    base_machine = MachineConfig.micro97_unconstrained()
+    plan = []
+    for workload in FIG11_WORKLOADS:
+        for width in ISSUE_WIDTHS:
+            for ports in PORT_COUNTS:
+                config = base_machine.with_ports_and_width(ports, width)
+                plan.append(Job(kind="timed", workload=workload,
+                                dvi=DVIConfig.none(), edvi_binary=False,
+                                machine=config))
+                plan.append(Job(kind="timed", workload=workload,
+                                dvi=DVIConfig.full(SRScheme.LVM_STACK),
+                                edvi_binary=True, machine=config))
+    return plan
+
+
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig11Result:
     """Sweep ports x width for the two charted benchmarks."""
     context = context or ExperimentContext(profile)
+    execute(jobs(profile), context)
     base_machine = MachineConfig.micro97_unconstrained()
     points: List[SensitivityPoint] = []
     for workload in FIG11_WORKLOADS:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
 from repro.threads.scheduler import RoundRobinScheduler
 
@@ -27,6 +28,32 @@ FIG12_ORDER = [
     "ijpeg_like", "gcc_like", "perl_like", "vortex_like",
     "compress_like", "go_like",
 ]
+
+#: Preemption quantum (instructions) of the scheduler measurement.
+QUANTUM = 997
+
+#: The two DVI settings whose histograms the paper charts.
+HIST_MODES = (
+    (DVIConfig(use_idvi=True, use_edvi=False, scheme=SRScheme.LVM_STACK), False),
+    (DVIConfig.full(SRScheme.LVM_STACK), True),
+)
+
+
+def _histogram_workloads(profile: ExperimentProfile) -> List[str]:
+    """The charted workloads present in the profile (paper order)."""
+    chosen = [w for w in FIG12_ORDER if w in set(profile.workloads)]
+    return chosen or list(profile.workloads)
+
+
+def _mix(profile: ExperimentProfile) -> List[str]:
+    """The multiprogrammed mix: charted workloads padded to three threads."""
+    mix = _histogram_workloads(profile)
+    for extra in profile.sr_workloads:
+        if len(mix) >= 3:
+            break
+        if extra not in mix:
+            mix.append(extra)
+    return mix[:3]
 
 
 @dataclass
@@ -89,26 +116,72 @@ class Fig12Result:
         )
 
 
+def jobs(profile: ExperimentProfile):
+    """Histogram cells + the solo-exit and binary cells the scheduler needs.
+
+    The preemptive-scheduler measurement itself multiplexes threads on one
+    simulated machine and is inherently serial, so it is not a cell; it is
+    cached whole through ``context.artifact`` instead.
+    """
+    plan = [
+        Job(kind="functional", workload=workload, dvi=dvi,
+            edvi_binary=edvi_binary, live_hist=True)
+        for workload in _histogram_workloads(profile)
+        for dvi, edvi_binary in HIST_MODES
+    ]
+    for workload in _mix(profile):
+        plan.append(Job(kind="functional", workload=workload,
+                        dvi=DVIConfig.none(), edvi_binary=False))
+        plan.append(Job(kind="binary", workload=workload))
+    return plan
+
+
+def _scheduler_measurement(
+    context: ExperimentContext,
+    mix: List[str],
+    label: str,
+    dvi: DVIConfig,
+    edvi_binary: bool,
+) -> SchedulerMeasurement:
+    """One cached preemptive-scheduler run of the mix under ``dvi``."""
+    def compute() -> SchedulerMeasurement:
+        solo_exits = {
+            w: context.functional(
+                w, DVIConfig.none(), edvi_binary=False
+            ).stats.exit_value
+            for w in mix
+        }
+        programs = [context.binary(w, edvi=edvi_binary) for w in mix]
+        result = RoundRobinScheduler(programs, dvi, quantum=QUANTUM).run()
+        correct = all(
+            thread.exit_value == solo_exits[thread.name]
+            for thread in result.threads
+        )
+        return SchedulerMeasurement(
+            dvi_label=label,
+            switches=result.switch_stats.switches,
+            pct_eliminated=result.switch_stats.pct_eliminated,
+            all_correct=correct,
+        )
+
+    return context.artifact(
+        "fig12_scheduler", (tuple(mix), dvi, edvi_binary, QUANTUM), compute
+    )
+
+
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig12Result:
     """Run both the histogram and scheduler measurements."""
     context = context or ExperimentContext(profile)
-    workloads = [w for w in FIG12_ORDER if w in set(profile.workloads)] or list(
-        profile.workloads
-    )
+    execute(jobs(profile), context)
 
     rows: List[ContextSwitchRow] = []
-    for workload in workloads:
+    for workload in _histogram_workloads(profile):
+        (idvi_dvi, idvi_bin), (full_dvi, full_bin) = HIST_MODES
         idvi = context.functional(
-            workload,
-            DVIConfig(use_idvi=True, use_edvi=False, scheme=SRScheme.LVM_STACK),
-            edvi_binary=False,
-            live_hist=True,
+            workload, idvi_dvi, edvi_binary=idvi_bin, live_hist=True
         ).stats
         full = context.functional(
-            workload,
-            DVIConfig.full(SRScheme.LVM_STACK),
-            edvi_binary=True,
-            live_hist=True,
+            workload, full_dvi, edvi_binary=full_bin, live_hist=True
         ).stats
         saveable = bin(DVIConfig.none().abi.saveable_mask()).count("1")
         rows.append(
@@ -120,35 +193,13 @@ def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig12R
             )
         )
 
-    scheduler_rows: List[SchedulerMeasurement] = []
     # The multiprogrammed mix needs at least two threads to switch between.
-    mix = list(workloads)
-    for extra in profile.sr_workloads:
-        if len(mix) >= 3:
-            break
-        if extra not in mix:
-            mix.append(extra)
-    mix = mix[:3]
-    solo_exits = {
-        w: context.functional(w, DVIConfig.none(), edvi_binary=False).stats.exit_value
-        for w in mix
-    }
-    for label, dvi, edvi_binary in (
-        ("I-DVI", DVIConfig.idvi_only(), False),
-        ("E-DVI and I-DVI", DVIConfig.full(SRScheme.LVM_STACK), True),
-    ):
-        programs = [context.binary(w, edvi=edvi_binary) for w in mix]
-        result = RoundRobinScheduler(programs, dvi, quantum=997).run()
-        correct = all(
-            thread.exit_value == solo_exits[thread.name]
-            for thread in result.threads
+    mix = _mix(profile)
+    scheduler_rows = [
+        _scheduler_measurement(context, mix, label, dvi, edvi_binary)
+        for label, dvi, edvi_binary in (
+            ("I-DVI", DVIConfig.idvi_only(), False),
+            ("E-DVI and I-DVI", DVIConfig.full(SRScheme.LVM_STACK), True),
         )
-        scheduler_rows.append(
-            SchedulerMeasurement(
-                dvi_label=label,
-                switches=result.switch_stats.switches,
-                pct_eliminated=result.switch_stats.pct_eliminated,
-                all_correct=correct,
-            )
-        )
+    ]
     return Fig12Result(rows=rows, scheduler=scheduler_rows)

@@ -15,10 +15,32 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
 from repro.sim.config import MachineConfig
 
 ICACHE_SIZES = (32 * 1024, 64 * 1024)
+
+
+def jobs(profile: ExperimentProfile):
+    """Binary, trace, and per-I-cache-size timing cells for each workload.
+
+    Every cell runs the Figure 13 DVI setting (annotations present but
+    unexploited), once with the plain binary and once with the annotated
+    one.
+    """
+    dvi = DVIConfig.edvi_overhead()
+    plan = []
+    for workload in profile.workloads:
+        plan.append(Job(kind="binary", workload=workload))
+        for edvi_binary in (False, True):
+            plan.append(Job(kind="trace", workload=workload, dvi=dvi,
+                            edvi_binary=edvi_binary))
+            for icache in ICACHE_SIZES:
+                config = MachineConfig.micro97_unconstrained().with_icache(icache)
+                plan.append(Job(kind="timed", workload=workload, dvi=dvi,
+                                edvi_binary=edvi_binary, machine=config))
+    return plan
 
 
 @dataclass
@@ -54,6 +76,7 @@ class Fig13Result:
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig13Result:
     """Measure dynamic, static, and IPC overheads of the annotations."""
     context = context or ExperimentContext(profile)
+    execute(jobs(profile), context)
     dvi = DVIConfig.edvi_overhead()
     rows: List[OverheadRow] = []
     for workload in profile.workloads:

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
 from repro.sim.config import MachineConfig
 
@@ -44,9 +45,19 @@ class Fig3Result:
         )
 
 
+def jobs(profile: ExperimentProfile):
+    """One no-DVI functional cell per workload in the suite."""
+    return [
+        Job(kind="functional", workload=name, dvi=DVIConfig.none(),
+            edvi_binary=False)
+        for name in profile.workloads
+    ]
+
+
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig3Result:
     """Characterize every workload with one functional run each."""
     context = context or ExperimentContext(profile)
+    execute(jobs(profile), context)
     rows = []
     for name in profile.workloads:
         stats = context.functional(name, DVIConfig.none(), edvi_binary=False).stats

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import (
     ExperimentContext,
     ExperimentProfile,
@@ -53,9 +54,27 @@ class Fig5Result:
         )
 
 
+def jobs(profile: ExperimentProfile):
+    """The (mode x register-file size x workload) timing cells.
+
+    Modes are the three :func:`repro.experiments.runner.regfile_modes`
+    curves (No DVI / I-DVI / E-DVI and I-DVI); each cell times one
+    workload on the Figure 2 machine resized to one register-file size.
+    """
+    base_config = MachineConfig.micro97()
+    return [
+        Job(kind="timed", workload=workload, dvi=dvi, edvi_binary=edvi_binary,
+            machine=base_config.with_phys_regs(size))
+        for _, dvi, edvi_binary in regfile_modes()
+        for size in profile.regfile_sizes
+        for workload in profile.workloads
+    ]
+
+
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig5Result:
     """Sweep register file sizes for the three DVI modes."""
     context = context or ExperimentContext(profile)
+    execute(jobs(profile), context)
     base_config = MachineConfig.micro97()
     sizes = list(profile.regfile_sizes)
     curves: Dict[str, List[float]] = {}

@@ -11,13 +11,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.fig5_regfile_ipc import Fig5Result, run as run_fig5
+from repro.experiments.fig5_regfile_ipc import (
+    Fig5Result,
+    jobs as fig5_jobs,
+    run as run_fig5,
+)
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
 from repro.timing.regfile import RegFileTimingModel
 from repro.timing.system import PerformanceCurves, performance_curves
 
 _REFERENCE = "No DVI"
 _OPTIMIZED = "E-DVI and I-DVI"
+
+
+def jobs(profile: ExperimentProfile):
+    """Figure 6 simulates nothing new: its cells are exactly Figure 5's.
+
+    The IPC data comes from the same :func:`~repro.experiments.runner.
+    regfile_modes` x size x workload sweep; this figure only composes it
+    with the analytic register-file timing model.
+    """
+    return fig5_jobs(profile)
 
 
 @dataclass

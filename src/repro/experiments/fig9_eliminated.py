@@ -18,7 +18,11 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+
+#: The two hardware schemes Figure 9 compares, in chart order.
+SCHEMES = ((SRScheme.LVM, "LVM"), (SRScheme.LVM_STACK, "LVM-Stack"))
 
 
 @dataclass
@@ -68,11 +72,22 @@ class Fig9Result:
         return table + summary
 
 
+def jobs(profile: ExperimentProfile):
+    """One E-DVI functional cell per (scheme, save/restore-heavy workload)."""
+    return [
+        Job(kind="functional", workload=workload, dvi=DVIConfig.full(scheme),
+            edvi_binary=True)
+        for scheme, _ in SCHEMES
+        for workload in profile.sr_workloads
+    ]
+
+
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig9Result:
     """Measure elimination under both hardware schemes."""
     context = context or ExperimentContext(profile)
+    execute(jobs(profile), context)
     rows: List[EliminationRow] = []
-    for scheme, label in ((SRScheme.LVM, "LVM"), (SRScheme.LVM_STACK, "LVM-Stack")):
+    for scheme, label in SCHEMES:
         for workload in profile.sr_workloads:
             stats = context.functional(
                 workload, DVIConfig.full(scheme), edvi_binary=True

@@ -1,0 +1,215 @@
+"""Parallel execution of experiment sweeps.
+
+Every figure's sweep decomposes into independent *cells*: one functional
+or timing simulation of one (workload, DVI configuration, machine
+configuration) point.  Experiment modules enumerate their cells as
+:class:`Job` lists (their ``jobs(profile)`` functions); :func:`execute`
+runs a job list to completion — serially in-process, or fanned out over a
+``multiprocessing`` worker pool when the context's ``jobs`` knob asks for
+parallelism — and merges every result back into the parent
+:class:`~repro.experiments.runner.ExperimentContext` caches.
+
+Determinism: workers only *compute* cells; the parent merges results in
+job-list order and every experiment assembles its figure from the warmed
+context afterwards, in plain deterministic Python.  A parallel run is
+therefore bit-identical to a serial one (the test suite asserts this),
+and the merge order never depends on worker completion order because
+``Pool.map`` preserves input order.
+
+Workers are initialized with the profile and the cache directory, so all
+processes share one content-addressed disk store (writes are atomic; see
+:mod:`repro.experiments.cache`) and a warm cache benefits every worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dvi.config import DVIConfig
+from repro.experiments.cache import ArtifactCache, CacheCounters, fingerprint
+from repro.experiments.runner import ExperimentContext, ExperimentProfile
+from repro.sim.config import MachineConfig
+
+__all__ = ["Job", "execute"]
+
+#: Job kinds, in the order a cell's dependency chain runs them.
+KINDS = ("binary", "functional", "trace", "timed")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One independent simulation cell of an experiment sweep.
+
+    ``kind`` selects the artifact the cell produces:
+
+    * ``"binary"`` — build the workload (both E-DVI variants),
+    * ``"functional"`` — an architectural run (stats, no trace),
+    * ``"trace"`` — a full dynamic trace,
+    * ``"timed"`` — an out-of-order timing simulation (requires
+      ``machine``; generates the trace as a dependency).
+    """
+
+    kind: str
+    workload: str
+    dvi: Optional[DVIConfig] = None
+    edvi_binary: bool = False
+    machine: Optional[MachineConfig] = None
+    live_hist: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "timed" and self.machine is None:
+            raise ValueError("timed jobs need a machine config")
+        if self.kind in ("functional", "trace", "timed") and self.dvi is None:
+            raise ValueError(f"{self.kind} jobs need a DVI config")
+
+    def signature(self) -> str:
+        """Value-based identity, for deduplication across figures."""
+        return fingerprint(
+            self.kind, self.workload, self.dvi, self.edvi_binary,
+            self.machine, self.live_hist,
+        )
+
+
+# ----------------------------------------------------------------------
+# Running one job inside a context (used by both serial and worker paths).
+# ----------------------------------------------------------------------
+
+def _run_job(job: Job, context: ExperimentContext) -> Any:
+    if job.kind == "binary":
+        context.binary(job.workload, edvi=True)
+        return (
+            context.binary(job.workload, edvi=False),
+            context.binary(job.workload, edvi=True),
+        )
+    if job.kind == "functional":
+        return context.functional(
+            job.workload, job.dvi,
+            edvi_binary=job.edvi_binary, live_hist=job.live_hist,
+        )
+    if job.kind == "trace":
+        return context.trace(job.workload, job.dvi, edvi_binary=job.edvi_binary)
+    return context.timed(
+        job.workload, job.dvi, job.machine, edvi_binary=job.edvi_binary
+    )
+
+
+def _satisfied(job: Job, context: ExperimentContext) -> bool:
+    """True if the parent's in-memory caches already hold the cell."""
+    if job.kind == "binary":
+        return (job.workload, True) in context._binaries
+    if job.kind == "functional":
+        key = (job.workload, job.edvi_binary, job.dvi, job.live_hist)
+        return key in context._functional
+    if job.kind == "trace":
+        return (job.workload, job.edvi_binary, job.dvi) in context._traces
+    return (
+        fingerprint(
+            context._timed_key(job.workload, job.dvi, job.machine, job.edvi_binary)
+        )
+        in context._timed
+    )
+
+
+def _absorb(job: Job, value: Any, context: ExperimentContext) -> None:
+    """Merge one worker-computed result into the parent's memo layer."""
+    if job.kind == "binary":
+        plain, annotated = value
+        context._binaries[(job.workload, False)] = plain
+        context._binaries[(job.workload, True)] = annotated
+    elif job.kind == "functional":
+        key = (job.workload, job.edvi_binary, job.dvi, job.live_hist)
+        context._functional[key] = value
+    elif job.kind == "trace":
+        context._traces[(job.workload, job.edvi_binary, job.dvi)] = value
+    else:
+        memo_key = fingerprint(
+            context._timed_key(job.workload, job.dvi, job.machine, job.edvi_binary)
+        )
+        context._timed[memo_key] = value
+
+
+# ----------------------------------------------------------------------
+# Worker-pool plumbing.  Workers build a private ExperimentContext (with
+# its own ArtifactCache instance aimed at the shared directory) once per
+# process, then execute job after job against it.
+# ----------------------------------------------------------------------
+
+_WORKER_CONTEXT: Optional[ExperimentContext] = None
+
+
+def _worker_init(profile: ExperimentProfile, cache_root: Optional[str]) -> None:
+    global _WORKER_CONTEXT
+    cache = ArtifactCache(cache_root) if cache_root else None
+    _WORKER_CONTEXT = ExperimentContext(profile, cache=cache)
+
+
+def _worker_run(job: Job) -> Tuple[Any, dict]:
+    """Run one job; return its result plus the cache-counter delta.
+
+    Each worker's ArtifactCache keeps its own counters, so the parent
+    would otherwise report a near-idle cache after a parallel run.
+    Counters are drained (returned and reset) per job and merged back by
+    :func:`execute`.
+    """
+    assert _WORKER_CONTEXT is not None, "worker pool not initialized"
+    value = _run_job(job, _WORKER_CONTEXT)
+    deltas = {}
+    if _WORKER_CONTEXT.cache is not None:
+        for kind, counter in _WORKER_CONTEXT.cache.counters.items():
+            deltas[kind] = (counter.hits, counter.misses, counter.stores)
+        _WORKER_CONTEXT.cache.counters.clear()
+    return value, deltas
+
+
+# ----------------------------------------------------------------------
+# The scheduler entry point.
+# ----------------------------------------------------------------------
+
+def execute(jobs: Sequence[Job], context: ExperimentContext) -> None:
+    """Run every cell in ``jobs``, warming the context's caches.
+
+    Cells already present in the context (in memory) are skipped; the
+    remainder is deduplicated by value signature and executed either
+    in-process (``context.jobs == 1``) or on a worker pool of
+    ``context.jobs`` processes.  On return, every cell in ``jobs`` is
+    resident in the context's memo layer, so the calling experiment's
+    assembly phase runs entirely from cache.
+    """
+    pending: List[Job] = []
+    seen = set()
+    for job in jobs:
+        signature = job.signature()
+        if signature in seen or _satisfied(job, context):
+            continue
+        seen.add(signature)
+        pending.append(job)
+    if not pending:
+        return
+
+    workers = min(context.jobs, len(pending))
+    if workers <= 1:
+        for job in pending:
+            _run_job(job, context)
+        return
+
+    cache_root = str(context.cache.root) if context.cache is not None else None
+    with multiprocessing.Pool(
+        processes=workers,
+        initializer=_worker_init,
+        initargs=(context.profile, cache_root),
+    ) as pool:
+        results = pool.map(_worker_run, pending)
+    for job, (value, deltas) in zip(pending, results):
+        _absorb(job, value, context)
+        if context.cache is not None:
+            for kind, (hits, misses, stores) in deltas.items():
+                counter = context.cache.counters.setdefault(
+                    kind, CacheCounters()
+                )
+                counter.hits += hits
+                counter.misses += misses
+                counter.stores += stores
