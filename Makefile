@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke docs-check bench clean-cache
+.PHONY: test smoke docs-check bench bench-perf clean-cache
 
 ## Tier-1 test suite.
 test:
@@ -19,5 +19,15 @@ docs-check:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
+## Simulation-core perf harness; writes BENCH_simcore.json at the root.
+## PROFILE=tiny for CI-sized runs.
+PROFILE ?= quick
+bench-perf:
+	$(PYTHON) benchmarks/perf/bench_simcore.py --profile $(PROFILE)
+
+## Remove everything .gitignore ignores: the artifact cache, bytecode
+## droppings, egg-info, and smoke output.
 clean-cache:
 	rm -rf .repro-cache smoke-results.json
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf *.egg-info src/*.egg-info .pytest_cache .benchmarks

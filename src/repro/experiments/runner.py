@@ -32,7 +32,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.functional import FunctionalResult, run_program
 from repro.sim.ooo.core import simulate
 from repro.sim.ooo.stats import PipelineStats
-from repro.sim.trace import Trace
+from repro.sim.trace import TRACE_FORMAT, Trace
 from repro.workloads.suite import ALL_ORDER, SAVE_RESTORE_ORDER, get_program
 
 
@@ -111,7 +111,10 @@ class ExperimentContext:
         return (workload, self.profile.scale)
 
     def _trace_key(self, workload: str, dvi: DVIConfig, edvi_binary: bool) -> tuple:
-        return (workload, self.profile.scale, edvi_binary, dvi)
+        # TRACE_FORMAT makes artifacts of different trace storage formats
+        # (pre-columnar vs columnar) distinct cache cells even if the code
+        # version were ever held fixed across the change.
+        return (workload, self.profile.scale, edvi_binary, dvi, TRACE_FORMAT)
 
     def _functional_key(
         self, workload: str, dvi: DVIConfig, edvi_binary: bool, live_hist: bool

@@ -36,11 +36,20 @@ from typing import List
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import (
-    BRANCH_OPS,
-    LOAD_OPS,
-    RRI_OPS,
-    RRR_OPS,
-    STORE_OPS,
+    FMT_BARE,
+    FMT_BR_RR,
+    FMT_BR_RZ,
+    FMT_J,
+    FMT_JALR,
+    FMT_JR,
+    FMT_KILL,
+    FMT_LOAD,
+    FMT_LUI,
+    FMT_LVM,
+    FMT_RRI,
+    FMT_RRR,
+    FMT_STORE,
+    OP_FORMAT,
     Opcode,
 )
 
@@ -63,31 +72,32 @@ def encode(inst: Instruction, index: int) -> int:
     """Encode ``inst``, located at instruction index ``index``, to a word."""
     op = inst.op
     word = int(op) << 26
-    if op in RRR_OPS:
+    fmt = OP_FORMAT[op]
+    if fmt == FMT_RRR:
         return word | (inst.rd << 21) | (inst.rs1 << 16) | (inst.rs2 << 11)
-    if op in RRI_OPS or op in LOAD_OPS:
+    if fmt == FMT_RRI or fmt == FMT_LOAD:
         return word | (inst.rd << 21) | (inst.rs1 << 16) | _imm16(inst.imm)
-    if op is Opcode.LUI:
+    if fmt == FMT_LUI:
         return word | (inst.rd << 21) | _imm16(inst.imm)
-    if op in STORE_OPS:
+    if fmt == FMT_STORE:
         return word | (inst.rs2 << 21) | (inst.rs1 << 16) | _imm16(inst.imm)
-    if op in BRANCH_OPS:
+    if fmt == FMT_BR_RR or fmt == FMT_BR_RZ:
         offset = _linked_target(inst) - (index + 1)
         return word | (inst.rs1 << 21) | (inst.rs2 << 16) | _imm16(offset)
-    if op in (Opcode.J, Opcode.JAL):
+    if fmt == FMT_J:
         target = _linked_target(inst)
         if not 0 <= target <= _TARGET_MAX:
             raise EncodingError(f"jump target out of range: {target}")
         return word | target
-    if op is Opcode.JR:
+    if fmt == FMT_JR:
         return word | (inst.rs1 << 16)
-    if op is Opcode.JALR:
+    if fmt == FMT_JALR:
         return word | (inst.rd << 21) | (inst.rs1 << 16)
-    if op is Opcode.KILL:
+    if fmt == FMT_KILL:
         return word | _encode_kill_mask(inst.kill_mask)
-    if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+    if fmt == FMT_LVM:
         return word | (inst.rs1 << 16) | _imm16(inst.imm)
-    if op in (Opcode.NOP, Opcode.HALT):
+    if fmt == FMT_BARE:
         return word
     raise EncodingError(f"cannot encode opcode {op.name}")
 
@@ -104,25 +114,26 @@ def decode(word: int, index: int) -> Instruction:
     f2 = (word >> 16) & 0x1F
     f3 = (word >> 11) & 0x1F
     imm = _sign_extend16(word & 0xFFFF)
-    if op in RRR_OPS:
+    fmt = OP_FORMAT[op]
+    if fmt == FMT_RRR:
         return Instruction(op, rd=f1, rs1=f2, rs2=f3)
-    if op in RRI_OPS or op in LOAD_OPS:
+    if fmt == FMT_RRI or fmt == FMT_LOAD:
         return Instruction(op, rd=f1, rs1=f2, imm=imm)
-    if op is Opcode.LUI:
+    if fmt == FMT_LUI:
         return Instruction(op, rd=f1, imm=imm)
-    if op in STORE_OPS:
+    if fmt == FMT_STORE:
         return Instruction(op, rs2=f1, rs1=f2, imm=imm)
-    if op in BRANCH_OPS:
+    if fmt == FMT_BR_RR or fmt == FMT_BR_RZ:
         return Instruction(op, rs1=f1, rs2=f2, target=index + 1 + imm)
-    if op in (Opcode.J, Opcode.JAL):
+    if fmt == FMT_J:
         return Instruction(op, target=word & _TARGET_MAX)
-    if op is Opcode.JR:
+    if fmt == FMT_JR:
         return Instruction(op, rs1=f2)
-    if op is Opcode.JALR:
+    if fmt == FMT_JALR:
         return Instruction(op, rd=f1, rs1=f2)
-    if op is Opcode.KILL:
+    if fmt == FMT_KILL:
         return Instruction(op, kill_mask=_decode_kill_mask(word))
-    if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+    if fmt == FMT_LVM:
         return Instruction(op, rs1=f2, imm=imm)
     return Instruction(op)
 

@@ -17,6 +17,10 @@ Operand conventions:
 
 The ``target`` field holds a label string before linking and an instruction
 index (not a byte address) after :meth:`repro.program.program.Program.link`.
+
+Static predicates and the def/use masks dispatch on the int-indexed
+metadata tables of :mod:`repro.isa.opcodes` (``OP_FORMAT``,
+``OP_IS_LOAD``, ...), so opcode metadata has a single source of truth.
 """
 
 from __future__ import annotations
@@ -27,16 +31,29 @@ from typing import Optional, Tuple, Union
 from repro.isa import registers as regs
 from repro.isa.opcodes import (
     BRANCH_OPS,
-    BRANCH_RR_OPS,
-    BRANCH_RZ_OPS,
-    CALL_OPS,
-    CONTROL_OPS,
+    FMT_BARE,
+    FMT_BR_RR,
+    FMT_BR_RZ,
+    FMT_J,
+    FMT_JALR,
+    FMT_JR,
+    FMT_KILL,
+    FMT_LOAD,
+    FMT_LUI,
+    FMT_LVM,
+    FMT_RRI,
+    FMT_RRR,
+    FMT_STORE,
     LOAD_OPS,
-    MEM_OPS,
-    OP_CLASS,
-    RETURN_OPS,
-    RRI_OPS,
-    RRR_OPS,
+    OP_CLASS_TABLE,
+    OP_FORMAT,
+    OP_IS_BRANCH,
+    OP_IS_CALL,
+    OP_IS_CONTROL,
+    OP_IS_LOAD,
+    OP_IS_MEM,
+    OP_IS_RETURN,
+    OP_IS_STORE,
     STORE_OPS,
     OpClass,
     Opcode,
@@ -66,68 +83,70 @@ class Instruction:
 
     @property
     def op_class(self) -> OpClass:
-        return OP_CLASS[self.op]
+        return OP_CLASS_TABLE[self.op]
 
     @property
     def is_branch(self) -> bool:
         """A conditional branch."""
-        return self.op in BRANCH_OPS
+        return OP_IS_BRANCH[self.op]
 
     @property
     def is_control(self) -> bool:
         """Any control transfer (branch, jump, call, return)."""
-        return self.op in CONTROL_OPS
+        return OP_IS_CONTROL[self.op]
 
     @property
     def is_call(self) -> bool:
-        return self.op in CALL_OPS
+        return OP_IS_CALL[self.op]
 
     @property
     def is_return(self) -> bool:
         """``jr ra`` is the conventional procedure return."""
-        return self.op in RETURN_OPS and self.rs1 == regs.RA
+        return OP_IS_RETURN[self.op] and self.rs1 == regs.RA
 
     @property
     def is_indirect(self) -> bool:
         """Control transfer through a register (target unknown statically)."""
-        return self.op in (Opcode.JR, Opcode.JALR)
+        fmt = OP_FORMAT[self.op]
+        return fmt == FMT_JR or fmt == FMT_JALR
 
     @property
     def is_load(self) -> bool:
-        return self.op in LOAD_OPS
+        return OP_IS_LOAD[self.op]
 
     @property
     def is_store(self) -> bool:
-        return self.op in STORE_OPS
+        return OP_IS_STORE[self.op]
 
     @property
     def is_mem(self) -> bool:
-        return self.op in MEM_OPS
+        return OP_IS_MEM[self.op]
 
     @property
     def is_save(self) -> bool:
         """A live-store (callee-saved register save)."""
-        return self.op is Opcode.LIVE_SW
+        return self.op == Opcode.LIVE_SW
 
     @property
     def is_restore(self) -> bool:
         """A live-load (callee-saved register restore)."""
-        return self.op is Opcode.LIVE_LW
+        return self.op == Opcode.LIVE_LW
 
     @property
     def is_kill(self) -> bool:
-        return self.op is Opcode.KILL
+        return self.op == Opcode.KILL
 
     @property
     def is_halt(self) -> bool:
-        return self.op is Opcode.HALT
+        return self.op == Opcode.HALT
 
     @property
     def falls_through(self) -> bool:
         """Whether control may continue to the next sequential instruction."""
-        if self.op in (Opcode.J, Opcode.JR, Opcode.HALT):
+        op = self.op
+        if op == Opcode.J or op == Opcode.HALT:
             return False
-        if self.is_return:
+        if op == Opcode.JR:  # includes the conventional return, jr ra
             return False
         return True
 
@@ -138,35 +157,19 @@ class Instruction:
 
     def def_mask(self) -> int:
         """Mask of architectural registers this instruction writes."""
-        op = self.op
-        if op in RRR_OPS or op in RRI_OPS or op is Opcode.LUI:
+        fmt = OP_FORMAT[self.op]
+        if fmt in (FMT_RRR, FMT_RRI, FMT_LUI, FMT_LOAD, FMT_JALR):
             return _bit(self.rd)
-        if op in LOAD_OPS:
-            return _bit(self.rd)
-        if op is Opcode.JAL:
+        if fmt == FMT_J and self.op == Opcode.JAL:
             return _bit(regs.RA)
-        if op is Opcode.JALR:
-            return _bit(self.rd)
         return 0
 
     def use_mask(self) -> int:
         """Mask of architectural registers this instruction reads."""
-        op = self.op
-        if op in RRR_OPS:
+        fmt = OP_FORMAT[self.op]
+        if fmt in (FMT_RRR, FMT_STORE, FMT_BR_RR):
             return _bit(self.rs1) | _bit(self.rs2)
-        if op in RRI_OPS:
-            return _bit(self.rs1)
-        if op in LOAD_OPS:
-            return _bit(self.rs1)
-        if op in STORE_OPS:
-            return _bit(self.rs1) | _bit(self.rs2)
-        if op in BRANCH_RR_OPS:
-            return _bit(self.rs1) | _bit(self.rs2)
-        if op in BRANCH_RZ_OPS:
-            return _bit(self.rs1)
-        if op in (Opcode.JR, Opcode.JALR):
-            return _bit(self.rs1)
-        if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+        if fmt in (FMT_RRI, FMT_LOAD, FMT_BR_RZ, FMT_JR, FMT_JALR, FMT_LVM):
             return _bit(self.rs1)
         return 0
 
@@ -204,33 +207,35 @@ def format_instruction(inst: Instruction) -> str:
     op = inst.op
     name = op.name.lower()
     target = inst.target if inst.target is not None else "?"
-    if op in RRR_OPS:
+    fmt = OP_FORMAT[op]
+    if fmt == FMT_RRR:
         return (f"{name} {regs.reg_name(inst.rd)}, "
                 f"{regs.reg_name(inst.rs1)}, {regs.reg_name(inst.rs2)}")
-    if op in RRI_OPS:
+    if fmt == FMT_RRI:
         return (f"{name} {regs.reg_name(inst.rd)}, "
                 f"{regs.reg_name(inst.rs1)}, {inst.imm}")
-    if op is Opcode.LUI:
+    if fmt == FMT_LUI:
         return f"{name} {regs.reg_name(inst.rd)}, {inst.imm}"
-    if op in LOAD_OPS:
+    if fmt == FMT_LOAD:
         return f"{name} {regs.reg_name(inst.rd)}, {inst.imm}({regs.reg_name(inst.rs1)})"
-    if op in STORE_OPS:
+    if fmt == FMT_STORE:
         return f"{name} {regs.reg_name(inst.rs2)}, {inst.imm}({regs.reg_name(inst.rs1)})"
-    if op in BRANCH_RR_OPS:
+    if fmt == FMT_BR_RR:
         return (f"{name} {regs.reg_name(inst.rs1)}, "
                 f"{regs.reg_name(inst.rs2)}, {target}")
-    if op in BRANCH_RZ_OPS:
+    if fmt == FMT_BR_RZ:
         return f"{name} {regs.reg_name(inst.rs1)}, {target}"
-    if op in (Opcode.J, Opcode.JAL):
+    if fmt == FMT_J:
         return f"{name} {target}"
-    if op is Opcode.JR:
+    if fmt == FMT_JR:
         return f"{name} {regs.reg_name(inst.rs1)}"
-    if op is Opcode.JALR:
+    if fmt == FMT_JALR:
         return f"{name} {regs.reg_name(inst.rd)}, {regs.reg_name(inst.rs1)}"
-    if op is Opcode.KILL:
+    if fmt == FMT_KILL:
         return f"kill {regs.format_mask(inst.kill_mask)}"
-    if op in (Opcode.LVM_SAVE, Opcode.LVM_LOAD):
+    if fmt == FMT_LVM:
         return f"{name} {inst.imm}({regs.reg_name(inst.rs1)})"
+    assert fmt == FMT_BARE
     return name
 
 
@@ -241,14 +246,14 @@ def format_instruction(inst: Instruction) -> str:
 
 def rrr(op: Opcode, rd: int, rs1: int, rs2: int) -> Instruction:
     """Build a register-register ALU instruction."""
-    if op not in RRR_OPS:
+    if OP_FORMAT[op] != FMT_RRR:
         raise ValueError(f"{op.name} is not a register-register op")
     return Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
 
 
 def rri(op: Opcode, rd: int, rs1: int, imm: int) -> Instruction:
     """Build a register-immediate ALU instruction."""
-    if op not in RRI_OPS:
+    if OP_FORMAT[op] != FMT_RRI:
         raise ValueError(f"{op.name} is not a register-immediate op")
     return Instruction(op, rd=rd, rs1=rs1, imm=imm)
 

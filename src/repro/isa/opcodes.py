@@ -2,9 +2,19 @@
 
 Each opcode belongs to an :class:`OpClass`, which is what the timing model
 cares about (which functional unit executes it, and with what latency), and
-carries a small set of static attributes (does it read memory, is it a
-control transfer, ...) that the decoder, the analyses, and the simulators all
-share.
+an operand *format*, which is what the assembler, encoder, and formatter
+care about.  Both attributes live in one specification table (`_OP_SPEC`)
+from which every other view is derived:
+
+* **int-indexed tuples** (``OP_CLASS_CODE``, ``OP_FORMAT``,
+  ``OP_IS_LOAD``, ...) — O(1) lookups by raw opcode integer, used on the
+  simulators' hot paths and by the assembler/encoder/rewriter;
+* the legacy **enum-keyed dict** ``OP_CLASS`` and the membership
+  **frozensets** (``RRR_OPS``, ``LOAD_OPS``, ...) — kept as derived views
+  for readability and backward compatibility.
+
+There is deliberately no second place where an opcode's class or format is
+written down; adding an opcode means adding one `_OP_SPEC` row.
 """
 
 from __future__ import annotations
@@ -83,70 +93,136 @@ class Opcode(IntEnum):
     LVM_LOAD = 43  # load the LVM from memory (context switch support)
 
 
+NUM_OPCODES = len(Opcode)
+NUM_OP_CLASSES = len(OpClass)
+
+# Operand-format codes (the encoder/decoder/formatter dispatch key).
+FMT_RRR = 0     # op rd, rs1, rs2
+FMT_RRI = 1     # op rd, rs1, imm
+FMT_LUI = 2     # op rd, imm
+FMT_LOAD = 3    # op rd, imm(rs1)
+FMT_STORE = 4   # op rs2, imm(rs1)
+FMT_BR_RR = 5   # op rs1, rs2, target
+FMT_BR_RZ = 6   # op rs1, target
+FMT_J = 7       # op target (j / jal)
+FMT_JR = 8      # op rs1
+FMT_JALR = 9    # op rd, rs1
+FMT_KILL = 10   # kill mask
+FMT_LVM = 11    # op imm(rs1)
+FMT_BARE = 12   # op (nop / halt)
+
+# ----------------------------------------------------------------------
+# The single source of truth: opcode -> (class, format), in Opcode order.
+# ----------------------------------------------------------------------
+
+_OP_SPEC = (
+    (Opcode.ADD, OpClass.IALU, FMT_RRR),
+    (Opcode.SUB, OpClass.IALU, FMT_RRR),
+    (Opcode.MUL, OpClass.IMUL, FMT_RRR),
+    (Opcode.DIV, OpClass.IDIV, FMT_RRR),
+    (Opcode.REM, OpClass.IDIV, FMT_RRR),
+    (Opcode.AND, OpClass.IALU, FMT_RRR),
+    (Opcode.OR, OpClass.IALU, FMT_RRR),
+    (Opcode.XOR, OpClass.IALU, FMT_RRR),
+    (Opcode.NOR, OpClass.IALU, FMT_RRR),
+    (Opcode.SLL, OpClass.IALU, FMT_RRR),
+    (Opcode.SRL, OpClass.IALU, FMT_RRR),
+    (Opcode.SRA, OpClass.IALU, FMT_RRR),
+    (Opcode.SLT, OpClass.IALU, FMT_RRR),
+    (Opcode.SLTU, OpClass.IALU, FMT_RRR),
+    (Opcode.ADDI, OpClass.IALU, FMT_RRI),
+    (Opcode.ANDI, OpClass.IALU, FMT_RRI),
+    (Opcode.ORI, OpClass.IALU, FMT_RRI),
+    (Opcode.XORI, OpClass.IALU, FMT_RRI),
+    (Opcode.SLLI, OpClass.IALU, FMT_RRI),
+    (Opcode.SRLI, OpClass.IALU, FMT_RRI),
+    (Opcode.SRAI, OpClass.IALU, FMT_RRI),
+    (Opcode.SLTI, OpClass.IALU, FMT_RRI),
+    (Opcode.LUI, OpClass.IALU, FMT_LUI),
+    (Opcode.LW, OpClass.LOAD, FMT_LOAD),
+    (Opcode.SW, OpClass.STORE, FMT_STORE),
+    (Opcode.LB, OpClass.LOAD, FMT_LOAD),
+    (Opcode.SB, OpClass.STORE, FMT_STORE),
+    (Opcode.BEQ, OpClass.BRANCH, FMT_BR_RR),
+    (Opcode.BNE, OpClass.BRANCH, FMT_BR_RR),
+    (Opcode.BLT, OpClass.BRANCH, FMT_BR_RR),
+    (Opcode.BGE, OpClass.BRANCH, FMT_BR_RR),
+    (Opcode.BLEZ, OpClass.BRANCH, FMT_BR_RZ),
+    (Opcode.BGTZ, OpClass.BRANCH, FMT_BR_RZ),
+    (Opcode.J, OpClass.JUMP, FMT_J),
+    (Opcode.JAL, OpClass.JUMP, FMT_J),
+    (Opcode.JR, OpClass.JUMP, FMT_JR),
+    (Opcode.JALR, OpClass.JUMP, FMT_JALR),
+    (Opcode.NOP, OpClass.NOP, FMT_BARE),
+    (Opcode.HALT, OpClass.SYSCALL, FMT_BARE),
+    (Opcode.KILL, OpClass.NOP, FMT_KILL),
+    (Opcode.LIVE_SW, OpClass.STORE, FMT_STORE),
+    (Opcode.LIVE_LW, OpClass.LOAD, FMT_LOAD),
+    (Opcode.LVM_SAVE, OpClass.NOP, FMT_LVM),
+    (Opcode.LVM_LOAD, OpClass.NOP, FMT_LVM),
+)
+
+assert tuple(op for op, _, _ in _OP_SPEC) == tuple(Opcode), \
+    "_OP_SPEC must list every opcode once, in Opcode order"
+
+# ----------------------------------------------------------------------
+# Int-indexed tables (index by ``int(op)`` — or by ``op`` itself, since
+# Opcode is an IntEnum).  These are the hot-path views.
+# ----------------------------------------------------------------------
+
+#: Opcode int -> OpClass member.
+OP_CLASS_TABLE = tuple(cls for _, cls, _ in _OP_SPEC)
+#: Opcode int -> raw OpClass int code.
+OP_CLASS_CODE = tuple(int(cls) for _, cls, _ in _OP_SPEC)
+#: Opcode int -> operand-format code (``FMT_*``).
+OP_FORMAT = tuple(fmt for _, _, fmt in _OP_SPEC)
+
+#: Opcode int -> membership flags (derived from class/format).
+OP_IS_LOAD = tuple(cls is OpClass.LOAD for _, cls, _ in _OP_SPEC)
+OP_IS_STORE = tuple(cls is OpClass.STORE for _, cls, _ in _OP_SPEC)
+OP_IS_MEM = tuple(l or s for l, s in zip(OP_IS_LOAD, OP_IS_STORE))
+OP_IS_BRANCH = tuple(cls is OpClass.BRANCH for _, cls, _ in _OP_SPEC)
+OP_IS_JUMP = tuple(cls is OpClass.JUMP for _, cls, _ in _OP_SPEC)
+OP_IS_CONTROL = tuple(b or j for b, j in zip(OP_IS_BRANCH, OP_IS_JUMP))
+OP_IS_CALL = tuple(op in (Opcode.JAL, Opcode.JALR) for op in Opcode)
+OP_IS_RETURN = tuple(op is Opcode.JR for op in Opcode)
+
+# ----------------------------------------------------------------------
+# Derived enum-keyed views (readability / backward compatibility).
+# ----------------------------------------------------------------------
+
 #: Opcode -> OpClass.
-OP_CLASS = {
-    Opcode.ADD: OpClass.IALU, Opcode.SUB: OpClass.IALU,
-    Opcode.MUL: OpClass.IMUL, Opcode.DIV: OpClass.IDIV,
-    Opcode.REM: OpClass.IDIV,
-    Opcode.AND: OpClass.IALU, Opcode.OR: OpClass.IALU,
-    Opcode.XOR: OpClass.IALU, Opcode.NOR: OpClass.IALU,
-    Opcode.SLL: OpClass.IALU, Opcode.SRL: OpClass.IALU,
-    Opcode.SRA: OpClass.IALU, Opcode.SLT: OpClass.IALU,
-    Opcode.SLTU: OpClass.IALU,
-    Opcode.ADDI: OpClass.IALU, Opcode.ANDI: OpClass.IALU,
-    Opcode.ORI: OpClass.IALU, Opcode.XORI: OpClass.IALU,
-    Opcode.SLLI: OpClass.IALU, Opcode.SRLI: OpClass.IALU,
-    Opcode.SRAI: OpClass.IALU, Opcode.SLTI: OpClass.IALU,
-    Opcode.LUI: OpClass.IALU,
-    Opcode.LW: OpClass.LOAD, Opcode.LB: OpClass.LOAD,
-    Opcode.SW: OpClass.STORE, Opcode.SB: OpClass.STORE,
-    Opcode.BEQ: OpClass.BRANCH, Opcode.BNE: OpClass.BRANCH,
-    Opcode.BLT: OpClass.BRANCH, Opcode.BGE: OpClass.BRANCH,
-    Opcode.BLEZ: OpClass.BRANCH, Opcode.BGTZ: OpClass.BRANCH,
-    Opcode.J: OpClass.JUMP, Opcode.JAL: OpClass.JUMP,
-    Opcode.JR: OpClass.JUMP, Opcode.JALR: OpClass.JUMP,
-    Opcode.NOP: OpClass.NOP, Opcode.HALT: OpClass.SYSCALL,
-    Opcode.KILL: OpClass.NOP,
-    Opcode.LIVE_SW: OpClass.STORE, Opcode.LIVE_LW: OpClass.LOAD,
-    Opcode.LVM_SAVE: OpClass.NOP, Opcode.LVM_LOAD: OpClass.NOP,
-}
+OP_CLASS = {op: cls for op, cls, _ in _OP_SPEC}
 
 #: Register-register ALU ops (rd, rs1, rs2).
-RRR_OPS = frozenset({
-    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
-    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOR,
-    Opcode.SLL, Opcode.SRL, Opcode.SRA, Opcode.SLT, Opcode.SLTU,
-})
+RRR_OPS = frozenset(op for op, _, fmt in _OP_SPEC if fmt == FMT_RRR)
 
 #: Register-immediate ALU ops (rd, rs1, imm).
-RRI_OPS = frozenset({
-    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
-    Opcode.SLLI, Opcode.SRLI, Opcode.SRAI, Opcode.SLTI,
-})
+RRI_OPS = frozenset(op for op, _, fmt in _OP_SPEC if fmt == FMT_RRI)
 
 #: Loads (rd, imm(rs1)).
-LOAD_OPS = frozenset({Opcode.LW, Opcode.LB, Opcode.LIVE_LW})
+LOAD_OPS = frozenset(op for op, _, fmt in _OP_SPEC if fmt == FMT_LOAD)
 
 #: Stores (rs2, imm(rs1)) -- rs2 is the data register.
-STORE_OPS = frozenset({Opcode.SW, Opcode.SB, Opcode.LIVE_SW})
+STORE_OPS = frozenset(op for op, _, fmt in _OP_SPEC if fmt == FMT_STORE)
 
 #: Conditional branches comparing two registers.
-BRANCH_RR_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+BRANCH_RR_OPS = frozenset(op for op, _, fmt in _OP_SPEC if fmt == FMT_BR_RR)
 
 #: Conditional branches comparing one register against zero.
-BRANCH_RZ_OPS = frozenset({Opcode.BLEZ, Opcode.BGTZ})
+BRANCH_RZ_OPS = frozenset(op for op, _, fmt in _OP_SPEC if fmt == FMT_BR_RZ)
 
 #: All conditional branches.
 BRANCH_OPS = BRANCH_RR_OPS | BRANCH_RZ_OPS
 
 #: All control-transfer ops (conditional and unconditional).
-CONTROL_OPS = BRANCH_OPS | frozenset({Opcode.J, Opcode.JAL, Opcode.JR, Opcode.JALR})
+CONTROL_OPS = frozenset(op for op in Opcode if OP_IS_CONTROL[op])
 
 #: Opcodes that perform a procedure call.
-CALL_OPS = frozenset({Opcode.JAL, Opcode.JALR})
+CALL_OPS = frozenset(op for op in Opcode if OP_IS_CALL[op])
 
 #: Opcodes used as procedure returns (``jr ra`` by convention).
-RETURN_OPS = frozenset({Opcode.JR})
+RETURN_OPS = frozenset(op for op in Opcode if OP_IS_RETURN[op])
 
 #: Memory-accessing opcodes.
 MEM_OPS = LOAD_OPS | STORE_OPS
@@ -164,7 +240,12 @@ DEFAULT_LATENCY = {
     OpClass.SYSCALL: 1,
 }
 
+#: OpClass int code -> default latency (int-indexed view of the above).
+DEFAULT_LATENCY_BY_CODE = tuple(
+    DEFAULT_LATENCY[OpClass(code)] for code in range(NUM_OP_CLASSES)
+)
+
 
 def op_class(op: Opcode) -> OpClass:
     """The :class:`OpClass` of opcode ``op``."""
-    return OP_CLASS[op]
+    return OP_CLASS_TABLE[op]

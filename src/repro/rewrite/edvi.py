@@ -37,7 +37,6 @@ from repro.analysis.liveness import analyze_procedure
 from repro.isa import registers as regs
 from repro.isa.abi import ABI, DEFAULT_ABI
 from repro.isa.instruction import Instruction, kill as kill_inst
-from repro.isa.opcodes import Opcode
 from repro.program.program import ProcedureDecl, Program
 
 
@@ -93,7 +92,7 @@ def callee_save_sets(program: Program) -> Dict[str, int]:
         mask = 0
         for index in range(proc.start, proc.end):
             inst = program.insts[index]
-            if inst.op is Opcode.LIVE_SW:
+            if inst.is_save:
                 mask |= 1 << inst.rs2
         save_sets[proc.name] = mask
     return save_sets

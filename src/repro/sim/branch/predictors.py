@@ -96,6 +96,16 @@ class CombiningPredictor:
         self.chooser = SaturatingCounterTable(chooser_size)
         self.lookups = 0
         self.hits = 0
+        # Flat views of the component tables: predict_and_update runs once
+        # per fetched branch and is rewritten table-direct so the timing
+        # core pays one method call per branch instead of seven.
+        self._bim_table = self.bimodal.table._table
+        self._bim_mask = self.bimodal.table._mask
+        self._gsh_table = self.gshare.table._table
+        self._gsh_mask = self.gshare.table._mask
+        self._cho_table = self.chooser._table
+        self._cho_mask = self.chooser._mask
+        self._history_mask = self.gshare._history_mask
 
     def predict(self, pc: int) -> bool:
         if self.chooser.predict(pc):  # >=2 -> trust gshare
@@ -103,14 +113,45 @@ class CombiningPredictor:
         return self.bimodal.predict(pc)
 
     def predict_and_update(self, pc: int, taken: bool) -> bool:
-        """Predict, train all components, and return prediction correctness."""
-        bimodal_guess = self.bimodal.predict(pc)
-        gshare_guess = self.gshare.predict(pc)
-        prediction = gshare_guess if self.chooser.predict(pc) else bimodal_guess
+        """Predict, train all components, and return prediction correctness.
+
+        Behaviourally identical to the component-object formulation
+        (predict all, chooser trains on disagreement toward the component
+        matching the outcome, both components train, history shifts); the
+        tables are just accessed directly.
+        """
+        gshare = self.gshare
+        bim_table = self._bim_table
+        gsh_table = self._gsh_table
+        cho_table = self._cho_table
+        bim_index = pc & self._bim_mask
+        gsh_index = (pc ^ gshare.history) & self._gsh_mask
+        cho_index = pc & self._cho_mask
+        bimodal_guess = bim_table[bim_index] >= 2
+        gshare_guess = gsh_table[gsh_index] >= 2
+        prediction = gshare_guess if cho_table[cho_index] >= 2 else bimodal_guess
         if bimodal_guess != gshare_guess:
-            self.chooser.update(pc, gshare_guess == taken)
-        self.bimodal.update(pc, taken)
-        self.gshare.update(pc, taken)
+            value = cho_table[cho_index]
+            if gshare_guess == taken:
+                if value < 3:
+                    cho_table[cho_index] = value + 1
+            elif value > 0:
+                cho_table[cho_index] = value - 1
+        value = bim_table[bim_index]
+        if taken:
+            if value < 3:
+                bim_table[bim_index] = value + 1
+        elif value > 0:
+            bim_table[bim_index] = value - 1
+        value = gsh_table[gsh_index]
+        if taken:
+            if value < 3:
+                gsh_table[gsh_index] = value + 1
+        elif value > 0:
+            gsh_table[gsh_index] = value - 1
+        gshare.history = (
+            (gshare.history << 1) | (1 if taken else 0)
+        ) & self._history_mask
         self.lookups += 1
         correct = prediction == taken
         if correct:

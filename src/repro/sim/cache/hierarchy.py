@@ -48,17 +48,20 @@ class MemoryHierarchy:
 
     def access_data(self, addr: int, *, write: bool = False) -> int:
         """Latency of a data reference at byte address ``addr``."""
-        return self._access(self.l1d, addr, write)
-
-    def access_inst(self, addr: int) -> int:
-        """Latency of an instruction fetch at byte address ``addr``."""
-        return self._access(self.l1i, addr, False)
-
-    def _access(self, l1: Cache, addr: int, write: bool) -> int:
         latency = self.config.l1_latency
-        if l1.access(addr, write=write):
+        if self.l1d.access(addr, write=write):
             return latency
         latency += self.config.l2_latency
         if self.l2.access(addr, write=write):
+            return latency
+        return latency + self.config.memory_latency
+
+    def access_inst(self, addr: int) -> int:
+        """Latency of an instruction fetch at byte address ``addr``."""
+        latency = self.config.l1_latency
+        if self.l1i.access(addr):
+            return latency
+        latency += self.config.l2_latency
+        if self.l2.access(addr):
             return latency
         return latency + self.config.memory_latency

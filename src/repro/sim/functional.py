@@ -21,25 +21,67 @@ nothing, so a run under an aggressive DVI configuration genuinely executes
 differently from the baseline — the observational-equivalence tests
 (identical data segment and exit value) are therefore a real check of the
 paper's correctness argument, not a tautology.
+
+Execution engine
+----------------
+
+The hot path uses **decode-time specialization** (threaded-code style):
+:meth:`FunctionalSimulator._specialize` builds, once per program, a table
+of per-instruction closures with every static operand — immediates,
+register indices, shift amounts, branch targets, even the pre-masked
+``lui`` value and the pre-built fall-through result tuple — bound at
+decode time.  The inner loop then does no opcode dispatch at all: it
+calls ``handlers[pc]()``, bumps a per-pc execution counter, appends the
+dynamic facts to the columnar trace, and folds the destination's
+liveness bit into the LVM.  Dynamic statistics are reconstructed from
+the per-pc counters (every category of interest — loads, calls,
+branches, saves — is a static property of the instruction), so the loop
+maintains no per-category counters.
+
+Each handler returns ``(next_pc, addr, flags, free_mask)`` with
+``flags`` using the :mod:`repro.sim.trace` bit encoding; non-memory,
+non-control handlers return one pre-built constant tuple, branch
+handlers pick between two.
+
+One slow-path feature delegates to the retained reference interpreter
+(:mod:`repro.sim.reference`): ``verify_dvi``, whose per-step poison
+checks would burden every handler.  (``collect_live_hist`` stays on the
+fast path: the LVM is sampled inline after each step's liveness
+update.)  The differential fuzz tests run both engines over the same
+programs and assert identical results.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dvi.config import DVIConfig
 from repro.dvi.engine import DVIEngine
-from repro.errors import DVIViolationError, SimulationError
+from repro.errors import SimulationError
 from repro.isa import registers as regs
-from repro.isa.abi import DEFAULT_ABI
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import OP_CLASS, OpClass, Opcode
+from repro.isa.opcodes import OP_CLASS_CODE, Opcode
 from repro.program.program import STACK_TOP, Program
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.reference import decode_reference, execute_reference
+from repro.sim.trace import (
+    FLAG_ELIMINATED,
+    FLAG_FREES,
+    FLAG_PROGRAM,
+    FLAG_TAKEN,
+    Trace,
+    TraceRecord,
+    pack_srcs,
+)
 
 _MASK32 = 0xFFFF_FFFF
 _SIGN32 = 0x8000_0000
+
+#: Pre-composed handler result flags.
+_F_PLAIN = FLAG_PROGRAM
+_F_TAKEN = FLAG_PROGRAM | FLAG_TAKEN
+_F_ELIM = FLAG_PROGRAM | FLAG_ELIMINATED
 
 
 def _s32(value: int) -> int:
@@ -126,34 +168,422 @@ class FunctionalResult:
         }
 
 
-class _Decoded:
-    """Pre-decoded static instruction (hoists per-step work out of the loop)."""
+# ----------------------------------------------------------------------
+# Handler factories.  One small closure per static instruction; every
+# static operand is bound at decode time.  ``R`` is the register file,
+# ``mem`` the sparse word store — both mutated in place for the lifetime
+# of the simulator, so binding the objects themselves is safe.
+# ----------------------------------------------------------------------
 
-    __slots__ = (
-        "inst", "op", "cls", "dst", "srcs", "use_check_mask",
-        "rd", "rs1", "rs2", "imm", "target", "kill_mask",
-    )
+_Handler = Callable[[], Tuple[int, int, int, int]]
 
-    def __init__(self, inst: Instruction) -> None:
-        self.inst = inst
-        self.op = inst.op
-        self.cls = OP_CLASS[inst.op]
-        defs = inst.defs()
-        self.dst = defs[0] if defs else -1
-        self.srcs = inst.uses()
-        # Poison verification exempts the data register of a live-store:
-        # saving a dead value is explicitly permitted (its bits are
-        # irrelevant), and the LVM squashes exactly those saves.
-        check = inst.use_mask()
-        if inst.op is Opcode.LIVE_SW:
-            check &= ~(1 << inst.rs2)
-        self.use_check_mask = check
-        self.rd = inst.rd
-        self.rs1 = inst.rs1
-        self.rs2 = inst.rs2
-        self.imm = inst.imm
-        self.target = inst.target if isinstance(inst.target, int) else -1
-        self.kill_mask = inst.kill_mask
+
+def _build_handler(
+    inst: Instruction, pc: int, R: List[int], mem: Dict[int, int],
+    engine: DVIEngine,
+) -> _Handler:
+    op = inst.op
+    rd = inst.rd
+    rs1 = inst.rs1
+    rs2 = inst.rs2
+    imm = inst.imm
+    pc1 = pc + 1
+    ret = (pc1, -1, _F_PLAIN, 0)  # the fall-through result, pre-built
+
+    # --- register-register ALU ---------------------------------------
+    if op == Opcode.ADD:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = (R[rs1] + R[rs2]) & _MASK32
+            return ret
+        return run
+    if op == Opcode.SUB:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = (R[rs1] - R[rs2]) & _MASK32
+            return ret
+        return run
+    if op == Opcode.MUL:
+        if not rd:
+            return lambda: ret
+        def run():
+            a = R[rs1]
+            b = R[rs2]
+            if a & _SIGN32:
+                a -= 0x1_0000_0000
+            if b & _SIGN32:
+                b -= 0x1_0000_0000
+            R[rd] = (a * b) & _MASK32
+            return ret
+        return run
+    if op == Opcode.DIV:
+        if not rd:
+            return lambda: ret
+        def run():
+            a = R[rs1]
+            b = R[rs2]
+            if a & _SIGN32:
+                a -= 0x1_0000_0000
+            if b & _SIGN32:
+                b -= 0x1_0000_0000
+            if b == 0:
+                quotient = 0
+            else:
+                quotient = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    quotient = -quotient
+            R[rd] = quotient & _MASK32
+            return ret
+        return run
+    if op == Opcode.REM:
+        if not rd:
+            return lambda: ret
+        def run():
+            a = R[rs1]
+            b = R[rs2]
+            if a & _SIGN32:
+                a -= 0x1_0000_0000
+            if b & _SIGN32:
+                b -= 0x1_0000_0000
+            if b == 0:
+                remainder = a
+            else:
+                quotient = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    quotient = -quotient
+                remainder = a - quotient * b
+            R[rd] = remainder & _MASK32
+            return ret
+        return run
+    if op == Opcode.AND:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] & R[rs2]
+            return ret
+        return run
+    if op == Opcode.OR:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] | R[rs2]
+            return ret
+        return run
+    if op == Opcode.XOR:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] ^ R[rs2]
+            return ret
+        return run
+    if op == Opcode.NOR:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = ~(R[rs1] | R[rs2]) & _MASK32
+            return ret
+        return run
+    if op == Opcode.SLL:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = (R[rs1] << (R[rs2] & 31)) & _MASK32
+            return ret
+        return run
+    if op == Opcode.SRL:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] >> (R[rs2] & 31)
+            return ret
+        return run
+    if op == Opcode.SRA:
+        if not rd:
+            return lambda: ret
+        def run():
+            v = R[rs1]
+            if v & _SIGN32:
+                v -= 0x1_0000_0000
+            R[rd] = (v >> (R[rs2] & 31)) & _MASK32
+            return ret
+        return run
+    if op == Opcode.SLT:
+        if not rd:
+            return lambda: ret
+        def run():
+            a = R[rs1]
+            b = R[rs2]
+            if a & _SIGN32:
+                a -= 0x1_0000_0000
+            if b & _SIGN32:
+                b -= 0x1_0000_0000
+            R[rd] = 1 if a < b else 0
+            return ret
+        return run
+    if op == Opcode.SLTU:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = 1 if R[rs1] < R[rs2] else 0
+            return ret
+        return run
+
+    # --- register-immediate ALU --------------------------------------
+    if op == Opcode.ADDI:
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = (R[rs1] + imm) & _MASK32
+            return ret
+        return run
+    if op == Opcode.ANDI:
+        immz = imm & 0xFFFF
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] & immz
+            return ret
+        return run
+    if op == Opcode.ORI:
+        immz = imm & 0xFFFF
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] | immz
+            return ret
+        return run
+    if op == Opcode.XORI:
+        immz = imm & 0xFFFF
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] ^ immz
+            return ret
+        return run
+    if op == Opcode.SLLI:
+        sh = imm & 31
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = (R[rs1] << sh) & _MASK32
+            return ret
+        return run
+    if op == Opcode.SRLI:
+        sh = imm & 31
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = R[rs1] >> sh
+            return ret
+        return run
+    if op == Opcode.SRAI:
+        sh = imm & 31
+        if not rd:
+            return lambda: ret
+        def run():
+            v = R[rs1]
+            if v & _SIGN32:
+                v -= 0x1_0000_0000
+            R[rd] = (v >> sh) & _MASK32
+            return ret
+        return run
+    if op == Opcode.SLTI:
+        if not rd:
+            return lambda: ret
+        def run():
+            a = R[rs1]
+            if a & _SIGN32:
+                a -= 0x1_0000_0000
+            R[rd] = 1 if a < imm else 0
+            return ret
+        return run
+    if op == Opcode.LUI:
+        value = (imm << 16) & _MASK32
+        if not rd:
+            return lambda: ret
+        def run():
+            R[rd] = value
+            return ret
+        return run
+
+    # --- memory ------------------------------------------------------
+    if op == Opcode.LW:
+        mem_get = mem.get
+        if not rd:
+            def run():
+                addr = (R[rs1] + imm) & _MASK32
+                if addr & 3:
+                    raise SimulationError(f"unaligned lw at pc={pc}: {addr:#x}")
+                return (pc1, addr, _F_PLAIN, 0)
+            return run
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            if addr & 3:
+                raise SimulationError(f"unaligned lw at pc={pc}: {addr:#x}")
+            R[rd] = mem_get(addr >> 2, 0)
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+    if op == Opcode.SW:
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            if addr & 3:
+                raise SimulationError(f"unaligned sw at pc={pc}: {addr:#x}")
+            mem[addr >> 2] = R[rs2]
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+    if op == Opcode.LB:
+        mem_get = mem.get
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            byte = (mem_get(addr >> 2, 0) >> (8 * (addr & 3))) & 0xFF
+            if rd:
+                R[rd] = (byte - 0x100 if byte & 0x80 else byte) & _MASK32
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+    if op == Opcode.SB:
+        mem_get = mem.get
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            shift = 8 * (addr & 3)
+            word = mem_get(addr >> 2, 0)
+            mem[addr >> 2] = (word & ~(0xFF << shift)) | (
+                (R[rs2] & 0xFF) << shift
+            )
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+    if op == Opcode.LIVE_LW:
+        mem_get = mem.get
+        on_restore = engine.on_restore
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            if addr & 3:
+                raise SimulationError(f"unaligned live_lw at pc={pc}: {addr:#x}")
+            if on_restore(rd):
+                return (pc1, addr, _F_ELIM, 0)
+            if rd:
+                R[rd] = mem_get(addr >> 2, 0)
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+    if op == Opcode.LIVE_SW:
+        on_save = engine.on_save
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            if addr & 3:
+                raise SimulationError(f"unaligned live_sw at pc={pc}: {addr:#x}")
+            if on_save(rs2):
+                return (pc1, addr, _F_ELIM, 0)
+            mem[addr >> 2] = R[rs2]
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+
+    # --- control -----------------------------------------------------
+    target = inst.target if isinstance(inst.target, int) else -1
+    ret_taken = (target, -1, _F_TAKEN, 0)
+    if op == Opcode.BEQ:
+        def run():
+            return ret_taken if R[rs1] == R[rs2] else ret
+        return run
+    if op == Opcode.BNE:
+        def run():
+            return ret_taken if R[rs1] != R[rs2] else ret
+        return run
+    if op == Opcode.BLT:
+        def run():
+            a = R[rs1]
+            b = R[rs2]
+            if a & _SIGN32:
+                a -= 0x1_0000_0000
+            if b & _SIGN32:
+                b -= 0x1_0000_0000
+            return ret_taken if a < b else ret
+        return run
+    if op == Opcode.BGE:
+        def run():
+            a = R[rs1]
+            b = R[rs2]
+            if a & _SIGN32:
+                a -= 0x1_0000_0000
+            if b & _SIGN32:
+                b -= 0x1_0000_0000
+            return ret_taken if a >= b else ret
+        return run
+    if op == Opcode.BLEZ:
+        def run():
+            a = R[rs1]
+            return ret_taken if a == 0 or a & _SIGN32 else ret
+        return run
+    if op == Opcode.BGTZ:
+        def run():
+            a = R[rs1]
+            return ret_taken if a and not a & _SIGN32 else ret
+        return run
+    if op == Opcode.J:
+        return lambda: ret_taken
+    if op == Opcode.JAL:
+        ra_value = pc1 * 4
+        ra = regs.RA
+        on_call = engine.on_call
+        def run():
+            R[ra] = ra_value
+            return (target, -1, _F_TAKEN, on_call())
+        return run
+    if op == Opcode.JALR:
+        ra_value = pc1 * 4
+        on_call = engine.on_call
+        def run():
+            callee = R[rs1]
+            if callee & 3:
+                raise SimulationError(f"unaligned jalr target: {callee:#x}")
+            if rd:
+                R[rd] = ra_value
+            return (callee >> 2, -1, _F_TAKEN, on_call())
+        return run
+    if op == Opcode.JR:
+        if rs1 == regs.RA:
+            on_return = engine.on_return
+            def run():
+                dest = R[rs1]
+                if dest & 3:
+                    raise SimulationError(f"unaligned jr target: {dest:#x}")
+                return (dest >> 2, -1, _F_TAKEN, on_return())
+            return run
+        def run():
+            dest = R[rs1]
+            if dest & 3:
+                raise SimulationError(f"unaligned jr target: {dest:#x}")
+            return (dest >> 2, -1, _F_TAKEN, 0)
+        return run
+
+    # --- environment and DVI annotations -----------------------------
+    if op == Opcode.NOP:
+        return lambda: ret
+    if op == Opcode.HALT:
+        ret_halt = (-1, -1, _F_PLAIN, 0)
+        return lambda: ret_halt
+    if op == Opcode.KILL:
+        kill_mask = inst.kill_mask
+        on_kill = engine.on_kill
+        def run():
+            return (pc1, -1, 0, on_kill(kill_mask))  # not a program inst
+        return run
+    if op == Opcode.LVM_SAVE:
+        save_lvm = engine.save_lvm
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            mem[addr >> 2] = save_lvm()
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+    if op == Opcode.LVM_LOAD:
+        mem_get = mem.get
+        load_lvm = engine.load_lvm
+        def run():
+            addr = (R[rs1] + imm) & _MASK32
+            load_lvm(mem_get(addr >> 2, 0))
+            return (pc1, addr, _F_PLAIN, 0)
+        return run
+    raise SimulationError(f"unimplemented opcode {op.name}")  # pragma: no cover
 
 
 class FunctionalSimulator:
@@ -178,7 +608,6 @@ class FunctionalSimulator:
         self.collect_live_hist = collect_live_hist
         self.verify_dvi = verify_dvi
 
-        self._decoded = [_Decoded(inst) for inst in program.insts]
         self._sentinel = len(program.insts)
 
         self.regs: List[int] = [0] * regs.NUM_REGS
@@ -196,6 +625,97 @@ class FunctionalSimulator:
         self._records: List[TraceRecord] = []
         self._seq = 0
 
+        self._reference_mode = self._use_reference()
+        if self._reference_mode:
+            self._decoded = decode_reference(program.insts)
+        else:
+            self._specialize()
+
+    def _use_reference(self) -> bool:
+        """Whether to run the retained reference interpreter instead of
+        the specialized dispatch (slow-path features only)."""
+        return self.verify_dvi
+
+    # ------------------------------------------------------------------
+    # Decode-time specialization.
+    # ------------------------------------------------------------------
+
+    def _specialize(self) -> None:
+        insts = self.program.insts
+        R = self.regs
+        mem = self.mem
+        engine = self.engine
+        n = self._sentinel
+
+        self._handlers: List[_Handler] = [
+            _build_handler(inst, pc, R, mem, engine)
+            for pc, inst in enumerate(insts)
+        ]
+        #: Dynamic execution count per static instruction; every per-category
+        #: statistic is reconstructed from these (see :meth:`_sync_stats`).
+        self._counts: List[int] = [0] * n
+        #: Per-pc LVM bit of the destination register (0 if none / r0).
+        self._dbits: List[int] = []
+
+        # Static per-pc trace side-tables (shared with produced Traces).
+        s_op = array("b", bytes(n))
+        s_cls = array("b", bytes(n))
+        s_dst = array("b", bytes(n))
+        s_srcs = array("h", [0] * n)
+        kill_pcs: List[int] = []
+        call_pcs: List[int] = []
+        return_pcs: List[int] = []
+        branch_pcs: List[int] = []
+        load_pcs: List[int] = []
+        store_pcs: List[int] = []
+        save_pcs: List[int] = []
+        restore_pcs: List[int] = []
+        for pc, inst in enumerate(insts):
+            op = inst.op
+            defs = inst.defs()
+            dst = defs[0] if defs else -1
+            s_op[pc] = op
+            s_cls[pc] = OP_CLASS_CODE[op]
+            s_dst[pc] = dst
+            s_srcs[pc] = pack_srcs(inst.uses())
+            self._dbits.append((1 << dst) if dst > 0 else 0)
+            if op == Opcode.KILL:
+                kill_pcs.append(pc)
+            elif op == Opcode.JAL or op == Opcode.JALR:
+                call_pcs.append(pc)
+            elif op == Opcode.JR and inst.rs1 == regs.RA:
+                return_pcs.append(pc)
+            elif inst.is_branch:
+                branch_pcs.append(pc)
+            if inst.is_load:
+                load_pcs.append(pc)
+            elif inst.is_store:
+                store_pcs.append(pc)
+            if op == Opcode.LIVE_SW:
+                save_pcs.append(pc)
+            elif op == Opcode.LIVE_LW:
+                restore_pcs.append(pc)
+        self._s_op = s_op
+        self._s_cls = s_cls
+        self._s_dst = s_dst
+        self._s_srcs = s_srcs
+        self._kill_pcs = kill_pcs
+        self._call_pcs = call_pcs
+        self._return_pcs = return_pcs
+        self._branch_pcs = branch_pcs
+        self._load_pcs = load_pcs
+        self._store_pcs = store_pcs
+        self._save_pcs = save_pcs
+        self._restore_pcs = restore_pcs
+
+        # Dynamic trace columns: plain lists while executing (list.append
+        # beats array.append), converted to arrays by :meth:`result`.
+        self._c_pcs: List[int] = []
+        self._c_addrs: List[int] = []
+        self._c_next: List[int] = []
+        self._c_free: List[int] = []
+        self._c_flags: List[int] = []
+
     # ------------------------------------------------------------------
 
     def execute(self, budget: int) -> bool:
@@ -206,20 +726,26 @@ class FunctionalSimulator:
         resumable core that the thread scheduler time-slices; :meth:`run`
         drives it once to completion.
         """
+        if self._reference_mode:
+            return execute_reference(self, budget)
         if self.halted:
             return False
-        stats = self.stats
-        records = self._records
-        engine = self.engine
-        decoded = self._decoded
-        reg_file = self.regs
-        mem = self.mem
+
+        handlers = self._handlers
+        counts = self._counts
+        dbits = self._dbits
         sentinel = self._sentinel
-        abi = self.dvi_config.abi
-        collect_trace = self.collect_trace
+        collect = self.collect_trace
         collect_hist = self.collect_live_hist
-        verify = self.verify_dvi
-        hist = stats.live_hist
+        lvm = self.engine.lvm
+        saveable = self._saveable
+        hist = self.stats.live_hist
+        if collect:
+            ap_pc = self._c_pcs.append
+            ap_addr = self._c_addrs.append
+            ap_next = self._c_next.append
+            ap_free = self._c_free.append
+            ap_flags = self._c_flags.append
 
         pc = self.pc
         seq = self._seq
@@ -227,243 +753,28 @@ class FunctionalSimulator:
         completed = False
 
         while seq < end_seq:
-            if pc == sentinel:
-                completed = True
-                break
-            if not 0 <= pc < sentinel:
+            if pc >= sentinel:
+                if pc == sentinel:
+                    completed = True
+                    break
                 raise SimulationError(f"pc out of range: {pc}")
-            d = decoded[pc]
-            op = d.op
-
-            if verify and self._poison & d.use_check_mask:
-                bad = self._poison & d.use_check_mask
-                reg = bad.bit_length() - 1
-                raise DVIViolationError(pc, reg, f"op {op.name}")
-
-            next_pc = pc + 1
-            addr = -1
-            taken = False
-            free_mask = 0
-            eliminated = False
-            is_program = True
-            dst = d.dst
-
-            # --- execute -------------------------------------------------
-            if op is Opcode.ADDI:
-                reg_file[d.rd] = (reg_file[d.rs1] + d.imm) & _MASK32
-            elif op is Opcode.ADD:
-                reg_file[d.rd] = (reg_file[d.rs1] + reg_file[d.rs2]) & _MASK32
-            elif op is Opcode.LW:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                if addr & 3:
-                    raise SimulationError(f"unaligned lw at pc={pc}: {addr:#x}")
-                reg_file[d.rd] = mem.get(addr >> 2, 0)
-                stats.loads += 1
-            elif op is Opcode.SW:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                if addr & 3:
-                    raise SimulationError(f"unaligned sw at pc={pc}: {addr:#x}")
-                mem[addr >> 2] = reg_file[d.rs2]
-                stats.stores += 1
-            elif op is Opcode.LIVE_LW:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                if addr & 3:
-                    raise SimulationError(f"unaligned live_lw at pc={pc}: {addr:#x}")
-                stats.loads += 1
-                stats.restores += 1
-                eliminated = engine.on_restore(d.rd)
-                if eliminated:
-                    stats.restores_eliminated += 1
-                    dst = -1  # not dispatched: no rename, no definition
-                else:
-                    reg_file[d.rd] = mem.get(addr >> 2, 0)
-            elif op is Opcode.LIVE_SW:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                if addr & 3:
-                    raise SimulationError(f"unaligned live_sw at pc={pc}: {addr:#x}")
-                stats.stores += 1
-                stats.saves += 1
-                eliminated = engine.on_save(d.rs2)
-                if eliminated:
-                    stats.saves_eliminated += 1
-                else:
-                    mem[addr >> 2] = reg_file[d.rs2]
-            elif op is Opcode.BEQ:
-                taken = reg_file[d.rs1] == reg_file[d.rs2]
-                stats.branches += 1
-                if taken:
-                    next_pc = d.target
-            elif op is Opcode.BNE:
-                taken = reg_file[d.rs1] != reg_file[d.rs2]
-                stats.branches += 1
-                if taken:
-                    next_pc = d.target
-            elif op is Opcode.BLT:
-                taken = _s32(reg_file[d.rs1]) < _s32(reg_file[d.rs2])
-                stats.branches += 1
-                if taken:
-                    next_pc = d.target
-            elif op is Opcode.BGE:
-                taken = _s32(reg_file[d.rs1]) >= _s32(reg_file[d.rs2])
-                stats.branches += 1
-                if taken:
-                    next_pc = d.target
-            elif op is Opcode.BLEZ:
-                taken = _s32(reg_file[d.rs1]) <= 0
-                stats.branches += 1
-                if taken:
-                    next_pc = d.target
-            elif op is Opcode.BGTZ:
-                taken = _s32(reg_file[d.rs1]) > 0
-                stats.branches += 1
-                if taken:
-                    next_pc = d.target
-            elif op is Opcode.SUB:
-                reg_file[d.rd] = (reg_file[d.rs1] - reg_file[d.rs2]) & _MASK32
-            elif op is Opcode.MUL:
-                reg_file[d.rd] = (
-                    _s32(reg_file[d.rs1]) * _s32(reg_file[d.rs2])
-                ) & _MASK32
-            elif op is Opcode.DIV:
-                a, b = _s32(reg_file[d.rs1]), _s32(reg_file[d.rs2])
-                if b == 0:
-                    quotient = 0
-                else:
-                    quotient = abs(a) // abs(b)
-                    if (a < 0) != (b < 0):
-                        quotient = -quotient
-                reg_file[d.rd] = quotient & _MASK32
-            elif op is Opcode.REM:
-                a, b = _s32(reg_file[d.rs1]), _s32(reg_file[d.rs2])
-                if b == 0:
-                    remainder = a
-                else:
-                    quotient = abs(a) // abs(b)
-                    if (a < 0) != (b < 0):
-                        quotient = -quotient
-                    remainder = a - quotient * b
-                reg_file[d.rd] = remainder & _MASK32
-            elif op is Opcode.AND:
-                reg_file[d.rd] = reg_file[d.rs1] & reg_file[d.rs2]
-            elif op is Opcode.OR:
-                reg_file[d.rd] = reg_file[d.rs1] | reg_file[d.rs2]
-            elif op is Opcode.XOR:
-                reg_file[d.rd] = reg_file[d.rs1] ^ reg_file[d.rs2]
-            elif op is Opcode.NOR:
-                reg_file[d.rd] = ~(reg_file[d.rs1] | reg_file[d.rs2]) & _MASK32
-            elif op is Opcode.SLL:
-                reg_file[d.rd] = (reg_file[d.rs1] << (reg_file[d.rs2] & 31)) & _MASK32
-            elif op is Opcode.SRL:
-                reg_file[d.rd] = reg_file[d.rs1] >> (reg_file[d.rs2] & 31)
-            elif op is Opcode.SRA:
-                reg_file[d.rd] = (_s32(reg_file[d.rs1]) >> (reg_file[d.rs2] & 31)) & _MASK32
-            elif op is Opcode.SLT:
-                reg_file[d.rd] = 1 if _s32(reg_file[d.rs1]) < _s32(reg_file[d.rs2]) else 0
-            elif op is Opcode.SLTU:
-                reg_file[d.rd] = 1 if reg_file[d.rs1] < reg_file[d.rs2] else 0
-            elif op is Opcode.ANDI:
-                reg_file[d.rd] = reg_file[d.rs1] & (d.imm & 0xFFFF)
-            elif op is Opcode.ORI:
-                reg_file[d.rd] = reg_file[d.rs1] | (d.imm & 0xFFFF)
-            elif op is Opcode.XORI:
-                reg_file[d.rd] = reg_file[d.rs1] ^ (d.imm & 0xFFFF)
-            elif op is Opcode.SLLI:
-                reg_file[d.rd] = (reg_file[d.rs1] << (d.imm & 31)) & _MASK32
-            elif op is Opcode.SRLI:
-                reg_file[d.rd] = reg_file[d.rs1] >> (d.imm & 31)
-            elif op is Opcode.SRAI:
-                reg_file[d.rd] = (_s32(reg_file[d.rs1]) >> (d.imm & 31)) & _MASK32
-            elif op is Opcode.SLTI:
-                reg_file[d.rd] = 1 if _s32(reg_file[d.rs1]) < d.imm else 0
-            elif op is Opcode.LUI:
-                reg_file[d.rd] = (d.imm << 16) & _MASK32
-            elif op is Opcode.LB:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                word = mem.get(addr >> 2, 0)
-                byte = (word >> (8 * (addr & 3))) & 0xFF
-                reg_file[d.rd] = (byte - 0x100 if byte & 0x80 else byte) & _MASK32
-                stats.loads += 1
-            elif op is Opcode.SB:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                shift = 8 * (addr & 3)
-                word = mem.get(addr >> 2, 0)
-                mem[addr >> 2] = (word & ~(0xFF << shift)) | (
-                    (reg_file[d.rs2] & 0xFF) << shift
-                )
-                stats.stores += 1
-            elif op is Opcode.J:
-                taken = True
-                next_pc = d.target
-            elif op is Opcode.JAL:
-                taken = True
-                reg_file[regs.RA] = (pc + 1) * 4
-                next_pc = d.target
-                stats.calls += 1
-                free_mask = engine.on_call()
-            elif op is Opcode.JALR:
-                taken = True
-                callee = reg_file[d.rs1]
-                if callee & 3:
-                    raise SimulationError(f"unaligned jalr target: {callee:#x}")
-                reg_file[d.rd] = (pc + 1) * 4
-                next_pc = callee >> 2
-                stats.calls += 1
-                free_mask = engine.on_call()
-            elif op is Opcode.JR:
-                taken = True
-                dest = reg_file[d.rs1]
-                if dest & 3:
-                    raise SimulationError(f"unaligned jr target: {dest:#x}")
-                next_pc = dest >> 2
-                if d.rs1 == regs.RA:
-                    stats.returns += 1
-                    free_mask = engine.on_return()
-            elif op is Opcode.KILL:
-                free_mask = engine.on_kill(d.kill_mask)
-                is_program = False
-                stats.kill_insts += 1
-                if verify:
-                    self._poison |= d.kill_mask
-            elif op is Opcode.NOP:
-                pass
-            elif op is Opcode.HALT:
-                next_pc = -1
-            elif op is Opcode.LVM_SAVE:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                mem[addr >> 2] = engine.save_lvm()
-            elif op is Opcode.LVM_LOAD:
-                addr = (reg_file[d.rs1] + d.imm) & _MASK32
-                engine.load_lvm(mem.get(addr >> 2, 0))
-            else:  # pragma: no cover - the opcode set is closed
-                raise SimulationError(f"unimplemented opcode {op.name}")
-
-            reg_file[regs.ZERO] = 0
-
-            # --- DVI bookkeeping ------------------------------------------
-            if dst >= 0:
-                engine.on_def(dst)
-                if verify:
-                    self._poison &= ~(1 << dst)
-            if verify and free_mask:
-                self._poison |= free_mask
-            if verify and op is Opcode.JAL or verify and op is Opcode.JALR:
-                self._poison |= abi.idvi_call_mask()
-            if verify and op is Opcode.JR and d.rs1 == regs.RA:
-                self._poison |= abi.idvi_return_mask()
-
-            if is_program:
-                stats.program_insts += 1
-            if collect_trace:
-                records.append(
-                    TraceRecord(
-                        seq, pc, op, d.cls, dst, d.srcs, addr,
-                        taken, next_pc, free_mask, eliminated, is_program,
-                    )
-                )
+            next_pc, addr, fl, free_mask = handlers[pc]()
+            counts[pc] += 1
+            if collect:
+                if free_mask:
+                    fl |= FLAG_FREES
+                ap_pc(pc)
+                ap_addr(addr)
+                ap_next(next_pc)
+                ap_free(free_mask)
+                ap_flags(fl)
+            bit = dbits[pc]
+            if bit and not fl & FLAG_ELIMINATED:
+                # engine.on_def, inlined: a renamed destination is live.
+                lvm._mask |= bit
             if collect_hist:
-                count = bin(engine.lvm.mask & self._saveable).count("1")
+                count = bin(lvm._mask & saveable).count("1")
                 hist[count] = hist.get(count, 0) + 1
-
             seq += 1
             if next_pc < 0:
                 completed = True
@@ -474,9 +785,28 @@ class FunctionalSimulator:
         self._seq = seq
         if completed:
             self.halted = True
-            stats.completed = True
-            stats.exit_value = reg_file[regs.V0]
+        self._sync_stats()
         return not self.halted
+
+    def _sync_stats(self) -> None:
+        """Reconstruct the dynamic statistics from the per-pc counters."""
+        counts = self._counts
+        stats = self.stats
+        kills = sum(counts[pc] for pc in self._kill_pcs)
+        stats.kill_insts = kills
+        stats.program_insts = self._seq - kills
+        stats.calls = sum(counts[pc] for pc in self._call_pcs)
+        stats.returns = sum(counts[pc] for pc in self._return_pcs)
+        stats.branches = sum(counts[pc] for pc in self._branch_pcs)
+        stats.loads = sum(counts[pc] for pc in self._load_pcs)
+        stats.stores = sum(counts[pc] for pc in self._store_pcs)
+        stats.saves = sum(counts[pc] for pc in self._save_pcs)
+        stats.restores = sum(counts[pc] for pc in self._restore_pcs)
+        stats.saves_eliminated = self.engine.counters.saves_eliminated
+        stats.restores_eliminated = self.engine.counters.restores_eliminated
+        if self.halted:
+            stats.completed = True
+            stats.exit_value = self.regs[regs.V0]
 
     def run(self) -> FunctionalResult:
         """Execute until halt / top-level return / step budget."""
@@ -487,18 +817,45 @@ class FunctionalSimulator:
         """Package the current architectural state and statistics."""
         trace = None
         if self.collect_trace:
-            trace = Trace(
-                program_name=self.program.name,
-                dvi=self.dvi_config,
-                records=self._records,
-                completed=self.halted,
-            )
+            if self._reference_mode:
+                trace = Trace(
+                    self.program.name,
+                    self.dvi_config,
+                    records=self._records,
+                    completed=self.halted,
+                )
+            else:
+                trace = Trace.from_columns(
+                    self.program.name,
+                    self.dvi_config,
+                    self.halted,
+                    array("i", self._c_pcs),
+                    array("q", self._c_addrs),
+                    array("i", self._c_next),
+                    array("q", self._c_free),
+                    array("B", self._c_flags),
+                    self._s_op,
+                    self._s_cls,
+                    self._s_dst,
+                    self._s_srcs,
+                )
         return FunctionalResult(
             stats=self.stats,
             trace=trace,
             registers=list(self.regs),
             memory=dict(self.mem),
         )
+
+
+class ReferenceSimulator(FunctionalSimulator):
+    """A :class:`FunctionalSimulator` pinned to the reference interpreter.
+
+    Used by the differential fuzz tests to compare the specialized
+    dispatch against the retained :mod:`repro.sim.reference` semantics.
+    """
+
+    def _use_reference(self) -> bool:
+        return True
 
 
 def run_program(

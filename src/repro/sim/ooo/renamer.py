@@ -31,13 +31,27 @@ tests hammer it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.isa import registers as regs
 
 #: Sentinel readiness cycle for a physical register still being computed.
 NEVER = 1 << 60
+
+#: Kill-mask -> architectural register tuple, memoized across all renamers
+#: (the I-DVI call/return masks recur millions of times per sweep).
+_MASK_REGS: Dict[int, Tuple[int, ...]] = {}
+
+
+def _regs_of_mask(mask: int) -> Tuple[int, ...]:
+    found = _MASK_REGS.get(mask)
+    if found is None:
+        found = tuple(
+            arch for arch in range(1, regs.NUM_REGS) if mask >> arch & 1
+        )
+        _MASK_REGS[mask] = found
+    return found
 
 
 class Renamer:
@@ -114,18 +128,16 @@ class Renamer:
         Returns the physical registers to free at the killer's commit.
         """
         freed: List[int] = []
-        arch = 1
-        mask >>= 1
-        while mask:
-            if mask & 1:
-                phys = self.map[arch]
-                if phys >= 0:
-                    self.map[arch] = -1
-                    freed.append(phys)
-                    self.dvi_unmaps += 1
-                    self.pending_free += 1
-            arch += 1
-            mask >>= 1
+        arch_map = self.map
+        for arch in _regs_of_mask(mask):
+            phys = arch_map[arch]
+            if phys >= 0:
+                arch_map[arch] = -1
+                freed.append(phys)
+        count = len(freed)
+        if count:
+            self.dvi_unmaps += count
+            self.pending_free += count
         return freed
 
     def mark_ready(self, phys: int, cycle: int) -> None:

@@ -1,0 +1,202 @@
+"""Tests for the columnar trace storage and its row-view shim."""
+
+import pickle
+
+import pytest
+
+from repro.dvi.config import DVIConfig, SRScheme
+from repro.experiments.cache import ArtifactCache
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa import registers as R
+from repro.program.builder import ProgramBuilder
+from repro.rewrite.edvi import insert_edvi
+from repro.sim.functional import ReferenceSimulator, run_program
+from repro.sim.trace import (
+    FLAG_ELIMINATED,
+    FLAG_FREES,
+    FLAG_PROGRAM,
+    FLAG_TAKEN,
+    TRACE_FORMAT,
+    Trace,
+    TraceRecord,
+    pack_srcs,
+    unpack_srcs,
+)
+from repro.workloads.suite import get_program
+
+ROW_FIELDS = (
+    "seq", "pc", "op", "cls", "dst", "srcs", "addr", "taken",
+    "next_pc", "free_mask", "eliminated", "is_program",
+)
+
+
+def eliminating_trace():
+    """A trace exercising every column: kills, eliminations, branches."""
+    program = insert_edvi(get_program("li_like", 1)).program
+    return run_program(program, DVIConfig.full(SRScheme.LVM_STACK)).trace
+
+
+def assert_rows_equal(mine, theirs):
+    assert len(mine) == len(theirs)
+    for a, b in zip(mine, theirs):
+        for field in ROW_FIELDS:
+            assert getattr(a, field) == getattr(b, field)
+
+
+class TestSrcsPacking:
+    @pytest.mark.parametrize("srcs", [(), (1,), (31,), (1, 2), (31, 30), (7, 7)])
+    def test_round_trip(self, srcs):
+        assert unpack_srcs(pack_srcs(srcs)) == srcs
+
+
+class TestRowViewEquivalence:
+    def test_row_views_match_reference_records(self):
+        """Columns -> row views must equal the reference interpreter's
+        directly-built TraceRecord objects, field by field."""
+        program = insert_edvi(get_program("li_like", 1)).program
+        columnar = run_program(program, DVIConfig.full(SRScheme.LVM_STACK)).trace
+        reference = ReferenceSimulator(
+            program, DVIConfig.full(SRScheme.LVM_STACK)
+        ).run().trace
+        assert_rows_equal(columnar.records, reference.records)
+
+    def test_records_round_trip_through_setter(self):
+        trace = eliminating_trace()
+        original = trace.records
+        rebuilt = Trace(trace.program_name, trace.dvi, records=list(original))
+        assert_rows_equal(rebuilt.records, original)
+        assert rebuilt.program_insts == trace.program_insts
+        assert rebuilt.annotation_insts == trace.annotation_insts
+        assert rebuilt.op_histogram() == trace.op_histogram()
+
+    def test_truncating_setter_reencodes_columns(self):
+        trace = eliminating_trace()
+        trace.records = trace.records[:100]
+        assert len(trace) == 100
+        assert len(trace.pcs) == 100
+        assert trace.program_insts == sum(
+            1 for r in trace.records if r.is_program
+        )
+
+    def test_row_enums_are_real_enums(self):
+        trace = eliminating_trace()
+        row = trace.records[0]
+        assert isinstance(row.op, Opcode)
+        assert isinstance(row.cls, OpClass)
+
+    def test_eliminated_rows_report_no_destination(self):
+        trace = eliminating_trace()
+        eliminated_loads = [
+            r for r in trace.records if r.eliminated and r.op is Opcode.LIVE_LW
+        ]
+        assert eliminated_loads, "workload must eliminate at least one restore"
+        assert all(r.dst == -1 for r in eliminated_loads)
+        # A non-eliminated instance at the same pc keeps its destination.
+        by_pc = {r.pc for r in eliminated_loads}
+        survivors = [
+            r for r in trace.records
+            if r.pc in by_pc and not r.eliminated
+        ]
+        assert all(r.dst >= 0 for r in survivors)
+
+    def test_flags_column_encoding(self):
+        trace = eliminating_trace()
+        for row, flag in zip(trace.records, trace.flags):
+            assert bool(flag & FLAG_TAKEN) == row.taken
+            assert bool(flag & FLAG_ELIMINATED) == row.eliminated
+            assert bool(flag & FLAG_PROGRAM) == row.is_program
+            assert bool(flag & FLAG_FREES) == bool(row.free_mask)
+
+
+class TestPickling:
+    def test_plain_pickle_round_trip(self):
+        trace = eliminating_trace()
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.program_name == trace.program_name
+        assert clone.dvi == trace.dvi
+        assert clone.completed == trace.completed
+        assert clone.pcs == trace.pcs
+        assert clone.flags == trace.flags
+        assert_rows_equal(clone.records, trace.records)
+
+    def test_cache_round_trip(self, tmp_path):
+        """The experiment artifact cache stores and restores traces."""
+        cache = ArtifactCache(tmp_path, version="test")
+        trace = eliminating_trace()
+        key = ("wl", 1, True, trace.dvi, TRACE_FORMAT)
+        cache.store("trace", key, trace)
+        hit, loaded = cache.lookup("trace", key)
+        assert hit
+        assert len(loaded) == len(trace)
+        assert_rows_equal(loaded.records[:200], trace.records[:200])
+
+    def test_cache_key_distinguishes_trace_formats(self, tmp_path):
+        """Old- and new-format traces must occupy distinct cache cells."""
+        cache = ArtifactCache(tmp_path, version="test")
+        dvi = DVIConfig.none()
+        new_key = ("wl", 1, False, dvi, TRACE_FORMAT)
+        old_key = ("wl", 1, False, dvi)  # the pre-columnar key shape
+        assert cache.digest("trace", new_key) != cache.digest("trace", old_key)
+        assert (
+            cache.digest("trace", new_key)
+            != cache.digest("trace", ("wl", 1, False, dvi, TRACE_FORMAT - 1))
+        )
+
+    def test_legacy_record_list_state_restores(self):
+        """A pre-columnar pickle payload (a ``records`` list in the state
+        dict) must still unpickle into a columnar trace."""
+        trace = eliminating_trace()
+        legacy_state = {
+            "program_name": trace.program_name,
+            "dvi": trace.dvi,
+            "records": list(trace.records),
+            "completed": trace.completed,
+        }
+        revived = Trace.__new__(Trace)
+        revived.__setstate__(legacy_state)
+        assert len(revived.pcs) == len(trace)
+        assert_rows_equal(revived.records, trace.records)
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        trace = Trace("empty", DVIConfig.none())
+        assert len(trace) == 0
+        assert trace.records == []
+        assert trace.program_insts == 0
+        assert trace.annotation_insts == 0
+        assert trace.op_histogram() == {}
+        clone = pickle.loads(pickle.dumps(trace))
+        assert len(clone) == 0
+
+    def test_single_halt_trace(self):
+        b = ProgramBuilder("halt-only")
+        b.label("main")
+        b.halt()
+        trace = run_program(b.build()).trace
+        assert len(trace) == 1
+        row = trace.records[0]
+        assert row.op is Opcode.HALT
+        assert row.next_pc == -1
+        assert trace.completed
+        assert trace.program_insts == 1
+
+    def test_top_level_return_records_sentinel_next_pc(self):
+        b = ProgramBuilder("ret")
+        with b.proc("main"):
+            b.li(R.V0, 9)
+            b.epilogue()
+        trace = run_program(b.build()).trace
+        last = trace.records[-1]
+        assert last.op is Opcode.JR
+        # The sentinel return address points one past the program.
+        assert last.next_pc == len(b.build().insts)
+
+    def test_incomplete_trace_keeps_completed_false(self):
+        b = ProgramBuilder("spin")
+        b.label("main")
+        b.label("top")
+        b.j("top")
+        trace = run_program(b.build(), max_steps=25).trace
+        assert not trace.completed
+        assert len(trace) == 25
