@@ -1,11 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke docs-check bench bench-perf clean-cache
+.PHONY: test lint smoke docs-check bench bench-perf clean-cache
 
 ## Tier-1 test suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Ruff lint gate (config in pyproject.toml).  Skips with a notice when
+## ruff is not installed; CI installs ruff and enforces it.
+lint:
+	$(PYTHON) scripts/lint.py
 
 ## End-to-end pipeline smoke: every figure, reduced profile, 2 workers.
 smoke:

@@ -29,14 +29,14 @@ DESIGN_REQUIRED = (
 )
 
 
-def cli_help() -> str:
+def cli_help(*subcommand: str) -> str:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     result = subprocess.run(
-        [sys.executable, "-m", "repro", "--help"],
+        [sys.executable, "-m", "repro", *subcommand, "--help"],
         capture_output=True, text=True, env=env, check=True,
     )
     return result.stdout
@@ -48,8 +48,12 @@ def main() -> int:
     help_text = cli_help()
     problems = []
 
-    # Every long option the CLI advertises must appear in the README.
-    for option in sorted(set(re.findall(r"--[a-z][a-z-]+", help_text))):
+    # Every long option the CLI advertises (main parser plus the list
+    # and sweep subcommands) must appear in the README.
+    subcommand_help = cli_help("list") + cli_help("sweep")
+    for option in sorted(
+        set(re.findall(r"--[a-z][a-z-]+", help_text + subcommand_help))
+    ):
         if option == "--help":
             continue
         if option not in readme:

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Run ruff over the repository (``make lint``).
+
+Thin wrapper so the Make target behaves everywhere:
+
+* If ruff is installed (CI installs it; ``pip install ruff`` locally),
+  run ``ruff check`` over every Python tree with the configuration in
+  pyproject.toml and propagate its exit status.
+* If ruff is unavailable (minimal containers), print how to get it and
+  exit 0 — linting is a tooling gate, not a runtime dependency, and the
+  tier-1 test suite must stay runnable without network access.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TREES = ["src", "tests", "benchmarks", "scripts", "examples"]
+
+
+def ruff_command() -> list:
+    """The ruff invocation to use, or an empty list if unavailable."""
+    if shutil.which("ruff"):
+        return ["ruff"]
+    probe = subprocess.run(
+        [sys.executable, "-m", "ruff", "--version"],
+        capture_output=True,
+    )
+    if probe.returncode == 0:
+        return [sys.executable, "-m", "ruff"]
+    return []
+
+
+def main() -> int:
+    command = ruff_command()
+    if not command:
+        print(
+            "lint: ruff is not installed; skipping (pip install ruff to "
+            "run the lint gate locally — CI always runs it)"
+        )
+        return 0
+    trees = [tree for tree in TREES if (REPO_ROOT / tree).is_dir()]
+    result = subprocess.run(command + ["check", *trees], cwd=REPO_ROOT)
+    return result.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,17 @@
-"""Command-line interface: regenerate the paper's figures.
+"""Command-line interface: regenerate the paper's figures and run sweeps.
 
 Usage::
 
     python -m repro list
+    python -m repro list --workloads --predictors --hierarchies
     python -m repro fig9                      # quick profile, cached
     python -m repro fig5 --profile full
     python -m repro run-all --jobs 4          # every figure, 4 workers
     python -m repro run-all --json out.json   # machine-readable results
     python -m repro fig10 --no-cache          # force recomputation
     python -m repro machine                   # print the Figure 2 table
+    python -m repro sweep --axis predictor --workloads go,li
+    python -m repro sweep --axis hierarchy --values micro97,compact
 
 Simulation artifacts (binaries, traces, functional results, timing
 stats) are cached content-addressed under ``--cache-dir`` (default
@@ -18,6 +21,12 @@ from disk without re-simulating anything.  ``--jobs N`` fans the
 experiments' independent simulation cells out over N worker processes;
 results are merged deterministically, so parallel output is identical
 to serial output.
+
+The ``sweep`` subcommand builds an ad-hoc scenario from the component
+registries: one timing cell per (workload, value) along any registered
+axis (``predictor``, ``hierarchy``, ``regfile``, ``ports``).  Unknown
+experiment, profile, workload, or component names exit with status 2
+and the list of valid names.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import time
 
 from repro.experiments import (
     ablation_lvmstack_depth,
+    ablation_predictor,
     fig3_characterization,
     fig5_regfile_ipc,
     fig6_performance,
@@ -41,6 +51,11 @@ from repro.experiments import (
 from repro.experiments.cache import ArtifactCache
 from repro.experiments.export import render_manifest
 from repro.experiments.runner import ExperimentContext, ExperimentProfile
+from repro.experiments.sweep import SWEEP_AXES, adhoc_spec, run_sweep
+from repro.registry import UnknownComponentError
+from repro.sim.branch.predictors import PREDICTORS
+from repro.sim.cache.hierarchy import HIERARCHIES
+from repro.workloads.suite import REGISTRY as WORKLOADS
 
 EXPERIMENTS = {
     "fig3": (fig3_characterization, "benchmark characterization"),
@@ -52,6 +67,7 @@ EXPERIMENTS = {
     "fig12": (fig12_context_switch, "context-switch elimination"),
     "fig13": (fig13_edvi_overhead, "E-DVI overhead"),
     "ablation": (ablation_lvmstack_depth, "LVM-Stack depth ablation"),
+    "predictor": (ablation_predictor, "branch predictor ablation"),
 }
 
 PROFILES = {
@@ -61,17 +77,8 @@ PROFILES = {
 }
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Regenerate figures from 'Exploiting Dead Value "
-                    "Information' (MICRO-30, 1997).",
-    )
-    parser.add_argument(
-        "target",
-        help="figure id (%s), 'run-all' (or 'all'), 'list', or 'machine'"
-             % ", ".join(EXPERIMENTS),
-    )
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """The execution knobs shared by figure runs and ad-hoc sweeps."""
     parser.add_argument(
         "--profile", choices=tuple(PROFILES), default="quick",
         help="sweep size: tiny (tests/smoke), quick (default), or the "
@@ -93,14 +100,214 @@ def main(argv=None) -> int:
         "--json", metavar="PATH",
         help="also write every result as deterministic JSON to PATH",
     )
+
+
+def _check_json_path(parser: argparse.ArgumentParser, path: str) -> None:
+    """Catch an unwritable --json path now, not after minutes of simulation
+    — without leaving an empty file behind if the run later fails."""
+    try:
+        probe_existed = os.path.exists(path)
+        with open(path, "a", encoding="utf-8"):
+            pass
+        if not probe_existed:
+            os.unlink(path)
+    except OSError as error:
+        parser.error(f"cannot write --json file: {error}")
+
+
+def _make_context(args) -> ExperimentContext:
+    profile = PROFILES[args.profile]()
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    return ExperimentContext(profile, cache=cache, jobs=args.jobs)
+
+
+#: Main-parser long options -> whether they consume the following token.
+#: Used to locate the target positional anywhere in argv (argparse
+#: allows option-first orderings like ``--profile tiny fig9``).
+_MAIN_OPTIONS = {
+    "--profile": True,
+    "--jobs": True,
+    "--cache-dir": True,
+    "--json": True,
+    "--no-cache": False,
+}
+
+
+def _target_of(argv) -> str:
+    """The target positional as the main parser would bind it.
+
+    Mirrors argparse's prefix matching so abbreviated options
+    (``--prof tiny``) skip their value too.
+    """
+    skip_next = False
+    for token in argv:
+        if skip_next:
+            skip_next = False
+            continue
+        if token.startswith("--"):
+            name = token.split("=", 1)[0]
+            matches = [o for o in _MAIN_OPTIONS if o.startswith(name)]
+            if ("=" not in token and matches
+                    and all(_MAIN_OPTIONS[o] for o in matches)):
+                skip_next = True
+            continue
+        if token.startswith("-"):
+            continue
+        return token
+    return ""
+
+
+def _list_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro list",
+        description="List experiments or registered components.",
+    )
+    parser.add_argument(
+        "--workloads", action="store_true",
+        help="show the registered workloads",
+    )
+    parser.add_argument(
+        "--predictors", action="store_true",
+        help="show the registered branch predictors",
+    )
+    parser.add_argument(
+        "--hierarchies", action="store_true",
+        help="show the registered cache-hierarchy presets",
+    )
+    # Listing runs nothing, but the shared run options stay accepted (and
+    # ignored) so pre-refactor invocations like ``list --profile tiny``
+    # keep working.
+    _add_run_options(parser)
+    args = parser.parse_args(argv)
+    _print_components(args)
+    return 0
+
+
+def _print_components(args) -> None:
+    """The ``list`` subcommand body."""
+    sections = []
+    if args.workloads:
+        sections.append(("workloads", [
+            (w.name, f"{w.description} (analog: {w.analog})")
+            for w in WORKLOADS.all()
+        ]))
+    if args.predictors:
+        sections.append(("predictors", [
+            (spec.name, spec.description) for spec in PREDICTORS.all()
+        ]))
+    if args.hierarchies:
+        sections.append(("hierarchies", [
+            (spec.name, spec.description) for spec in HIERARCHIES.all()
+        ]))
+    if not sections:
+        sections.append(("experiments", [
+            (name, description)
+            for name, (_, description) in EXPERIMENTS.items()
+        ]))
+    for index, (heading, rows) in enumerate(sections):
+        if len(sections) > 1:
+            if index:
+                print()
+            print(f"{heading}:")
+        width = max(10, *(len(name) for name, _ in rows)) + 1
+        for name, description in rows:
+            print(f"{name:<{width}s}{description}")
+
+
+def _sweep_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run an ad-hoc sweep over a registered component axis.",
+    )
+    parser.add_argument(
+        "--axis", required=True, metavar="AXIS",
+        help="swept dimension: %s" % ", ".join(SWEEP_AXES.names()),
+    )
+    parser.add_argument(
+        "--values", metavar="A,B,...",
+        help="explicit axis values (default: every registered value / the "
+             "profile's sweep)",
+    )
+    parser.add_argument(
+        "--workloads", metavar="W1,W2,...",
+        help="comma-separated workload names, bare analog names accepted "
+             "(default: the profile's suite)",
+    )
+    _add_run_options(parser)
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.json:
+        _check_json_path(parser, args.json)
+
+    context = _make_context(args)
+    profile = context.profile
+    try:
+        spec = adhoc_spec(
+            args.axis,
+            profile,
+            values=args.values.split(",") if args.values else None,
+            workloads=args.workloads.split(",") if args.workloads else None,
+        )
+    except UnknownComponentError:
+        raise
+    except ValueError as error:  # e.g. non-integer --values for regfile
+        parser.error(f"--values: {error}")
+    started = time.time()
+    try:
+        result = run_sweep(
+            spec, profile, context,
+            title=f"Sweep over {args.axis} ({profile.name} profile)",
+        )
+    except ValueError as error:  # e.g. a register count below the minimum
+        parser.error(str(error))
+    print(result.format_table())
+    print(f"[{spec.name}; {time.time() - started:.1f}s]")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(render_manifest(profile.name, {spec.name: result}))
+    if context.cache is not None:
+        print(context.cache.summary(), file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Exploiting Dead Value "
+                    "Information' (MICRO-30, 1997).",
+    )
+    parser.add_argument(
+        "target",
+        help="figure id (%s), 'run-all' (or 'all'), 'machine', 'list' "
+             "(--workloads/--predictors/--hierarchies show registered "
+             "components), or 'sweep' (ad-hoc component sweeps; see "
+             "'sweep --help')"
+             % ", ".join(EXPERIMENTS),
+    )
+    _add_run_options(parser)
+
+    # ``list`` and ``sweep`` own their option surfaces (--workloads is a
+    # flag on one and takes a value on the other); dispatch before the
+    # main parser sees the arguments.  The target is located the way the
+    # main parser would, so option-first orderings keep working.
+    target = _target_of(argv)
+    if target in ("list", "sweep"):
+        rest = list(argv)
+        rest.remove(target)
+        if target == "list":
+            return _list_main(rest)
+        try:
+            return _sweep_main(rest)
+        except UnknownComponentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
-    if args.target == "list":
-        for name, (_, description) in EXPERIMENTS.items():
-            print(f"{name:10s} {description}")
-        return 0
     if args.target == "machine":
         print(fig3_characterization.machine_description())
         return 0
@@ -109,22 +316,16 @@ def main(argv=None) -> int:
     targets = list(EXPERIMENTS) if run_all else [args.target]
     unknown = [t for t in targets if t not in EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown target(s): {', '.join(unknown)}")
+        parser.error(
+            "unknown target(s): %s; valid targets: %s, run-all, list, "
+            "machine, sweep"
+            % (", ".join(unknown), ", ".join(EXPERIMENTS))
+        )
     if args.json:
-        # Catch an unwritable path now, not after minutes of simulation —
-        # without leaving an empty file behind if the run later fails.
-        try:
-            probe_existed = os.path.exists(args.json)
-            with open(args.json, "a", encoding="utf-8"):
-                pass
-            if not probe_existed:
-                os.unlink(args.json)
-        except OSError as error:
-            parser.error(f"cannot write --json file: {error}")
+        _check_json_path(parser, args.json)
 
-    profile = PROFILES[args.profile]()
-    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
-    context = ExperimentContext(profile, cache=cache, jobs=args.jobs)
+    context = _make_context(args)
+    profile = context.profile
 
     results = {}
     for name in targets:
@@ -138,8 +339,8 @@ def main(argv=None) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(render_manifest(profile.name, results))
-    if cache is not None:
-        print(cache.summary(), file=sys.stderr)
+    if context.cache is not None:
+        print(context.cache.summary(), file=sys.stderr)
     return 0
 
 

@@ -11,7 +11,7 @@ binary rewriting tool", not compiler metadata.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.isa.instruction import Instruction
 from repro.program.program import ProcedureDecl, Program, ProgramError

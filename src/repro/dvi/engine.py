@@ -19,7 +19,7 @@ the paper's decode-stage update with checkpoint recovery on misprediction
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dvi.config import DVIConfig, SRScheme
 from repro.dvi.lvm import ALL_LIVE, LiveValueMask

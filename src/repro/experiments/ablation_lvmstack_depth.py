@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dvi.config import DVIConfig, SRScheme
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Axis, Mode, SweepSpec
 
 DEPTHS: Tuple[Optional[int], ...] = (1, 2, 4, 8, 16, 32, None)
 
@@ -28,18 +28,29 @@ def _dvi_at_depth(depth: Optional[int]) -> DVIConfig:
     )
 
 
+#: One functional cell per (save/restore workload, LVM-Stack depth): the
+#: swept axis *is* the DVI configuration, so the mode's DVI is a function
+#: of the axis point.
+SPEC = SweepSpec(
+    name="ablation-lvmstack-depth",
+    kind="functional",
+    workloads="sr_workloads",
+    modes=(
+        Mode("E-DVI and I-DVI",
+             lambda point: _dvi_at_depth(point["depth"]),
+             edvi_binary=True),
+    ),
+    axes=(Axis("depth", values=DEPTHS),),
+)
+
+
 def jobs(
     profile: ExperimentProfile,
     *,
     depths: Sequence[Optional[int]] = DEPTHS,
 ):
-    """One functional cell per (save/restore workload, LVM-Stack depth)."""
-    return [
-        Job(kind="functional", workload=workload, dvi=_dvi_at_depth(depth),
-            edvi_binary=True)
-        for workload in profile.sr_workloads
-        for depth in depths
-    ]
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return SPEC.with_axis_values("depth", depths).jobs(profile)
 
 
 @dataclass
@@ -84,14 +95,14 @@ def run(
 ) -> AblationResult:
     """Sweep the LVM-Stack depth over the save/restore-heavy workloads."""
     context = context or ExperimentContext(profile)
-    execute(jobs(profile, depths=depths), context)
+    spec = SPEC.with_axis_values("depth", depths)
+    spec.execute(profile, context)
+    (mode,) = spec.modes
     rows: List[DepthRow] = []
-    for workload in profile.sr_workloads:
+    for workload in spec.resolve_workloads(profile):
         eliminated: Dict[Optional[int], int] = {}
-        for depth in depths:
-            stats = context.functional(
-                workload, _dvi_at_depth(depth), edvi_binary=True
-            ).stats
-            eliminated[depth] = stats.saves_restores_eliminated
+        for point in spec.points(profile):
+            stats = spec.result(context, mode, workload, point).stats
+            eliminated[point["depth"]] = stats.saves_restores_eliminated
         rows.append(DepthRow(workload=workload, eliminated=eliminated))
     return AblationResult(rows=rows, depths=tuple(depths))

@@ -1,0 +1,106 @@
+"""Ablation: branch-predictor comparison over the registered predictors.
+
+A scenario the paper never ran (its machine fixes the combining
+gshare/bimod predictor) that the component registry makes a declaration:
+one no-DVI timing cell per (workload, registered predictor) on the
+otherwise-unchanged Figure 2 machine, reporting IPC and mispredict rate.
+Expected shape: ``comb`` >= its components (``gshare``, ``bimodal``) >=
+``local`` on these interleaved synthetic kernels, with ``static-taken``
+the floor — and the IPC spread quantifies how much the Figure 2 machine's
+performance depends on its predictor.
+
+The sweep axis tracks :data:`~repro.sim.branch.predictors.PREDICTORS`
+at enumeration time, so a newly registered predictor joins this ablation
+(and ``run-all``) without this module changing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dvi.config import DVIConfig
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Axis, Mode, SweepSpec
+from repro.sim.branch.predictors import PREDICTORS
+from repro.sim.config import MachineConfig
+
+#: One no-DVI timing cell per (registered predictor, workload).
+SPEC = SweepSpec(
+    name="ablation-predictor",
+    kind="timed",
+    workloads="workloads",
+    modes=(Mode("No DVI", DVIConfig.none()),),
+    axes=(Axis("predictor", values=lambda: tuple(PREDICTORS.names())),),
+    machine=lambda point: MachineConfig.micro97().with_predictor(
+        point["predictor"]
+    ),
+)
+
+
+@dataclass
+class PredictorRow:
+    workload: str
+    predictor: str
+    ipc: float
+    mispredict_pct: float
+
+
+@dataclass
+class PredictorAblationResult:
+    predictors: List[str]
+    rows: List[PredictorRow]
+
+    def by_cell(self) -> Dict[tuple, PredictorRow]:
+        return {(row.workload, row.predictor): row for row in self.rows}
+
+    def average_ipc(self, predictor: str) -> float:
+        rows = [row for row in self.rows if row.predictor == predictor]
+        return sum(row.ipc for row in rows) / len(rows)
+
+    def best(self) -> str:
+        """The registered predictor with the highest suite-average IPC."""
+        return max(self.predictors, key=self.average_ipc)
+
+    def format_table(self) -> str:
+        table = format_table(
+            ["Benchmark", "Predictor", "IPC", "Mispredict %"],
+            [
+                [row.workload, row.predictor, row.ipc, row.mispredict_pct]
+                for row in self.rows
+            ],
+            title="Predictor ablation: IPC by registered branch predictor",
+        )
+        averages = ", ".join(
+            f"{name} {self.average_ipc(name):.3f}" for name in self.predictors
+        )
+        return table + f"\nSuite-average IPC: {averages}"
+
+
+def jobs(profile: ExperimentProfile):
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return SPEC.jobs(profile)
+
+
+def run(
+    profile: ExperimentProfile, context: ExperimentContext = None
+) -> PredictorAblationResult:
+    """Time every workload under every registered predictor."""
+    context = context or ExperimentContext(profile)
+    SPEC.execute(profile, context)
+    (mode,) = SPEC.modes
+    rows: List[PredictorRow] = []
+    predictors: List[str] = []
+    for point in SPEC.points(profile):
+        predictors.append(point["predictor"])
+        for workload in SPEC.resolve_workloads(profile):
+            stats = SPEC.result(context, mode, workload, point)
+            rows.append(
+                PredictorRow(
+                    workload=workload,
+                    predictor=point["predictor"],
+                    ipc=stats.ipc,
+                    mispredict_pct=100.0 * stats.mispredict_rate,
+                )
+            )
+    return PredictorAblationResult(predictors=predictors, rows=rows)

@@ -13,16 +13,30 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig, SRScheme
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Mode, SweepSpec
 from repro.sim.config import MachineConfig
 
-#: (dvi config, uses E-DVI binary) for the three bars of each workload.
+#: The three bars of each workload, on the rename-unconstrained machine.
 MODES = (
-    (DVIConfig.none(), False),
-    (DVIConfig.full(SRScheme.LVM), True),
-    (DVIConfig.full(SRScheme.LVM_STACK), True),
+    Mode("No DVI", DVIConfig.none()),
+    Mode("LVM", DVIConfig.full(SRScheme.LVM), edvi_binary=True),
+    Mode("LVM-Stack", DVIConfig.full(SRScheme.LVM_STACK), edvi_binary=True),
 )
+
+
+def spec_for(config: MachineConfig = None) -> SweepSpec:
+    """The Figure 10 sweep, optionally on an overridden machine."""
+    return SweepSpec(
+        name="fig10",
+        kind="timed",
+        workloads="sr_workloads",
+        modes=MODES,
+        machine=config or MachineConfig.micro97_unconstrained(),
+    )
+
+
+SPEC = spec_for()
 
 
 @dataclass
@@ -65,14 +79,8 @@ class Fig10Result:
 
 
 def jobs(profile: ExperimentProfile, *, config: MachineConfig = None):
-    """Baseline/LVM/LVM-Stack timing cells for each save/restore workload."""
-    config = config or MachineConfig.micro97_unconstrained()
-    return [
-        Job(kind="timed", workload=workload, dvi=dvi, edvi_binary=edvi_binary,
-            machine=config)
-        for workload in profile.sr_workloads
-        for dvi, edvi_binary in MODES
-    ]
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return spec_for(config).jobs(profile)
 
 
 def run(
@@ -83,25 +91,17 @@ def run(
 ) -> Fig10Result:
     """Time each workload under baseline, LVM, and LVM-Stack."""
     context = context or ExperimentContext(profile)
-    config = config or MachineConfig.micro97_unconstrained()
-    execute(jobs(profile, config=config), context)
+    spec = spec_for(config)
+    spec.execute(profile, context)
+    base_mode, lvm_mode, stack_mode = spec.modes
     rows: List[SpeedupRow] = []
-    for workload in profile.sr_workloads:
-        base = context.timed(
-            workload, DVIConfig.none(), config, edvi_binary=False
-        )
-        lvm = context.timed(
-            workload, DVIConfig.full(SRScheme.LVM), config, edvi_binary=True
-        )
-        lvm_stack = context.timed(
-            workload, DVIConfig.full(SRScheme.LVM_STACK), config, edvi_binary=True
-        )
+    for workload in spec.resolve_workloads(profile):
         rows.append(
             SpeedupRow(
                 workload=workload,
-                base_ipc=base.ipc,
-                lvm_ipc=lvm.ipc,
-                lvm_stack_ipc=lvm_stack.ipc,
+                base_ipc=spec.result(context, base_mode, workload).ipc,
+                lvm_ipc=spec.result(context, lvm_mode, workload).ipc,
+                lvm_stack_ipc=spec.result(context, stack_mode, workload).ipc,
             )
         )
     return Fig10Result(rows=rows)

@@ -10,17 +10,34 @@ bandwidth demand again.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List
 
 from repro.dvi.config import DVIConfig, SRScheme
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Axis, Mode, SweepSpec
 from repro.sim.config import MachineConfig
 
 #: The two benchmarks the paper charts.
 FIG11_WORKLOADS = ("gcc_like", "ijpeg_like")
 PORT_COUNTS = (1, 2, 3)
 ISSUE_WIDTHS = (4, 8)
+
+#: Baseline + LVM-Stack timing cells over (workload x width x ports).
+SPEC = SweepSpec(
+    name="fig11",
+    kind="timed",
+    workloads=FIG11_WORKLOADS,
+    modes=(
+        Mode("base", DVIConfig.none()),
+        Mode("LVM-Stack", DVIConfig.full(SRScheme.LVM_STACK), edvi_binary=True),
+    ),
+    axes=(
+        Axis("width", values=ISSUE_WIDTHS),
+        Axis("ports", values=PORT_COUNTS),
+    ),
+    machine=lambda point: MachineConfig.micro97_unconstrained()
+    .with_ports_and_width(point["ports"], point["width"]),
+)
 
 
 @dataclass
@@ -61,46 +78,25 @@ class Fig11Result:
 
 
 def jobs(profile: ExperimentProfile):
-    """Baseline + LVM-Stack timing cells over (workload x width x ports)."""
-    base_machine = MachineConfig.micro97_unconstrained()
-    plan = []
-    for workload in FIG11_WORKLOADS:
-        for width in ISSUE_WIDTHS:
-            for ports in PORT_COUNTS:
-                config = base_machine.with_ports_and_width(ports, width)
-                plan.append(Job(kind="timed", workload=workload,
-                                dvi=DVIConfig.none(), edvi_binary=False,
-                                machine=config))
-                plan.append(Job(kind="timed", workload=workload,
-                                dvi=DVIConfig.full(SRScheme.LVM_STACK),
-                                edvi_binary=True, machine=config))
-    return plan
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return SPEC.jobs(profile)
 
 
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig11Result:
     """Sweep ports x width for the two charted benchmarks."""
     context = context or ExperimentContext(profile)
-    execute(jobs(profile), context)
-    base_machine = MachineConfig.micro97_unconstrained()
+    SPEC.execute(profile, context)
+    base_mode, dvi_mode = SPEC.modes
     points: List[SensitivityPoint] = []
-    for workload in FIG11_WORKLOADS:
-        for width in ISSUE_WIDTHS:
-            for ports in PORT_COUNTS:
-                config = base_machine.with_ports_and_width(ports, width)
-                base = context.timed(
-                    workload, DVIConfig.none(), config, edvi_binary=False
+    for workload in SPEC.resolve_workloads(profile):
+        for point in SPEC.points(profile):
+            points.append(
+                SensitivityPoint(
+                    workload=workload,
+                    issue_width=point["width"],
+                    cache_ports=point["ports"],
+                    base_ipc=SPEC.result(context, base_mode, workload, point).ipc,
+                    dvi_ipc=SPEC.result(context, dvi_mode, workload, point).ipc,
                 )
-                dvi = context.timed(
-                    workload, DVIConfig.full(SRScheme.LVM_STACK), config,
-                    edvi_binary=True,
-                )
-                points.append(
-                    SensitivityPoint(
-                        workload=workload,
-                        issue_width=width,
-                        cache_ports=ports,
-                        base_ipc=base.ipc,
-                        dvi_ipc=dvi.ipc,
-                    )
-                )
+            )
     return Fig11Result(points=points)

@@ -15,11 +15,11 @@ Two measurements, per workload:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.dvi.config import DVIConfig, SRScheme
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Mode, SweepSpec
 from repro.threads.scheduler import RoundRobinScheduler
 
 #: Figure 12's benchmark set (ijpeg, gcc, perl, vortex, compress, go —
@@ -31,13 +31,6 @@ FIG12_ORDER = [
 
 #: Preemption quantum (instructions) of the scheduler measurement.
 QUANTUM = 997
-
-#: The two DVI settings whose histograms the paper charts.
-HIST_MODES = (
-    (DVIConfig(use_idvi=True, use_edvi=False, scheme=SRScheme.LVM_STACK), False),
-    (DVIConfig.full(SRScheme.LVM_STACK), True),
-)
-
 
 def _histogram_workloads(profile: ExperimentProfile) -> List[str]:
     """The charted workloads present in the profile (paper order)."""
@@ -54,6 +47,31 @@ def _mix(profile: ExperimentProfile) -> List[str]:
         if extra not in mix:
             mix.append(extra)
     return mix[:3]
+
+
+#: Live-register histogram cells: the two DVI settings the paper charts,
+#: sampled over the charted workloads.
+HIST_SPEC = SweepSpec(
+    name="fig12-histogram",
+    kind="functional",
+    workloads=_histogram_workloads,
+    modes=(
+        Mode("I-DVI",
+             DVIConfig(use_idvi=True, use_edvi=False, scheme=SRScheme.LVM_STACK),
+             live_hist=True),
+        Mode("E-DVI and I-DVI", DVIConfig.full(SRScheme.LVM_STACK),
+             edvi_binary=True, live_hist=True),
+    ),
+)
+
+#: The solo-exit and binary cells the preemptive scheduler run needs.
+MIX_SPEC = SweepSpec(
+    name="fig12-mix",
+    kind="functional",
+    workloads=_mix,
+    modes=(Mode("solo", DVIConfig.none()),),
+    include_binary=True,
+)
 
 
 @dataclass
@@ -123,17 +141,7 @@ def jobs(profile: ExperimentProfile):
     simulated machine and is inherently serial, so it is not a cell; it is
     cached whole through ``context.artifact`` instead.
     """
-    plan = [
-        Job(kind="functional", workload=workload, dvi=dvi,
-            edvi_binary=edvi_binary, live_hist=True)
-        for workload in _histogram_workloads(profile)
-        for dvi, edvi_binary in HIST_MODES
-    ]
-    for workload in _mix(profile):
-        plan.append(Job(kind="functional", workload=workload,
-                        dvi=DVIConfig.none(), edvi_binary=False))
-        plan.append(Job(kind="binary", workload=workload))
-    return plan
+    return HIST_SPEC.jobs(profile) + MIX_SPEC.jobs(profile)
 
 
 def _scheduler_measurement(
@@ -172,17 +180,14 @@ def _scheduler_measurement(
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig12Result:
     """Run both the histogram and scheduler measurements."""
     context = context or ExperimentContext(profile)
-    execute(jobs(profile), context)
+    HIST_SPEC.execute(profile, context)
+    MIX_SPEC.execute(profile, context)
 
+    idvi_mode, full_mode = HIST_SPEC.modes
     rows: List[ContextSwitchRow] = []
-    for workload in _histogram_workloads(profile):
-        (idvi_dvi, idvi_bin), (full_dvi, full_bin) = HIST_MODES
-        idvi = context.functional(
-            workload, idvi_dvi, edvi_binary=idvi_bin, live_hist=True
-        ).stats
-        full = context.functional(
-            workload, full_dvi, edvi_binary=full_bin, live_hist=True
-        ).stats
+    for workload in HIST_SPEC.resolve_workloads(profile):
+        idvi = HIST_SPEC.result(context, idvi_mode, workload).stats
+        full = HIST_SPEC.result(context, full_mode, workload).stats
         saveable = bin(DVIConfig.none().abi.saveable_mask()).count("1")
         rows.append(
             ContextSwitchRow(

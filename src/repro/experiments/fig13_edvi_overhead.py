@@ -15,32 +15,35 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Axis, Mode, SweepSpec
 from repro.sim.config import MachineConfig
 
 ICACHE_SIZES = (32 * 1024, 64 * 1024)
 
+#: Binary, trace, and per-I-cache-size timing cells for each workload.
+#: Every cell runs the Figure 13 DVI setting (annotations present but
+#: unexploited), once with the plain binary and once with the annotated
+#: one.
+SPEC = SweepSpec(
+    name="fig13",
+    kind="timed",
+    workloads="workloads",
+    modes=(
+        Mode("plain", DVIConfig.edvi_overhead()),
+        Mode("annotated", DVIConfig.edvi_overhead(), edvi_binary=True),
+    ),
+    axes=(Axis("icache", values=ICACHE_SIZES),),
+    machine=lambda point: MachineConfig.micro97_unconstrained()
+    .with_icache(point["icache"]),
+    include_binary=True,
+    include_traces=True,
+)
+
 
 def jobs(profile: ExperimentProfile):
-    """Binary, trace, and per-I-cache-size timing cells for each workload.
-
-    Every cell runs the Figure 13 DVI setting (annotations present but
-    unexploited), once with the plain binary and once with the annotated
-    one.
-    """
-    dvi = DVIConfig.edvi_overhead()
-    plan = []
-    for workload in profile.workloads:
-        plan.append(Job(kind="binary", workload=workload))
-        for edvi_binary in (False, True):
-            plan.append(Job(kind="trace", workload=workload, dvi=dvi,
-                            edvi_binary=edvi_binary))
-            for icache in ICACHE_SIZES:
-                config = MachineConfig.micro97_unconstrained().with_icache(icache)
-                plan.append(Job(kind="timed", workload=workload, dvi=dvi,
-                                edvi_binary=edvi_binary, machine=config))
-    return plan
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return SPEC.jobs(profile)
 
 
 @dataclass
@@ -76,26 +79,25 @@ class Fig13Result:
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig13Result:
     """Measure dynamic, static, and IPC overheads of the annotations."""
     context = context or ExperimentContext(profile)
-    execute(jobs(profile), context)
+    SPEC.execute(profile, context)
     dvi = DVIConfig.edvi_overhead()
+    plain_mode, annotated_mode = SPEC.modes
     rows: List[OverheadRow] = []
-    for workload in profile.workloads:
+    for workload in SPEC.resolve_workloads(profile):
         plain = context.binary(workload, edvi=False)
         annotated = context.binary(workload, edvi=True)
         pct_static = 100.0 * (len(annotated.insts) - len(plain.insts)) / len(plain.insts)
 
-        base_trace = context.trace(workload, dvi, edvi_binary=False)
         edvi_trace = context.trace(workload, dvi, edvi_binary=True)
         pct_dynamic = (
             100.0 * edvi_trace.annotation_insts / edvi_trace.program_insts
         )
 
         pct_ipc: Dict[int, float] = {}
-        for icache in ICACHE_SIZES:
-            config = MachineConfig.micro97_unconstrained().with_icache(icache)
-            base = context.timed(workload, dvi, config, edvi_binary=False)
-            with_edvi = context.timed(workload, dvi, config, edvi_binary=True)
-            pct_ipc[icache] = 100.0 * (1.0 - with_edvi.ipc / base.ipc)
+        for point in SPEC.points(profile):
+            base = SPEC.result(context, plain_mode, workload, point)
+            with_edvi = SPEC.result(context, annotated_mode, workload, point)
+            pct_ipc[point["icache"]] = 100.0 * (1.0 - with_edvi.ipc / base.ipc)
         rows.append(
             OverheadRow(
                 workload=workload,

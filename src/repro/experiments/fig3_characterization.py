@@ -11,9 +11,17 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Mode, SweepSpec
 from repro.sim.config import MachineConfig
+
+#: One no-DVI functional cell per workload in the suite.
+SPEC = SweepSpec(
+    name="fig3",
+    kind="functional",
+    workloads="workloads",
+    modes=(Mode("baseline", DVIConfig.none()),),
+)
 
 
 @dataclass
@@ -46,21 +54,18 @@ class Fig3Result:
 
 
 def jobs(profile: ExperimentProfile):
-    """One no-DVI functional cell per workload in the suite."""
-    return [
-        Job(kind="functional", workload=name, dvi=DVIConfig.none(),
-            edvi_binary=False)
-        for name in profile.workloads
-    ]
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return SPEC.jobs(profile)
 
 
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig3Result:
     """Characterize every workload with one functional run each."""
     context = context or ExperimentContext(profile)
-    execute(jobs(profile), context)
+    SPEC.execute(profile, context)
+    (mode,) = SPEC.modes
     rows = []
-    for name in profile.workloads:
-        stats = context.functional(name, DVIConfig.none(), edvi_binary=False).stats
+    for name in SPEC.resolve_workloads(profile):
+        stats = SPEC.result(context, mode, name).stats
         rows.append(
             CharacterizationRow(
                 workload=name,

@@ -9,17 +9,33 @@ deadlock", and E-DVI adds little on top.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import (
     ExperimentContext,
     ExperimentProfile,
     format_table,
     regfile_modes,
 )
+from repro.experiments.sweep import Axis, Mode, SweepSpec
 from repro.sim.config import MachineConfig
+
+#: The (mode x register-file size x workload) timing sweep.  Modes are
+#: the three :func:`repro.experiments.runner.regfile_modes` curves
+#: (No DVI / I-DVI / E-DVI and I-DVI); each cell times one workload on
+#: the Figure 2 machine resized to one register-file size.
+SPEC = SweepSpec(
+    name="fig5",
+    kind="timed",
+    workloads="workloads",
+    modes=tuple(
+        Mode(label, dvi, edvi_binary)
+        for label, dvi, edvi_binary in regfile_modes()
+    ),
+    axes=(Axis("size", profile_attr="regfile_sizes"),),
+    machine=lambda point: MachineConfig.micro97().with_phys_regs(point["size"]),
+)
 
 
 @dataclass
@@ -55,42 +71,29 @@ class Fig5Result:
 
 
 def jobs(profile: ExperimentProfile):
-    """The (mode x register-file size x workload) timing cells.
-
-    Modes are the three :func:`repro.experiments.runner.regfile_modes`
-    curves (No DVI / I-DVI / E-DVI and I-DVI); each cell times one
-    workload on the Figure 2 machine resized to one register-file size.
-    """
-    base_config = MachineConfig.micro97()
-    return [
-        Job(kind="timed", workload=workload, dvi=dvi, edvi_binary=edvi_binary,
-            machine=base_config.with_phys_regs(size))
-        for _, dvi, edvi_binary in regfile_modes()
-        for size in profile.regfile_sizes
-        for workload in profile.workloads
-    ]
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return SPEC.jobs(profile)
 
 
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig5Result:
     """Sweep register file sizes for the three DVI modes."""
     context = context or ExperimentContext(profile)
-    execute(jobs(profile), context)
-    base_config = MachineConfig.micro97()
+    SPEC.execute(profile, context)
+    workloads = SPEC.resolve_workloads(profile)
     sizes = list(profile.regfile_sizes)
     curves: Dict[str, List[float]] = {}
     detail: Dict[Tuple[str, str], List[float]] = {}
 
-    for label, dvi, edvi_binary in regfile_modes():
-        per_workload: Dict[str, List[float]] = {w: [] for w in profile.workloads}
-        for size in sizes:
-            config = base_config.with_phys_regs(size)
-            for workload in profile.workloads:
-                stats = context.timed(workload, dvi, config, edvi_binary=edvi_binary)
+    for mode in SPEC.modes:
+        per_workload: Dict[str, List[float]] = {w: [] for w in workloads}
+        for point in SPEC.points(profile):
+            for workload in workloads:
+                stats = SPEC.result(context, mode, workload, point)
                 per_workload[workload].append(stats.ipc)
-        curves[label] = [
-            sum(per_workload[w][i] for w in profile.workloads) / len(profile.workloads)
+        curves[mode.label] = [
+            sum(per_workload[w][i] for w in workloads) / len(workloads)
             for i in range(len(sizes))
         ]
         for workload, series in per_workload.items():
-            detail[(label, workload)] = series
+            detail[(mode.label, workload)] = series
     return Fig5Result(sizes=sizes, curves=curves, detail=detail)

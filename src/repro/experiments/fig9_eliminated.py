@@ -18,11 +18,22 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.dvi.config import DVIConfig, SRScheme
-from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, format_table
+from repro.experiments.sweep import Mode, SweepSpec
 
 #: The two hardware schemes Figure 9 compares, in chart order.
 SCHEMES = ((SRScheme.LVM, "LVM"), (SRScheme.LVM_STACK, "LVM-Stack"))
+
+#: One E-DVI functional cell per (scheme, save/restore-heavy workload).
+SPEC = SweepSpec(
+    name="fig9",
+    kind="functional",
+    workloads="sr_workloads",
+    modes=tuple(
+        Mode(label, DVIConfig.full(scheme), edvi_binary=True)
+        for scheme, label in SCHEMES
+    ),
+)
 
 
 @dataclass
@@ -73,25 +84,19 @@ class Fig9Result:
 
 
 def jobs(profile: ExperimentProfile):
-    """One E-DVI functional cell per (scheme, save/restore-heavy workload)."""
-    return [
-        Job(kind="functional", workload=workload, dvi=DVIConfig.full(scheme),
-            edvi_binary=True)
-        for scheme, _ in SCHEMES
-        for workload in profile.sr_workloads
-    ]
+    """The spec's cells (kept as the uniform per-experiment entry point)."""
+    return SPEC.jobs(profile)
 
 
 def run(profile: ExperimentProfile, context: ExperimentContext = None) -> Fig9Result:
     """Measure elimination under both hardware schemes."""
     context = context or ExperimentContext(profile)
-    execute(jobs(profile), context)
+    SPEC.execute(profile, context)
     rows: List[EliminationRow] = []
-    for scheme, label in SCHEMES:
-        for workload in profile.sr_workloads:
-            stats = context.functional(
-                workload, DVIConfig.full(scheme), edvi_binary=True
-            ).stats
+    for mode in SPEC.modes:
+        label = mode.label
+        for workload in SPEC.resolve_workloads(profile):
+            stats = SPEC.result(context, mode, workload).stats
             eliminated = stats.saves_restores_eliminated
             rows.append(
                 EliminationRow(

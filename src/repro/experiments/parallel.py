@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.dvi.config import DVIConfig
 from repro.experiments.cache import ArtifactCache, CacheCounters, fingerprint

@@ -21,7 +21,7 @@ and across invocations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dvi.config import DVIConfig, SRScheme

@@ -25,7 +25,7 @@ metadata tables of :mod:`repro.isa.opcodes` (``OP_FORMAT``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple, Union
 
 from repro.isa import registers as regs

@@ -1,0 +1,119 @@
+"""Generic typed component registries.
+
+Every pluggable component family in the reproduction — branch predictors,
+cache-hierarchy presets, workloads, experiments, sweep axes — registers
+named specs in a :class:`Registry`.  The pattern (one directory object,
+components self-register at import, lookups fail with the full list of
+valid names) is what lets a new predictor or workload be a *declaration*
+rather than a new module wired through bespoke plumbing, and what lets
+the CLI enumerate every axis a sweep can range over.
+
+Design rules:
+
+* **Names are the interface.**  A registered name is a stable, cache-key-
+  safe identifier: specs referenced from
+  :class:`~repro.sim.config.MachineConfig` fields flow (as plain strings)
+  into the content-addressed artifact cache, so renaming a component is
+  an artifact-invalidating change and duplicate registration is an error,
+  never a silent overwrite.
+* **Lookups fail helpfully.**  :class:`UnknownComponentError` is a
+  ``KeyError`` carrying the sorted list of valid names; the CLI turns it
+  into an exit-code-2 message instead of a traceback.
+* **Registries are data, not behavior.**  A registry maps names to specs
+  (usually small frozen dataclasses with a ``build`` callable); what a
+  spec *means* is up to the family that owns the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Tuple, TypeVar
+
+__all__ = [
+    "DuplicateComponentError",
+    "Registry",
+    "UnknownComponentError",
+]
+
+T = TypeVar("T")
+
+
+class UnknownComponentError(KeyError):
+    """An unregistered name was looked up.
+
+    Carries the registry ``kind`` and the sorted valid names so callers
+    (the CLI in particular) can render a friendly message.
+    """
+
+    def __init__(self, kind: str, name: str, valid: List[str]) -> None:
+        self.kind = kind
+        self.name = name
+        self.valid = list(valid)
+        super().__init__(
+            f"no {kind} named {name!r}; valid names: {', '.join(valid)}"
+        )
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the argument
+        return self.args[0]
+
+
+class DuplicateComponentError(ValueError):
+    """A name was registered twice in the same registry."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        self.kind = kind
+        self.name = name
+        super().__init__(f"{kind} {name!r} registered twice")
+
+
+class Registry(Generic[T]):
+    """An ordered name -> spec directory for one component family.
+
+    Iteration and :meth:`names` preserve registration order (which for
+    import-time registration is module order — deterministic for a given
+    source tree); :meth:`get` raises :class:`UnknownComponentError` with
+    the sorted name list on a miss.
+    """
+
+    def __init__(self, kind: str) -> None:
+        #: Human-readable singular component kind ("predictor", ...).
+        self.kind = kind
+        self._entries: Dict[str, T] = {}
+
+    def register(self, name: str, spec: T) -> T:
+        """Register ``spec`` under ``name``; duplicate names are an error."""
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries:
+            raise DuplicateComponentError(self.kind, name)
+        self._entries[name] = spec
+        return spec
+
+    def get(self, name: str) -> T:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownComponentError(
+                self.kind, name, sorted(self._entries)
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered names, in registration order."""
+        return list(self._entries)
+
+    def items(self) -> List[Tuple[str, T]]:
+        return list(self._entries.items())
+
+    def all(self) -> List[T]:
+        return list(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {len(self._entries)} entries)"

@@ -34,7 +34,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.cfg import build_cfg, procedures_of
 from repro.analysis.liveness import analyze_procedure
-from repro.isa import registers as regs
 from repro.isa.abi import ABI, DEFAULT_ABI
 from repro.isa.instruction import Instruction, kill as kill_inst
 from repro.program.program import ProcedureDecl, Program

@@ -9,7 +9,7 @@ no latency (the paper's configuration gives fixed L1/L2/memory latencies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -3,12 +3,20 @@
 Split 64KB/4-way L1 I and D caches (1-cycle), a unified 512KB/4-way L2
 (8-cycle), and a flat main memory latency behind it.  ``access`` returns
 the total latency of a reference entering at L1.
+
+Named hierarchy presets register :class:`HierarchySpec` entries in
+:data:`HIERARCHIES`; a :class:`~repro.sim.config.MachineConfig` selects
+one by name via ``hierarchy_spec`` (the ``micro97`` preset is the
+Figure 2 default), and the CLI's ``list --hierarchies`` / ``sweep
+--axis hierarchy`` enumerate them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable
 
+from repro.registry import Registry
 from repro.sim.cache.cache import Cache, CacheGeometry
 
 
@@ -26,6 +34,67 @@ class HierarchyConfig:
     l2_assoc: int = 4
     l2_latency: int = 8
     memory_latency: int = 40
+
+
+# ----------------------------------------------------------------------
+# The hierarchy-preset registry.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HierarchySpec:
+    """A named cache-hierarchy preset."""
+
+    name: str
+    description: str
+    build: Callable[[], HierarchyConfig]
+
+
+#: Name -> :class:`HierarchySpec`; ``MachineConfig.hierarchy_spec``
+#: values resolve here.
+HIERARCHIES: Registry[HierarchySpec] = Registry("hierarchy")
+
+HIERARCHIES.register("micro97", HierarchySpec(
+    name="micro97",
+    description="Figure 2: 64KB/4-way split L1s, 512KB/4-way L2 (8 cyc), "
+                "40-cycle memory",
+    build=HierarchyConfig,
+))
+
+HIERARCHIES.register("compact", HierarchySpec(
+    name="compact",
+    description="embedded-class: 16KB/2-way split L1s, 128KB/4-way L2, "
+                "60-cycle memory",
+    build=lambda: HierarchyConfig(
+        l1i_size=16 * 1024, l1i_assoc=2,
+        l1d_size=16 * 1024, l1d_assoc=2,
+        l2_size=128 * 1024, l2_assoc=4,
+        memory_latency=60,
+    ),
+))
+
+HIERARCHIES.register("deep", HierarchySpec(
+    name="deep",
+    description="server-class: 128KB/8-way split L1s, 2MB/8-way L2 "
+                "(12 cyc), 80-cycle memory",
+    build=lambda: HierarchyConfig(
+        l1i_size=128 * 1024, l1i_assoc=8,
+        l1d_size=128 * 1024, l1d_assoc=8,
+        l2_size=2 * 1024 * 1024, l2_assoc=8, l2_latency=12,
+        memory_latency=80,
+    ),
+))
+
+HIERARCHIES.register("slow-memory", HierarchySpec(
+    name="slow-memory",
+    description="Figure 2 caches in front of 120-cycle memory "
+                "(bandwidth-starved sensitivity point)",
+    build=lambda: replace(HierarchyConfig(), memory_latency=120),
+))
+
+
+def build_hierarchy_config(name: str) -> HierarchyConfig:
+    """The :class:`HierarchyConfig` the named preset describes."""
+    return HIERARCHIES.get(name).build()
 
 
 class MemoryHierarchy:

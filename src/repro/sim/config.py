@@ -15,7 +15,12 @@ from dataclasses import dataclass, field, replace
 from typing import Dict
 
 from repro.isa.opcodes import DEFAULT_LATENCY, OpClass
-from repro.sim.cache.hierarchy import HierarchyConfig
+from repro.sim.branch.predictors import PREDICTORS
+from repro.sim.cache.hierarchy import (
+    HIERARCHIES,
+    HierarchyConfig,
+    build_hierarchy_config,
+)
 
 #: Minimum physical registers: one per renamable architectural register
 #: (r1-r31) plus one free register so rename can always eventually proceed.
@@ -57,6 +62,17 @@ class MachineConfig:
     btb_sets: int = 512
     btb_assoc: int = 4
     ras_depth: int = 32
+    # Sizing of the registered ``local`` two-level predictor.
+    local_entries: int = 1024
+    local_history_bits: int = 10
+    # Registered component selections (see repro.registry): the direction
+    # predictor the timing core instantiates, and the name of the
+    # hierarchy preset ``hierarchy`` was derived from.  ``hierarchy``
+    # stays the source of truth for cache parameters (per-figure knobs
+    # like ``with_icache`` still tweak it field-wise); the spec names ride
+    # along so cache keys and reports carry the scenario identity.
+    predictor_spec: str = "comb"
+    hierarchy_spec: str = "micro97"
 
     def __post_init__(self) -> None:
         if self.phys_regs < MIN_PHYS_REGS:
@@ -69,6 +85,10 @@ class MachineConfig:
                      "int_alus", "int_muldiv", "cache_ports"):
             if getattr(self, name) < 1:
                 raise ValueError(f"{name} must be >= 1")
+        # Resolve the spec names now so a typo fails at configuration
+        # time (with the registry's valid-name list), not mid-simulation.
+        PREDICTORS.get(self.predictor_spec)
+        HIERARCHIES.get(self.hierarchy_spec)
 
     @classmethod
     def micro97(cls) -> "MachineConfig":
@@ -114,6 +134,17 @@ class MachineConfig:
         """The Figure 13 I-cache knob."""
         return replace(self, hierarchy=replace(self.hierarchy, l1i_size=size_bytes))
 
+    def with_predictor(self, name: str) -> "MachineConfig":
+        """Select a registered branch predictor (the ``predictor`` axis)."""
+        PREDICTORS.get(name)
+        return replace(self, predictor_spec=name)
+
+    def with_hierarchy(self, name: str) -> "MachineConfig":
+        """Adopt a registered hierarchy preset (the ``hierarchy`` axis)."""
+        return replace(
+            self, hierarchy=build_hierarchy_config(name), hierarchy_spec=name
+        )
+
     def describe(self) -> str:
         """Figure 2-style parameter table."""
         h = self.hierarchy
@@ -133,7 +164,7 @@ class MachineConfig:
              f"{h.l2_size // 1024}KB, {h.l2_assoc}-way, "
              f"{h.l2_latency} cycle latency"),
             ("Branch Predictor",
-             f"{self.history_bits}-bit history, BTB, combining gshare/bimod"),
+             PREDICTORS.get(self.predictor_spec).summarize(self)),
             ("Physical Registers", str(self.phys_regs)),
         ]
         width = max(len(name) for name, _ in rows)

@@ -56,7 +56,7 @@ from typing import Deque, List, Optional
 
 from repro.isa.opcodes import NUM_OP_CLASSES, OpClass, Opcode
 from repro.sim.branch.btb import BranchTargetBuffer, ReturnAddressStack
-from repro.sim.branch.predictors import CombiningPredictor
+from repro.sim.branch.predictors import build_predictor
 from repro.sim.cache.hierarchy import MemoryHierarchy
 from repro.sim.config import MachineConfig
 from repro.sim.ooo.renamer import NEVER, Renamer
@@ -101,12 +101,7 @@ class OutOfOrderCore:
         self.stats = PipelineStats()
         self.renamer = Renamer(config.phys_regs)
         self.hierarchy = MemoryHierarchy(config.hierarchy)
-        self.predictor = CombiningPredictor(
-            config.bimodal_entries,
-            config.gshare_entries,
-            config.history_bits,
-            config.chooser_entries,
-        )
+        self.predictor = build_predictor(config)
         self.btb = BranchTargetBuffer(config.btb_sets, config.btb_assoc)
         self.ras = ReturnAddressStack(config.ras_depth)
 
@@ -188,7 +183,6 @@ class OutOfOrderCore:
         l1_l2_latency = l1_latency + config.hierarchy.l2_latency
         l1_l2_mem_latency = l1_l2_latency + config.hierarchy.memory_latency
         line_shift = l1i._set_shift
-        line_shift_pc = line_shift - 2  # pc is a word index (byte pc = 4*pc)
         l1d_accesses = l1d_misses = l1d_writebacks = 0
         l1i_accesses = l1i_misses = l1i_writebacks = 0
         last_d_line = -1
@@ -481,7 +475,12 @@ class OutOfOrderCore:
                 fetch_start = fetch_pos
                 while fetch_pos < stop:
                     pc, fl, dst, packed, cls, addr = replay[fetch_pos]
-                    line = pc >> line_shift_pc
+                    # Byte-address form: (pc << 2) >> shift equals the
+                    # word-folded pc >> (shift - 2) for line sizes >= one
+                    # word and stays correct for the sub-word lines
+                    # CacheGeometry permits (where the folded shift would
+                    # be negative).
+                    line = (pc << 2) >> line_shift
                     if line != last_line:
                         # I-cache access, L1 inlined (see Cache.access).
                         last_line = line

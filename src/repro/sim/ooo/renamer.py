@@ -31,7 +31,7 @@ tests hammer it.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Tuple
 
 from repro.errors import SimulationError
 from repro.isa import registers as regs

@@ -9,7 +9,7 @@ restores when the thread resumes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.dvi.lvm import ALL_LIVE
 from repro.isa import registers as regs

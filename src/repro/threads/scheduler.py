@@ -18,7 +18,7 @@ finish with the same exit value and data segment it produces running alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.dvi.config import DVIConfig

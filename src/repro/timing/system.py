@@ -9,7 +9,7 @@ size at which its performance peaks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.timing.regfile import RegFileTimingModel, ports_for_issue_width
 

@@ -18,11 +18,12 @@ workloads marks them by hand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 from repro.program.builder import ProgramBuilder
 from repro.program.program import Program
+from repro.registry import Registry
 
 #: Multiplier/increment of the data-generation LCG (Numerical Recipes).
 LCG_MUL = 1664525
@@ -67,36 +68,22 @@ class Workload:
         return self.build(scale)
 
 
-class WorkloadRegistry:
-    """Name -> workload, with a memoizing program cache.
+class WorkloadRegistry(Registry[Workload]):
+    """The generic component registry plus a memoizing program cache.
 
     Experiments re-run the same program under many machine configurations;
     the cache keeps builds (and their E-DVI rewrites, cached by the
-    experiment runner) from dominating wall-clock time.
+    experiment runner) from dominating wall-clock time.  Lookup failures
+    and duplicate registrations follow the shared
+    :mod:`repro.registry` contract (a miss lists the valid names).
     """
 
     def __init__(self) -> None:
-        self._workloads: Dict[str, Workload] = {}
+        super().__init__("workload")
         self._cache: Dict[tuple, Program] = {}
 
-    def register(self, workload: Workload) -> Workload:
-        if workload.name in self._workloads:
-            raise ValueError(f"workload {workload.name!r} registered twice")
-        self._workloads[workload.name] = workload
-        return workload
-
-    def get(self, name: str) -> Workload:
-        if name not in self._workloads:
-            raise KeyError(
-                f"no workload {name!r}; available: {sorted(self._workloads)}"
-            )
-        return self._workloads[name]
-
-    def names(self) -> List[str]:
-        return list(self._workloads)
-
-    def all(self) -> List[Workload]:
-        return list(self._workloads.values())
+    def register(self, workload: Workload) -> Workload:  # type: ignore[override]
+        return super().register(workload.name, workload)
 
     def program(self, name: str, scale: int = 1) -> Program:
         key = (name, scale)

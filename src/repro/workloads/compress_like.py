@@ -11,7 +11,7 @@ switches.
 from __future__ import annotations
 
 from repro.isa.registers import (
-    A0, RA, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, T4, T5, T6, V0, ZERO,
+    A0, S0, S1, S2, S3, S4, S5, S6, S7, T0, T1, T2, T3, T4, T5, T6, V0, ZERO,
 )
 from repro.program.builder import ProgramBuilder
 from repro.program.program import Program

@@ -12,7 +12,7 @@ sibling register is dead at the first recursive call).
 from __future__ import annotations
 
 from repro.isa.registers import (
-    A0, A1, A2, S0, S1, S2, S3, S4, T0, T1, T2, T3, T4, V0, ZERO,
+    A0, A1, A2, S0, S1, S2, S3, T0, T1, T2, T3, V0, ZERO,
 )
 from repro.program.builder import ProgramBuilder
 from repro.program.program import Program

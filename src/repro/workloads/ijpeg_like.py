@@ -12,8 +12,7 @@ save/restore traffic, the Figure 7 pattern at low call frequency.
 from __future__ import annotations
 
 from repro.isa.registers import (
-    A0, A1, A2, A3, S0, S1, S2, S3, S4, S5, S6,
-    T0, T1, T2, T3, T4, T5, T6, T7, T8, T9, V0, V1, ZERO,
+    A0, A1, S0, S1, S2, S3, S4, S5, S6, T0, T1, T2, T3, T4, T5, T6, T7, T8, V0, ZERO,
 )
 from repro.program.builder import ProgramBuilder
 from repro.program.program import Program

@@ -12,7 +12,7 @@ context-sensitive liveness that calling conventions cannot express.
 from __future__ import annotations
 
 from repro.isa.registers import (
-    A0, A1, A2, S0, S1, S2, S3, T0, T1, T2, V0, ZERO,
+    A0, A1, A2, S0, S1, S2, T0, T1, T2, V0, ZERO,
 )
 from repro.program.builder import ProgramBuilder
 from repro.program.program import Program

@@ -1,0 +1,201 @@
+"""m88ksim-like workload: an instruction-set-simulator dispatch loop.
+
+Mirrors SPEC95 ``m88ksim`` (a Motorola 88100 simulator): the hot loop
+fetches encoded words from a synthetic instruction stream, decodes a
+class field, and dispatches to per-class handler procedures that operate
+on a memory-resident simulated register file.  That structure gives a
+call per simulated instruction (interpreter-grade call density), steady
+memory traffic through the register-file and data arrays, and handler
+prologues/epilogues whose callee saves follow the paper's Figure 7
+pattern — a saved register is used in an early phase and dead at the
+later bookkeeping call, so the E-DVI rewriter finds elimination sites
+without anything being marked by hand.
+
+Registered but *not* part of the paper's Figure 3 suite: the seven
+SPEC95-analog orderings (and therefore every figure) are unchanged; this
+workload exists for the scenario layer (``sweep --workloads m88ksim``).
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import (
+    A0, A1, S0, S1, S2, S3, S4, S5, T0, T1, T2, T3, T4, V0, ZERO,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.common import REGISTRY, Workload, lcg_stream
+
+_REGS = 32          # simulated architectural register file (words)
+_DMEM_WORDS = 512   # simulated data memory
+_STATS_WORDS = 8    # per-class event counters
+
+
+def build(scale: int = 1) -> Program:
+    """Build the m88ksim-like program; ``scale`` multiplies the stream."""
+    n_insts = 1200 * scale
+    b = ProgramBuilder("m88ksim_like")
+
+    b.words("istream", lcg_stream(0x88100, n_insts))
+    b.words("regs", lcg_stream(0x88110, _REGS))
+    b.zeros("dmem", _DMEM_WORDS)
+    b.zeros("stats", _STATS_WORDS)
+    b.zeros("checksum", 1)
+
+    # main: s0=i, s1=checksum, s2=&istream, s3=&regs, s4=n, s5=&stats.
+    with b.proc("main", saves=(S0, S1, S2, S3, S4, S5), save_ra=True):
+        b.la(S2, "istream")
+        b.la(S3, "regs")
+        b.la(S5, "stats")
+        b.li(S0, 0)
+        b.li(S1, 0)
+        b.li(S4, n_insts)
+
+        b.label("fetch")
+        # w = istream[i]
+        b.slli(T0, S0, 2)
+        b.add(T0, S2, T0)
+        b.lw(T1, 0, T0)
+        # dispatch on the 2-bit class field
+        b.andi(T2, T1, 3)
+        b.move(A0, T1)
+        b.move(A1, S3)
+        b.beq(T2, ZERO, "do_alu")
+        b.li(T3, 1)
+        b.beq(T2, T3, "do_mem")
+        b.li(T3, 2)
+        b.beq(T2, T3, "do_mul")
+        # class 3: control transfer — taken/not-taken counter inline
+        b.srli(T3, T1, 2)
+        b.andi(T3, T3, _STATS_WORDS - 1)
+        b.slli(T3, T3, 2)
+        b.add(T3, S5, T3)
+        b.lw(T4, 0, T3)
+        b.addi(T4, T4, 1)
+        b.sw(T4, 0, T3)
+        b.move(V0, T4)
+        b.j("retire")
+
+        b.label("do_alu")
+        b.jal("step_alu")
+        b.j("retire")
+        b.label("do_mem")
+        b.jal("step_mem")
+        b.j("retire")
+        b.label("do_mul")
+        b.jal("step_mul")
+
+        b.label("retire")
+        # checksum = rotl(checksum, 1) ^ result
+        b.slli(T0, S1, 1)
+        b.srli(T1, S1, 31)
+        b.or_(S1, T0, T1)
+        b.xor(S1, S1, V0)
+        b.addi(S0, S0, 1)
+        b.blt(S0, S4, "fetch")
+
+        b.la(T0, "checksum")
+        b.sw(S1, 0, T0)
+        b.move(V0, S1)
+        b.halt()
+
+    # step_alu(a0=w, a1=&regs) -> v0: regs[rd] = regs[rs] op regs[rt].
+    # Leaf procedure with one callee save (s0 holds the decoded rd slot).
+    with b.proc("step_alu", saves=(S0,)):
+        b.srli(T0, A0, 2)
+        b.andi(T0, T0, _REGS - 1)   # rd
+        b.slli(S0, T0, 2)
+        b.add(S0, A1, S0)           # &regs[rd]
+        b.srli(T1, A0, 7)
+        b.andi(T1, T1, _REGS - 1)   # rs
+        b.slli(T1, T1, 2)
+        b.add(T1, A1, T1)
+        b.lw(T2, 0, T1)             # regs[rs]
+        b.srli(T3, A0, 12)
+        b.andi(T3, T3, _REGS - 1)   # rt
+        b.slli(T3, T3, 2)
+        b.add(T3, A1, T3)
+        b.lw(T4, 0, T3)             # regs[rt]
+        b.add(T2, T2, T4)
+        b.xor(T2, T2, A0)
+        b.sw(T2, 0, S0)
+        b.move(V0, T2)
+        b.epilogue()
+
+    # step_mem(a0=w, a1=&regs) -> v0: a load/store against dmem, then an
+    # event-log call.  s0 (the dmem slot address) is used in the access
+    # phase and dead by the log_event call — the Figure 7 shape.
+    with b.proc("step_mem", saves=(S0, S1), save_ra=True):
+        b.srli(T0, A0, 2)
+        b.andi(T0, T0, _DMEM_WORDS - 1)
+        b.slli(S0, T0, 2)
+        b.la(T1, "dmem")
+        b.add(S0, T1, S0)           # &dmem[slot]
+        b.srli(T2, A0, 11)
+        b.andi(T2, T2, _REGS - 1)
+        b.slli(T2, T2, 2)
+        b.add(S1, A1, T2)           # &regs[r]
+        b.andi(T3, A0, 4)
+        b.bne(T3, ZERO, "sm_store")
+        # load: regs[r] = dmem[slot] ^ w
+        b.lw(T4, 0, S0)
+        b.xor(T4, T4, A0)
+        b.sw(T4, 0, S1)
+        b.move(S1, T4)
+        b.j("sm_log")
+        b.label("sm_store")
+        # store: dmem[slot] = regs[r] + w
+        b.lw(T4, 0, S1)
+        b.add(T4, T4, A0)
+        b.sw(T4, 0, S0)
+        b.move(S1, T4)
+        b.label("sm_log")
+        # s0 is dead here; only the result (s1) survives the call.
+        b.li(A0, 1)
+        b.jal("log_event")
+        b.add(V0, S1, V0)
+        b.epilogue()
+
+    # step_mul(a0=w, a1=&regs) -> v0: a two-phase multiply-accumulate.
+    # s0 carries the first phase's product and is dead at the log call.
+    with b.proc("step_mul", saves=(S0, S1), save_ra=True):
+        b.srli(T0, A0, 2)
+        b.andi(T0, T0, _REGS - 1)
+        b.slli(T0, T0, 2)
+        b.add(T0, A1, T0)
+        b.lw(S0, 0, T0)             # regs[ra]
+        b.srli(T1, A0, 7)
+        b.andi(T1, T1, _REGS - 1)
+        b.slli(T1, T1, 2)
+        b.add(T1, A1, T1)
+        b.lw(T2, 0, T1)             # regs[rb]
+        b.mul(S0, S0, T2)           # phase 1: product
+        b.xor(S1, S0, A0)           # phase 2 folds it; s0 dead below
+        b.li(A0, 2)
+        b.jal("log_event")
+        b.add(V0, S1, V0)
+        b.epilogue()
+
+    # log_event(a0=class) -> v0: bump stats[class].  Leaf with one save.
+    with b.proc("log_event", saves=(S0,)):
+        b.la(S0, "stats")
+        b.andi(T0, A0, _STATS_WORDS - 1)
+        b.slli(T0, T0, 2)
+        b.add(S0, S0, T0)
+        b.lw(T1, 0, S0)
+        b.addi(T1, T1, 1)
+        b.sw(T1, 0, S0)
+        b.move(V0, T1)
+        b.epilogue()
+
+    return b.build()
+
+
+WORKLOAD = REGISTRY.register(
+    Workload(
+        name="m88ksim_like",
+        analog="m88ksim",
+        description="ISA-simulator dispatch loop; interpreter-grade calls "
+                    "over a memory-resident register file",
+        build=build,
+    )
+)

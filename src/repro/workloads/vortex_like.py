@@ -12,7 +12,7 @@ is where the E-DVI rewriter earns its keep.
 from __future__ import annotations
 
 from repro.isa.registers import (
-    A0, A1, S0, S1, S2, S3, S4, S5, T0, T1, T2, T3, T4, T5, T6, V0, ZERO,
+    A0, A1, S0, S1, S2, S3, T0, T1, T2, T3, T4, T5, T6, V0, ZERO,
 )
 from repro.program.builder import ProgramBuilder
 from repro.program.program import Program

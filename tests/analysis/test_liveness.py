@@ -1,11 +1,8 @@
 """Tests for the liveness analysis: hand-checked facts and ABI boundaries."""
 
-import pytest
-
 from repro.analysis.cfg import build_cfg, procedures_of
 from repro.analysis.dataflow import solve_backward, solve_forward
 from repro.analysis.liveness import (
-    analyze_procedure,
     analyze_program,
     instruction_uses_defs,
 )

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.isa import registers as R
-from repro.isa.opcodes import Opcode
 from repro.program.assembler import assemble
 from repro.program.builder import ProgramBuilder
 from repro.rewrite.edvi import callee_save_sets, insert_edvi, strip_edvi

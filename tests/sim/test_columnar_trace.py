@@ -18,7 +18,6 @@ from repro.sim.trace import (
     FLAG_TAKEN,
     TRACE_FORMAT,
     Trace,
-    TraceRecord,
     pack_srcs,
     unpack_srcs,
 )

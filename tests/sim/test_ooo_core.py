@@ -1,6 +1,5 @@
 """Tests for the out-of-order timing model."""
 
-import pytest
 from dataclasses import replace
 
 from repro.dvi.config import DVIConfig, SRScheme

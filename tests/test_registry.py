@@ -1,0 +1,149 @@
+"""Tests for the generic component registry and its registered families.
+
+Covers the shared registry contract (duplicate rejection, helpful
+lookup failures, ordering), the predictor/hierarchy registrations, and
+the property the scenario layer leans on: registered spec names round-
+trip through ``MachineConfig`` into distinct artifact cache keys.
+"""
+
+import pytest
+
+from repro.experiments.cache import canonical, fingerprint
+from repro.registry import (
+    DuplicateComponentError,
+    Registry,
+    UnknownComponentError,
+)
+from repro.sim.branch.predictors import (
+    PREDICTORS,
+    LocalTwoLevelPredictor,
+    StaticTakenPredictor,
+    build_predictor,
+)
+from repro.sim.cache.hierarchy import HIERARCHIES, build_hierarchy_config
+from repro.sim.config import MachineConfig
+from repro.workloads.common import REGISTRY as WORKLOADS, Workload
+
+
+class TestRegistryContract:
+    def test_register_get_round_trip(self):
+        registry = Registry("gadget")
+        registry.register("a", 1)
+        registry.register("b", 2)
+        assert registry.get("a") == 1
+        assert registry.names() == ["a", "b"]  # registration order
+        assert "a" in registry and "c" not in registry
+        assert len(registry) == 2
+
+    def test_duplicate_name_rejected(self):
+        registry = Registry("gadget")
+        registry.register("a", 1)
+        with pytest.raises(DuplicateComponentError):
+            registry.register("a", 2)
+        assert registry.get("a") == 1  # the original survives
+
+    def test_unknown_name_lists_valid_names(self):
+        registry = Registry("gadget")
+        registry.register("beta", 1)
+        registry.register("alpha", 2)
+        with pytest.raises(UnknownComponentError) as excinfo:
+            registry.get("gamma")
+        message = str(excinfo.value)
+        assert "gadget" in message and "gamma" in message
+        assert "alpha, beta" in message  # sorted valid names
+        assert isinstance(excinfo.value, KeyError)  # old callers still catch
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Registry("gadget").register("", 1)
+
+    def test_workload_registry_duplicate_rejected(self):
+        sample = WORKLOADS.all()[0]
+        with pytest.raises(DuplicateComponentError):
+            WORKLOADS.register(
+                Workload(name=sample.name, analog="x", description="x",
+                         build=sample.build)
+            )
+
+
+class TestPredictorRegistry:
+    def test_figure2_families_registered(self):
+        for name in ("comb", "bimodal", "gshare", "local", "static-taken"):
+            assert name in PREDICTORS
+
+    def test_build_produces_uniform_interface(self):
+        config = MachineConfig.micro97()
+        for name in PREDICTORS.names():
+            predictor = build_predictor(config.with_predictor(name))
+            correct = predictor.predict_and_update(0x40, True)
+            assert isinstance(correct, bool)
+            assert predictor.lookups == 1
+            assert predictor.accuracy in (0.0, 1.0)
+
+    def test_unknown_predictor_spec_fails_at_config_time(self):
+        with pytest.raises(UnknownComponentError):
+            MachineConfig.micro97().with_predictor("neural")
+        with pytest.raises(UnknownComponentError):
+            MachineConfig(predictor_spec="neural")
+
+    def test_local_predictor_learns_per_branch_patterns(self):
+        predictor = LocalTwoLevelPredictor(64, 6)
+        # Two branches with opposite alternating phases confound a global
+        # history but are trivial for per-branch histories.
+        correct = 0
+        for round_ in range(200):
+            correct += predictor.predict_and_update(4, round_ % 2 == 0)
+            correct += predictor.predict_and_update(8, round_ % 2 == 1)
+        assert correct / predictor.lookups > 0.8
+
+    def test_static_taken_tracks_taken_fraction(self):
+        predictor = StaticTakenPredictor()
+        outcomes = [True, True, True, False]
+        for outcome in outcomes:
+            predictor.predict_and_update(0, outcome)
+        assert predictor.accuracy == 0.75
+
+    def test_local_predictor_validates_geometry(self):
+        with pytest.raises(ValueError):
+            LocalTwoLevelPredictor(100, 6)
+        with pytest.raises(ValueError):
+            LocalTwoLevelPredictor(64, 0)
+
+
+class TestHierarchyRegistry:
+    def test_micro97_preset_is_the_default_config(self):
+        assert build_hierarchy_config("micro97") == MachineConfig.micro97().hierarchy
+
+    def test_presets_are_distinct(self):
+        configs = [spec.build() for spec in HIERARCHIES.all()]
+        assert len({canonical(config) for config in configs}) == len(configs)
+
+    def test_with_hierarchy_adopts_preset(self):
+        config = MachineConfig.micro97().with_hierarchy("compact")
+        assert config.hierarchy_spec == "compact"
+        assert config.hierarchy.l1d_size == 16 * 1024
+
+
+class TestSpecNamesReachCacheKeys:
+    """Registered names round-trip into distinct artifact cache keys."""
+
+    def test_predictor_spec_changes_the_machine_fingerprint(self):
+        base = MachineConfig.micro97()
+        prints = {
+            fingerprint(base.with_predictor(name)) for name in PREDICTORS.names()
+        }
+        assert len(prints) == len(PREDICTORS.names())
+        assert fingerprint(base) in prints  # default == explicit comb
+
+    def test_hierarchy_spec_changes_the_machine_fingerprint(self):
+        base = MachineConfig.micro97()
+        prints = {
+            fingerprint(base.with_hierarchy(name)) for name in HIERARCHIES.names()
+        }
+        assert len(prints) == len(HIERARCHIES.names())
+
+    def test_spec_names_appear_in_canonical_form(self):
+        config = MachineConfig.micro97().with_predictor("local")
+        text = canonical(config)
+        assert "predictor_spec='local'" in text
+        assert "hierarchy_spec='micro97'" in text

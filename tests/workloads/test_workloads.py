@@ -39,9 +39,13 @@ def rewritten_of(name):
 
 
 class TestSuiteStructure:
-    def test_seven_workloads_registered(self):
+    def test_seven_workloads_in_paper_suite(self):
+        # The paper's Figure 3 suite stays exactly the seven analogs;
+        # extra registered workloads (m88ksim) are sweep-only scenarios.
         assert len(all_workloads()) == 7
-        assert set(ALL_ORDER) == set(REGISTRY.names())
+        assert set(ALL_ORDER) <= set(REGISTRY.names())
+        assert "m88ksim_like" in REGISTRY.names()
+        assert "m88ksim_like" not in ALL_ORDER
 
     def test_save_restore_suite_excludes_compress(self):
         names = [w.name for w in save_restore_suite()]
@@ -69,7 +73,7 @@ class TestSuiteStructure:
         assert all(0 <= v < 100 for v in lcg_stream(1, 50, modulo=100))
 
 
-@pytest.mark.parametrize("name", ALL_ORDER)
+@pytest.mark.parametrize("name", ALL_ORDER + ["m88ksim_like"])
 class TestEveryWorkload:
     def test_completes(self, name):
         stats = run_program(program_of(name), collect_trace=False).stats
