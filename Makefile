@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke docs-check bench bench-perf clean-cache
+.PHONY: test lint smoke service-smoke docs-check bench bench-perf bench-service clean-cache
 
 ## Tier-1 test suite.
 test:
@@ -15,6 +15,11 @@ lint:
 ## End-to-end pipeline smoke: every figure, reduced profile, 2 workers.
 smoke:
 	$(PYTHON) -m repro run-all --profile quick --jobs 2 --cache-dir .repro-cache --json smoke-results.json
+
+## Service smoke: start `repro serve`, submit a tiny sweep over HTTP,
+## verify the response against the cached artifact and the warm path.
+service-smoke:
+	$(PYTHON) scripts/service_smoke.py
 
 ## Fail if README.md / DESIGN.md drift from the CLI's --help surface.
 docs-check:
@@ -30,9 +35,14 @@ PROFILE ?= quick
 bench-perf:
 	$(PYTHON) benchmarks/perf/bench_simcore.py --profile $(PROFILE)
 
+## Service perf harness: warm-cache requests/sec + cold batch latency;
+## writes BENCH_service.json at the root.
+bench-service:
+	$(PYTHON) benchmarks/perf/bench_service.py
+
 ## Remove everything .gitignore ignores: the artifact cache, bytecode
 ## droppings, egg-info, and smoke output.
 clean-cache:
-	rm -rf .repro-cache smoke-results.json
+	rm -rf .repro-cache .repro-queue smoke-results.json
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +
 	rm -rf *.egg-info src/*.egg-info .pytest_cache .benchmarks

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Service performance harness: request throughput and batch latency.
+
+Measures the simulation service's two interesting regimes and writes
+the numbers to ``BENCH_service.json`` at the repo root (committed, so
+the service's perf trajectory is tracked in-tree like the simulation
+core's):
+
+* **warm requests/sec** — sequential and concurrent submit-poll-fetch
+  round trips for a request whose result is already in the artifact
+  cache (the instant-response path: one journal append, one pickle
+  read, zero simulation);
+* **cold batch latency** — wall-clock seconds from first HTTP submit to
+  result for a tiny sweep against an empty cache (queue + dispatch +
+  simulate + assemble + store), and for a fan-out of distinct sweeps
+  submitted together and fused into dispatcher batches.
+
+The service is hosted in-process (:class:`repro.service.server
+.ServerThread`) but driven over real sockets through the same urllib
+client the CLI uses.
+
+Usage::
+
+    python benchmarks/perf/bench_service.py
+    python benchmarks/perf/bench_service.py --warm-requests 200
+    python benchmarks/perf/bench_service.py --output /tmp/report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from datetime import date
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import get_stats, submit_and_wait  # noqa: E402
+from repro.service.server import ServerThread  # noqa: E402
+
+#: One-cell tiny request: the unit of warm-path round trips.
+WARM_PAYLOAD = {"kind": "sweep", "axis": "regfile", "values": ["34"],
+                "workloads": ["li_like"], "profile": "tiny"}
+
+#: Distinct single-cell requests for the cold fan-out measurement.
+FANOUT_VALUES = ("34", "42", "50", "64")
+
+
+def _payload(value: str) -> dict:
+    return {"kind": "sweep", "axis": "regfile", "values": [value],
+            "workloads": ["li_like"], "profile": "tiny"}
+
+
+def bench_cold(tmp: Path) -> dict:
+    """First-ever submission: queue + simulate + assemble + store."""
+    with ServerThread(tmp / "cold-queue", tmp / "cold-cache") as service:
+        started = time.perf_counter()
+        submit_and_wait(service.url, dict(WARM_PAYLOAD), client="bench",
+                        timeout=300.0)
+        single = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(FANOUT_VALUES)) as pool:
+            list(pool.map(
+                lambda value: submit_and_wait(
+                    service.url, _payload(value), client="bench",
+                    timeout=300.0,
+                ),
+                FANOUT_VALUES,
+            ))
+        fanout = time.perf_counter() - started
+        stats = get_stats(service.url)["dispatcher"]
+    return {
+        "single_job_seconds": round(single, 3),
+        "fanout_jobs": len(FANOUT_VALUES),
+        "fanout_seconds": round(fanout, 3),
+        "fanout_batches": stats["batches"],
+        "cells_executed": stats["cells_executed"],
+    }
+
+
+def bench_warm(tmp: Path, requests: int) -> dict:
+    """Cache-hit round trips: sequential and 8-way concurrent."""
+    with ServerThread(tmp / "warm-queue", tmp / "warm-cache") as service:
+        submit_and_wait(service.url, dict(WARM_PAYLOAD), client="bench",
+                        timeout=300.0)  # prime the cache
+
+        started = time.perf_counter()
+        for _ in range(requests):
+            submit_and_wait(service.url, dict(WARM_PAYLOAD), client="bench",
+                            timeout=60.0)
+        sequential = time.perf_counter() - started
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(
+                lambda _: submit_and_wait(
+                    service.url, dict(WARM_PAYLOAD), client="bench",
+                    timeout=60.0,
+                ),
+                range(requests),
+            ))
+        concurrent = time.perf_counter() - started
+        stats = get_stats(service.url)["dispatcher"]
+    return {
+        "requests": requests,
+        "sequential_seconds": round(sequential, 3),
+        "sequential_rps": round(requests / sequential, 1),
+        "concurrent_seconds": round(concurrent, 3),
+        "concurrent_rps": round(requests / concurrent, 1),
+        "cells_executed": stats["cells_executed"],  # must stay 1 (the prime)
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--warm-requests", type=int, default=100, metavar="N",
+        help="round trips per warm measurement (default: 100)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_service.json"),
+        metavar="PATH", help="report destination (default: repo root)",
+    )
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        tmp_path = Path(tmp)
+        print("cold: first submission + 4-way fan-out ...", flush=True)
+        cold = bench_cold(tmp_path)
+        print(f"  single job {cold['single_job_seconds']}s, "
+              f"{cold['fanout_jobs']} distinct jobs in "
+              f"{cold['fanout_seconds']}s "
+              f"({cold['fanout_batches']} batches)")
+        print(f"warm: {args.warm_requests} cache-hit round trips ...",
+              flush=True)
+        warm = bench_warm(tmp_path, args.warm_requests)
+        print(f"  sequential {warm['sequential_rps']} req/s, "
+              f"8-way concurrent {warm['concurrent_rps']} req/s")
+
+    report = {
+        "bench": "service",
+        "date": date.today().isoformat(),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "metrics": {"cold": cold, "warm": warm},
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

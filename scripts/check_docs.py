@@ -18,15 +18,24 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-#: DESIGN.md must keep covering these subjects (runner.py, config.py and
-#: cache.py docstrings point readers at them).
+#: DESIGN.md must keep covering these subjects (runner.py, config.py,
+#: cache.py, and the service package's docstrings point readers at them).
 DESIGN_REQUIRED = (
     "workload substitution",
     "scale",
     "cache key",
     "invalidat",
     "fetch",
+    # Section 5, the service architecture:
+    "queue lifecycle",
+    "journal",
+    "batching rules",
+    "coalesce",
+    "/v1/jobs",
 )
+
+#: Subcommands whose --help surfaces must be reflected in README.md.
+SUBCOMMANDS = ("list", "sweep", "serve", "submit", "status", "cache")
 
 
 def cli_help(*subcommand: str) -> str:
@@ -48,9 +57,9 @@ def main() -> int:
     help_text = cli_help()
     problems = []
 
-    # Every long option the CLI advertises (main parser plus the list
-    # and sweep subcommands) must appear in the README.
-    subcommand_help = cli_help("list") + cli_help("sweep")
+    # Every long option the CLI advertises (main parser plus every
+    # subcommand's own option surface) must appear in the README.
+    subcommand_help = "".join(cli_help(name) for name in SUBCOMMANDS)
     for option in sorted(
         set(re.findall(r"--[a-z][a-z-]+", help_text + subcommand_help))
     ):
@@ -59,12 +68,25 @@ def main() -> int:
         if option not in readme:
             problems.append(f"README.md does not mention CLI option {option}")
 
-    # Every experiment target (fig3, ..., ablation) and the run-all verb.
+    # Every experiment target (fig3, ..., ablation), the run-all verb,
+    # and each subcommand verb.
     targets = re.search(r"figure id \(([^)]*)\)", help_text)
     assert targets, "could not parse experiment ids from --help"
-    for target in [t.strip() for t in targets.group(1).split(",")] + ["run-all"]:
+    verbs = [t.strip() for t in targets.group(1).split(",")]
+    verbs += ["run-all", *SUBCOMMANDS]
+    for target in verbs:
         if target not in readme:
             problems.append(f"README.md does not mention CLI target {target!r}")
+
+    # The service API endpoints the server routes must stay documented.
+    server_src = (
+        REPO_ROOT / "src" / "repro" / "service" / "server.py"
+    ).read_text(encoding="utf-8")
+    for endpoint in sorted(set(re.findall(r"/v1/[a-z]+", server_src))):
+        if endpoint not in readme or endpoint not in design:
+            problems.append(
+                f"README.md/DESIGN.md do not document API endpoint {endpoint}"
+            )
 
     # The tier-1 test command must stay documented verbatim.
     if "python -m pytest -x -q" not in readme:

@@ -12,6 +12,11 @@ Usage::
     python -m repro machine                   # print the Figure 2 table
     python -m repro sweep --axis predictor --workloads go,li
     python -m repro sweep --axis hierarchy --values micro97,compact
+    python -m repro serve --port 8742 --jobs 4    # simulation service
+    python -m repro submit --url http://127.0.0.1:8742 --axis regfile
+    python -m repro status --url http://127.0.0.1:8742
+    python -m repro cache stats
+    python -m repro cache gc --max-age 604800 --max-bytes 500000000
 
 Simulation artifacts (binaries, traces, functional results, timing
 stats) are cached content-addressed under ``--cache-dir`` (default
@@ -32,55 +37,31 @@ and the list of valid names.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
-from repro.experiments import (
-    ablation_lvmstack_depth,
-    ablation_predictor,
-    fig3_characterization,
-    fig5_regfile_ipc,
-    fig6_performance,
-    fig9_eliminated,
-    fig10_speedup,
-    fig11_sensitivity,
-    fig12_context_switch,
-    fig13_edvi_overhead,
-)
+from repro.experiments import EXPERIMENTS, fig3_characterization
 from repro.experiments.cache import ArtifactCache
 from repro.experiments.export import render_manifest
 from repro.experiments.runner import ExperimentContext, ExperimentProfile
-from repro.experiments.sweep import SWEEP_AXES, adhoc_spec, run_sweep
+from repro.experiments.sweep import (
+    SWEEP_AXES,
+    adhoc_spec,
+    run_sweep,
+    sweep_title,
+)
 from repro.registry import UnknownComponentError
 from repro.sim.branch.predictors import PREDICTORS
 from repro.sim.cache.hierarchy import HIERARCHIES
 from repro.workloads.suite import REGISTRY as WORKLOADS
 
-EXPERIMENTS = {
-    "fig3": (fig3_characterization, "benchmark characterization"),
-    "fig5": (fig5_regfile_ipc, "IPC vs. register file size"),
-    "fig6": (fig6_performance, "performance vs. register file size"),
-    "fig9": (fig9_eliminated, "saves/restores eliminated"),
-    "fig10": (fig10_speedup, "IPC speedups"),
-    "fig11": (fig11_sensitivity, "cache bandwidth sensitivity"),
-    "fig12": (fig12_context_switch, "context-switch elimination"),
-    "fig13": (fig13_edvi_overhead, "E-DVI overhead"),
-    "ablation": (ablation_lvmstack_depth, "LVM-Stack depth ablation"),
-    "predictor": (ablation_predictor, "branch predictor ablation"),
-}
-
-PROFILES = {
-    "tiny": ExperimentProfile.tiny,
-    "quick": ExperimentProfile.quick,
-    "full": ExperimentProfile.full,
-}
-
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     """The execution knobs shared by figure runs and ad-hoc sweeps."""
     parser.add_argument(
-        "--profile", choices=tuple(PROFILES), default="quick",
+        "--profile", choices=ExperimentProfile.names(), default="quick",
         help="sweep size: tiny (tests/smoke), quick (default), or the "
              "paper-shaped full sweep",
     )
@@ -116,7 +97,7 @@ def _check_json_path(parser: argparse.ArgumentParser, path: str) -> None:
 
 
 def _make_context(args) -> ExperimentContext:
-    profile = PROFILES[args.profile]()
+    profile = ExperimentProfile.by_name(args.profile)
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
     return ExperimentContext(profile, cache=cache, jobs=args.jobs)
 
@@ -257,7 +238,7 @@ def _sweep_main(argv) -> int:
     try:
         result = run_sweep(
             spec, profile, context,
-            title=f"Sweep over {args.axis} ({profile.name} profile)",
+            title=sweep_title(args.axis, profile),
         )
     except ValueError as error:  # e.g. a register count below the minimum
         parser.error(str(error))
@@ -268,7 +249,269 @@ def _sweep_main(argv) -> int:
             handle.write(render_manifest(profile.name, {spec.name: result}))
     if context.cache is not None:
         print(context.cache.summary(), file=sys.stderr)
+        try:
+            context.cache.flush_counters()
+        except OSError:
+            pass  # read-only cache dir: tallies are best-effort
     return 0
+
+
+def _serve_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the simulation service (job queue + batching "
+                    "dispatcher + HTTP JSON API) in the foreground.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8742,
+        help="TCP port (default: 8742; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per simulation batch (default: 1)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="max service jobs fused into one batch (default: 8)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="artifact cache backing the service (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--queue-dir", default=".repro-queue", metavar="DIR",
+        help="job-queue journal directory (default: .repro-queue)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    from repro.service.server import serve_forever
+
+    def announce(server):
+        print(f"serving on {server.url}", flush=True)
+        print(
+            f"queue journal: {args.queue_dir}; cache: {args.cache_dir}; "
+            f"workers: {args.jobs}; max batch: {args.max_batch}",
+            file=sys.stderr, flush=True,
+        )
+
+    serve_forever(
+        args.queue_dir, args.cache_dir,
+        host=args.host, port=args.port,
+        jobs=args.jobs, max_batch=args.max_batch,
+        announce=announce,
+    )
+    return 0
+
+
+def _submit_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit a sweep or figure job to a running service "
+                    "and (by default) wait for the result.",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8742",
+        help="service base URL (default: http://127.0.0.1:8742)",
+    )
+    parser.add_argument(
+        "--axis", metavar="AXIS",
+        help="sweep axis: %s" % ", ".join(SWEEP_AXES.names()),
+    )
+    parser.add_argument(
+        "--values", metavar="A,B,...",
+        help="explicit axis values (default: every registered value)",
+    )
+    parser.add_argument(
+        "--workloads", metavar="W1,W2,...",
+        help="comma-separated workloads (default: the profile's suite)",
+    )
+    parser.add_argument(
+        "--figure", metavar="TARGET",
+        help="submit a figure job instead of a sweep: %s"
+             % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--profile", choices=ExperimentProfile.names(), default="quick",
+        help="experiment profile (default: quick)",
+    )
+    parser.add_argument(
+        "--client", default="cli", metavar="NAME",
+        help="client tag for queue fairness (default: cli)",
+    )
+    parser.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting for the result",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up waiting after this long (default: 600)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the result document to PATH",
+    )
+    args = parser.parse_args(argv)
+    if bool(args.figure) == bool(args.axis):
+        parser.error("exactly one of --figure or --axis is required")
+    if args.figure and (args.values or args.workloads):
+        parser.error("--values/--workloads are sweep options and cannot "
+                     "combine with --figure")
+    if args.no_wait and args.json:
+        parser.error("--json needs the result and cannot combine "
+                     "with --no-wait")
+    if args.json:
+        _check_json_path(parser, args.json)
+
+    from repro.service.client import ServiceError, submit_and_wait, submit_job
+
+    if args.figure:
+        payload = {"kind": "figure", "target": args.figure,
+                   "profile": args.profile}
+    else:
+        payload = {"kind": "sweep", "axis": args.axis,
+                   "profile": args.profile}
+        if args.values:
+            payload["values"] = args.values.split(",")
+        if args.workloads:
+            payload["workloads"] = args.workloads.split(",")
+
+    try:
+        if args.no_wait:
+            receipt = submit_job(args.url, payload, client=args.client)
+            print(f"submitted {receipt['id']} ({receipt['location']})")
+            return 0
+        job, document = submit_and_wait(
+            args.url, payload, client=args.client, timeout=args.timeout
+        )
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    manifest = json.loads(document)
+    for name, section in manifest["results"].items():
+        print(section["table"])
+        print(f"[{name}; served by {args.url}, job {job['id']}, "
+              f"source: {job.get('source', 'computed')}]")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(document.decode("utf-8"))
+    return 0
+
+
+def _status_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro status",
+        description="Show a running service's queue/cache/worker stats, "
+                    "or one job's record.",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8742",
+        help="service base URL (default: http://127.0.0.1:8742)",
+    )
+    parser.add_argument(
+        "--job", metavar="ID", help="show this job's record instead",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service.client import ServiceError, get_job, get_stats
+
+    try:
+        if args.job:
+            print(json.dumps(get_job(args.url, args.job), indent=2,
+                             sort_keys=True))
+            return 0
+        stats = get_stats(args.url)
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    queue, disp = stats["queue"], stats["dispatcher"]
+    workers = stats["workers"]
+    print(f"queue depth: {queue['depth']}  states: "
+          + "  ".join(f"{k}={v}" for k, v in sorted(queue["states"].items())))
+    print(f"submissions: {disp['submissions']}  coalesced: "
+          f"{disp['coalesced']}  from-cache: {disp['jobs_from_cache']}  "
+          f"completed: {disp['jobs_completed']}  failed: "
+          f"{disp['jobs_failed']}")
+    print(f"batches: {disp['batches']}  batched jobs: "
+          f"{disp['batched_jobs']}  cells executed: "
+          f"{disp['cells_executed']}")
+    print(f"workers: {workers['pool_size']}  max batch: "
+          f"{workers['max_batch']}  utilization: "
+          f"{workers['utilization']:.1%}")
+    return 0
+
+
+def _cache_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or prune the on-disk artifact cache.",
+    )
+    parser.add_argument(
+        "action", choices=("stats", "gc"),
+        help="'stats' reports per-kind entries/bytes and lifetime "
+             "hit/miss counters; 'gc' prunes by age and/or size",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--max-age", type=float, metavar="SECONDS",
+        help="gc: remove artifacts older than this many seconds",
+    )
+    parser.add_argument(
+        "--max-bytes", type=int, metavar="N",
+        help="gc: then remove oldest artifacts until the store fits N bytes",
+    )
+    args = parser.parse_args(argv)
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.action == "gc":
+        if args.max_age is None and args.max_bytes is None:
+            parser.error("gc needs --max-age and/or --max-bytes")
+        report = cache.gc(max_age=args.max_age, max_bytes=args.max_bytes)
+        print(report.summary())
+        return 0
+
+    stats = cache.disk_stats()
+    if not stats:
+        print(f"cache {args.cache_dir}: empty")
+    else:
+        total_count = sum(count for count, _ in stats.values())
+        total_bytes = sum(size for _, size in stats.values())
+        width = max(len(kind) for kind in stats) + 1
+        for kind in sorted(stats):
+            count, size = stats[kind]
+            print(f"{kind:<{width}s}{count:>7,} entries  {size:>13,} bytes")
+        print(f"{'total':<{width}s}{total_count:>7,} entries  "
+              f"{total_bytes:>13,} bytes")
+    lifetime = cache.persistent_counters()
+    if lifetime:
+        print("lifetime counters:")
+        for kind in sorted(lifetime):
+            slot = lifetime[kind]
+            print(f"  {kind}: {slot.get('hits', 0)} hit / "
+                  f"{slot.get('misses', 0)} miss / "
+                  f"{slot.get('stores', 0)} stored")
+    return 0
+
+
+#: Subcommands that own their option surfaces and dispatch before the
+#: main parser sees the arguments (``--workloads`` is a flag on one and
+#: valued on another; the service verbs add --url/--port/...).
+_SUBCOMMANDS = {
+    "list": _list_main,
+    "sweep": _sweep_main,
+    "serve": _serve_main,
+    "submit": _submit_main,
+    "status": _status_main,
+    "cache": _cache_main,
+}
 
 
 def main(argv=None) -> int:
@@ -282,24 +525,23 @@ def main(argv=None) -> int:
         "target",
         help="figure id (%s), 'run-all' (or 'all'), 'machine', 'list' "
              "(--workloads/--predictors/--hierarchies show registered "
-             "components), or 'sweep' (ad-hoc component sweeps; see "
-             "'sweep --help')"
+             "components), 'sweep' (ad-hoc component sweeps), 'serve' "
+             "(simulation service), 'submit'/'status' (service clients), "
+             "or 'cache' (artifact-store stats/gc); each subcommand has "
+             "its own --help"
              % ", ".join(EXPERIMENTS),
     )
     _add_run_options(parser)
 
-    # ``list`` and ``sweep`` own their option surfaces (--workloads is a
-    # flag on one and takes a value on the other); dispatch before the
-    # main parser sees the arguments.  The target is located the way the
-    # main parser would, so option-first orderings keep working.
+    # Subcommands own their option surfaces; dispatch before the main
+    # parser sees the arguments.  The target is located the way the main
+    # parser would, so option-first orderings keep working.
     target = _target_of(argv)
-    if target in ("list", "sweep"):
+    if target in _SUBCOMMANDS:
         rest = list(argv)
         rest.remove(target)
-        if target == "list":
-            return _list_main(rest)
         try:
-            return _sweep_main(rest)
+            return _SUBCOMMANDS[target](rest)
         except UnknownComponentError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -341,6 +583,10 @@ def main(argv=None) -> int:
             handle.write(render_manifest(profile.name, results))
     if context.cache is not None:
         print(context.cache.summary(), file=sys.stderr)
+        try:
+            context.cache.flush_counters()
+        except OSError:
+            pass  # read-only cache dir: tallies are best-effort
     return 0
 
 

@@ -20,26 +20,36 @@ produce the same digest and share one artifact file.
 
 Artifacts are pickled to ``<root>/<kind>/<digest[:2]>/<digest>.pkl``.
 Writes go through a temporary file followed by :func:`os.replace`, so
-concurrent writers (the :mod:`repro.experiments.parallel` worker pool)
-race benignly: both compute the same bytes and the last rename wins.
+concurrent writers (the :mod:`repro.experiments.parallel` worker pool,
+or several service worker processes) race benignly: both compute the
+same bytes and the last rename wins.  A writer whose rename fails
+because another process holds the destination open (``PermissionError``
+on Windows) treats the other writer's identical artifact as its own
+store.
+:meth:`ArtifactCache.gc` prunes by age/size and sweeps the ``.tmp``
+droppings a crashed writer can leave behind.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from enum import Enum
 from functools import lru_cache
 from pathlib import Path
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 __all__ = [
     "ArtifactCache",
     "CacheCounters",
+    "CacheEntry",
+    "GCReport",
     "canonical",
     "code_version",
     "fingerprint",
@@ -117,6 +127,32 @@ class CacheCounters:
     stores: int = 0
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk artifact, as the inventory scan reports it."""
+
+    kind: str
+    digest: str
+    size: int
+    mtime: float
+
+
+@dataclass
+class GCReport:
+    """What one :meth:`ArtifactCache.gc` pass removed."""
+
+    removed: int = 0
+    freed_bytes: int = 0
+    swept_tmp: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"gc: removed {self.removed} artifact(s), "
+            f"freed {self.freed_bytes:,} bytes, "
+            f"swept {self.swept_tmp} stale temp file(s)"
+        )
+
+
 class ArtifactCache:
     """A content-addressed pickle store rooted at a directory.
 
@@ -146,9 +182,29 @@ class ArtifactCache:
 
     def lookup(self, kind: str, key: Tuple) -> Tuple[bool, Any]:
         """``(True, value)`` on a hit, ``(False, None)`` on a miss."""
-        path = self._path(kind, self.digest(kind, key))
+        return self.load_digest(kind, self.digest(kind, key))
+
+    def exists(self, kind: str, key: Tuple) -> bool:
+        """Whether an artifact is on disk, without loading or counting.
+
+        A pure path probe: no unpickling (cheap enough for a server's
+        event loop) and no hit/miss counter side effects.
+        """
+        return self.exists_digest(kind, self.digest(kind, key))
+
+    def exists_digest(self, kind: str, digest: str) -> bool:
+        """Path-probe form of :meth:`exists` for a digest already in hand."""
+        return self._path(kind, digest).is_file()
+
+    def load_digest(self, kind: str, digest: str) -> Tuple[bool, Any]:
+        """Like :meth:`lookup`, addressed by a digest already in hand.
+
+        This is how the service layer serves ``GET /v1/results/<key>``:
+        the key a completed job advertises *is* the artifact digest, so
+        the read needs no key-tuple reconstruction.
+        """
         try:
-            with open(path, "rb") as handle:
+            with open(self._path(kind, digest), "rb") as handle:
                 value = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError):
             self._counter(kind).misses += 1
@@ -156,22 +212,185 @@ class ArtifactCache:
         self._counter(kind).hits += 1
         return True, value
 
-    def store(self, kind: str, key: Tuple, value: Any) -> None:
-        """Persist ``value`` atomically under the key's digest."""
-        path = self._path(kind, self.digest(kind, key))
+    def store(self, kind: str, key: Tuple, value: Any) -> str:
+        """Persist ``value`` atomically under the key's digest.
+
+        Safe against concurrent writers of the same key: the pickle is
+        written to a private temp file in the destination directory and
+        renamed into place (``os.replace`` overwrites atomically).  If
+        the rename fails because another process holds the destination
+        open (Windows semantics), the racing writer's artifact (same
+        key, hence same bytes) is accepted as this store's result.
+        Returns the artifact digest.
+        """
+        digest = self.digest(kind, key)
+        path = self._path(kind, digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
+            try:
+                os.replace(tmp_name, path)
+            except PermissionError:
+                if not os.path.exists(path):
+                    raise  # not a racing writer; a real permission fault
+                # a racing process stored the identical artifact and a
+                # reader holds it open (Windows); theirs is ours
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
+        if os.path.exists(tmp_name):
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
         self._counter(kind).stores += 1
+        return digest
+
+    # -- inventory and pruning ------------------------------------------
+
+    def entries(self) -> Iterator["CacheEntry"]:
+        """Every artifact on disk, as ``(kind, digest, bytes, mtime)``."""
+        if not self.root.is_dir():
+            return
+        for kind_dir in sorted(self.root.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob("*/*.pkl")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # pruned by a racing gc
+                yield CacheEntry(
+                    kind=kind_dir.name,
+                    digest=path.stem,
+                    size=stat.st_size,
+                    mtime=stat.st_mtime,
+                )
+
+    def disk_stats(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind ``(entry count, total bytes)`` from a disk scan."""
+        stats: Dict[str, Tuple[int, int]] = {}
+        for entry in self.entries():
+            count, size = stats.get(entry.kind, (0, 0))
+            stats[entry.kind] = (count + 1, size + entry.size)
+        return stats
+
+    def gc(
+        self,
+        *,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> "GCReport":
+        """Prune artifacts by age and/or total size; sweep stale temp files.
+
+        ``max_age`` removes artifacts whose mtime is older than that many
+        seconds; ``max_bytes`` then removes oldest-first until the store
+        fits the budget.  Orphaned ``.tmp`` files (left by a writer that
+        crashed mid-store) older than an hour are always swept.  Safe to
+        run while readers/writers are active: a concurrently re-stored
+        artifact simply reappears as a fresh entry.
+        """
+        now = time.time() if now is None else now
+        report = GCReport()
+        if self.root.is_dir():
+            # Artifact-dir droppings (crashed store) and root-level ones
+            # (crashed flush_counters) alike.
+            for pattern in ("*/*/*.tmp", "*.tmp"):
+                for tmp in self.root.glob(pattern):
+                    try:
+                        if now - tmp.stat().st_mtime > 3600.0:
+                            tmp.unlink()
+                            report.swept_tmp += 1
+                    except OSError:
+                        pass
+        survivors = []
+        for entry in self.entries():
+            if max_age is not None and now - entry.mtime > max_age:
+                self._remove(entry, report)
+            else:
+                survivors.append(entry)
+        if max_bytes is not None:
+            total = sum(entry.size for entry in survivors)
+            for entry in sorted(survivors, key=lambda e: (e.mtime, e.digest)):
+                if total <= max_bytes:
+                    break
+                self._remove(entry, report)
+                total -= entry.size
+        return report
+
+    def _remove(self, entry: "CacheEntry", report: "GCReport") -> None:
+        try:
+            self._path(entry.kind, entry.digest).unlink()
+        except OSError:
+            return  # already gone (racing gc or writer) — not freed by us
+        report.removed += 1
+        report.freed_bytes += entry.size
+
+    # -- persistent counters --------------------------------------------
+    #
+    # In-memory counters die with the process; the service's /v1/stats
+    # and the ``repro cache stats`` CLI want lifetime hit/miss tallies
+    # for a cache *directory*.  ``flush_counters`` folds this process's
+    # tallies into ``<root>/counters.json`` (atomic replace; concurrent
+    # flushes may lose each other's increments, which keeps the file
+    # best-effort/approximate by design) and resets the in-memory side.
+
+    _COUNTERS_FILE = "counters.json"
+
+    def persistent_counters(self) -> Dict[str, Dict[str, int]]:
+        """Lifetime per-kind tallies previously flushed to this root."""
+        try:
+            with open(self.root / self._COUNTERS_FILE, encoding="utf-8") as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def flush_counters(self) -> None:
+        """Fold this process's counters into the root's lifetime tallies.
+
+        Concurrency-friendly drain: the flushed amounts are snapshotted
+        first and *subtracted* from the live counter objects afterwards
+        (rather than swapping in a fresh dict), so increments arriving
+        from other threads mid-flush are carried to the next flush
+        instead of being dropped with an orphaned object.
+        """
+        snapshot = [
+            (kind, counter, counter.hits, counter.misses, counter.stores)
+            for kind, counter in list(self.counters.items())
+        ]
+        if not any(h or m or s for _, _, h, m, s in snapshot):
+            return
+        merged = self.persistent_counters()
+        for kind, _, hits, misses, stores in snapshot:
+            slot = merged.setdefault(
+                kind, {"hits": 0, "misses": 0, "stores": 0}
+            )
+            slot["hits"] = slot.get("hits", 0) + hits
+            slot["misses"] = slot.get("misses", 0) + misses
+            slot["stores"] = slot.get("stores", 0) + stores
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(merged, handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, self.root / self._COUNTERS_FILE)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        for _, counter, hits, misses, stores in snapshot:
+            counter.hits -= hits
+            counter.misses -= misses
+            counter.stores -= stores
 
     # -- reporting ------------------------------------------------------
 

@@ -169,7 +169,12 @@ def _worker_run(job: Job) -> Tuple[Any, dict]:
 # The scheduler entry point.
 # ----------------------------------------------------------------------
 
-def execute(jobs: Sequence[Job], context: ExperimentContext) -> None:
+def execute(
+    jobs: Sequence[Job],
+    context: ExperimentContext,
+    *,
+    mp_context=None,
+) -> int:
     """Run every cell in ``jobs``, warming the context's caches.
 
     Cells already present in the context (in memory) are skipped; the
@@ -178,6 +183,16 @@ def execute(jobs: Sequence[Job], context: ExperimentContext) -> None:
     ``context.jobs`` processes.  On return, every cell in ``jobs`` is
     resident in the context's memo layer, so the calling experiment's
     assembly phase runs entirely from cache.
+
+    ``mp_context`` selects the multiprocessing start method for the
+    pool.  The default (fork on Linux) is right for the CLI, which
+    forks from a single-threaded parent; the service dispatcher passes
+    a ``spawn`` context because it calls from a worker thread of a
+    process that also runs an asyncio event loop, where forking can
+    inherit held locks.
+
+    Returns the number of cells actually executed (after skip/dedup) —
+    the service dispatcher reports this as its batching effectiveness.
     """
     pending: List[Job] = []
     seen = set()
@@ -188,16 +203,17 @@ def execute(jobs: Sequence[Job], context: ExperimentContext) -> None:
         seen.add(signature)
         pending.append(job)
     if not pending:
-        return
+        return 0
 
     workers = min(context.jobs, len(pending))
     if workers <= 1:
         for job in pending:
             _run_job(job, context)
-        return
+        return len(pending)
 
     cache_root = str(context.cache.root) if context.cache is not None else None
-    with multiprocessing.Pool(
+    pool_factory = (mp_context or multiprocessing).Pool
+    with pool_factory(
         processes=workers,
         initializer=_worker_init,
         initargs=(context.profile, cache_root),
@@ -213,3 +229,4 @@ def execute(jobs: Sequence[Job], context: ExperimentContext) -> None:
                 counter.hits += hits
                 counter.misses += misses
                 counter.stores += stores
+    return len(pending)

@@ -75,6 +75,25 @@ class ExperimentProfile:
             sr_workloads=("li_like", "perl_like"),
         )
 
+    @classmethod
+    def names(cls) -> Tuple[str, ...]:
+        """The selectable profile names, smallest first."""
+        return ("tiny", "quick", "full")
+
+    @classmethod
+    def by_name(cls, name: str) -> "ExperimentProfile":
+        """The named stock profile; ``ValueError`` lists valid names.
+
+        The CLI, the service request schema, and the benchmarks all
+        resolve profile strings through this one lookup.
+        """
+        if name not in cls.names():
+            raise ValueError(
+                f"unknown profile {name!r}; valid profiles: "
+                + ", ".join(cls.names())
+            )
+        return getattr(cls, name)()
+
 
 class ExperimentContext:
     """Caches simulation artifacts across experiments.

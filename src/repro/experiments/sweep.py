@@ -58,7 +58,9 @@ __all__ = [
     "SweepRow",
     "SweepSpec",
     "adhoc_spec",
+    "assemble_sweep",
     "run_sweep",
+    "sweep_title",
 ]
 
 #: A point along the sweep's axes: axis name -> value.
@@ -374,6 +376,16 @@ SWEEP_AXES.register("ports", SweepAxisSpec(
 ))
 
 
+def sweep_title(axis_name: str, profile: ExperimentProfile) -> str:
+    """The table title an ad-hoc sweep renders.
+
+    One definition shared by the CLI's ``sweep`` subcommand and the
+    service dispatcher: a served sweep document must stay byte-identical
+    to the local run's ``--json`` output, title included.
+    """
+    return f"Sweep over {axis_name} ({profile.name} profile)"
+
+
 def adhoc_spec(
     axis_name: str,
     profile: ExperimentProfile,
@@ -419,6 +431,23 @@ def run_sweep(
     """Execute a spec and assemble the generic per-cell metric table."""
     context = context or ExperimentContext(profile)
     spec.execute(profile, context)
+    return assemble_sweep(spec, profile, context, title=title)
+
+
+def assemble_sweep(
+    spec: SweepSpec,
+    profile: ExperimentProfile,
+    context: ExperimentContext,
+    *,
+    title: str = "",
+) -> SweepResult:
+    """Assemble a spec's metric table from an already-warmed context.
+
+    The execute/assemble split is what lets the service dispatcher fuse
+    several submitted sweeps into one :func:`~repro.experiments.parallel
+    .execute` batch and then assemble each request's table individually:
+    assembly only reads the context's memo layer, so it re-runs nothing.
+    """
     metrics = _TIMED_METRICS if spec.kind == "timed" else _FUNCTIONAL_METRICS
     result = SweepResult(
         spec_name=spec.name,

@@ -1,0 +1,120 @@
+"""Stdlib HTTP client for the simulation service.
+
+Thin ``urllib``-based helpers shared by the CLI verbs (``repro
+submit`` / ``repro status``), the test suite, the CI smoke script, and
+the service benchmark.  Every helper takes the service base URL
+(``http://host:port``); :func:`submit_and_wait` is the common
+submit-poll-fetch round trip and returns the result document exactly as
+served (bytes), preserving the byte-identity guarantees the service
+makes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Tuple
+
+__all__ = [
+    "ServiceError",
+    "get_job",
+    "get_result",
+    "get_stats",
+    "submit_and_wait",
+    "submit_job",
+]
+
+
+class ServiceError(RuntimeError):
+    """A request to the service failed (transport, HTTP, or job error)."""
+
+
+def _request(
+    method: str, url: str, body: Optional[bytes] = None, timeout: float = 30.0
+) -> Tuple[int, bytes]:
+    request = urllib.request.Request(url, data=body, method=method)
+    if body is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+    except (urllib.error.URLError, OSError) as error:
+        raise ServiceError(f"{method} {url}: {error}") from None
+
+
+def _json_or_error(status: int, body: bytes, what: str) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ServiceError(f"{what}: non-JSON response (HTTP {status})")
+    if status >= 400:
+        raise ServiceError(
+            f"{what}: HTTP {status}: {payload.get('error', body[:200])}"
+        )
+    return payload
+
+
+def submit_job(
+    base_url: str, payload: dict, *, client: str = "cli",
+    timeout: float = 30.0,
+) -> dict:
+    """POST one request; returns the ``{"id", "location"}`` receipt."""
+    body = dict(payload)
+    body["client"] = client
+    status, raw = _request(
+        "POST", f"{base_url}/v1/jobs",
+        json.dumps(body).encode("utf-8"), timeout,
+    )
+    return _json_or_error(status, raw, "submit")
+
+
+def get_job(base_url: str, job_id: str, *, timeout: float = 30.0) -> dict:
+    status, raw = _request("GET", f"{base_url}/v1/jobs/{job_id}", None, timeout)
+    return _json_or_error(status, raw, f"job {job_id}")
+
+
+def get_result(base_url: str, key: str, *, timeout: float = 30.0) -> bytes:
+    """The raw stored result document for an artifact key."""
+    status, raw = _request("GET", f"{base_url}/v1/results/{key}", None, timeout)
+    if status >= 400:
+        _json_or_error(status, raw, f"result {key}")
+    return raw
+
+
+def get_stats(base_url: str, *, timeout: float = 30.0) -> dict:
+    status, raw = _request("GET", f"{base_url}/v1/stats", None, timeout)
+    return _json_or_error(status, raw, "stats")
+
+
+def submit_and_wait(
+    base_url: str,
+    payload: dict,
+    *,
+    client: str = "cli",
+    timeout: float = 300.0,
+    poll: float = 0.1,
+) -> Tuple[dict, bytes]:
+    """Submit, poll to completion, fetch the result.
+
+    Returns ``(job record, result document bytes)``; raises
+    :class:`ServiceError` if the job fails or the deadline passes.
+    """
+    receipt = submit_job(base_url, payload, client=client, timeout=timeout)
+    deadline = time.monotonic() + timeout
+    while True:
+        job = get_job(base_url, receipt["id"], timeout=timeout)
+        if job["state"] == "done":
+            return job, get_result(base_url, job["result_key"], timeout=timeout)
+        if job["state"] == "failed":
+            raise ServiceError(
+                f"job {job['id']} failed: {job.get('error', 'unknown error')}"
+            )
+        if time.monotonic() > deadline:
+            raise ServiceError(
+                f"job {receipt['id']} still {job['state']} after {timeout}s"
+            )
+        time.sleep(poll)

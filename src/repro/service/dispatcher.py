@@ -1,0 +1,452 @@
+"""Batching dispatcher: turns queued service jobs into simulation batches.
+
+The dispatcher sits between the :class:`~repro.service.queue.JobQueue`
+and the compute core, and is where the service earns its keep:
+
+* **Request normalization** — an incoming payload is validated against
+  the component registries (sweep axes, workloads, experiments,
+  profiles) and lowered to a fully explicit, canonical request dict.
+  Normalization resolves defaults (axis value sets, the profile's
+  workload suite), so two ways of writing the same experiment share one
+  identity — the foundation for every dedup layer below.
+* **Dedup, three layers** — (1) the queue coalesces a submission onto an
+  identical live job; (2) a submission whose *result* is already in the
+  content-addressed artifact store completes instantly without touching
+  the execution pipeline (``source == "cache"``); (3) within a batch,
+  :func:`repro.experiments.parallel.execute` deduplicates shared cells
+  by value signature, so eight sweeps over overlapping grids cost one
+  union of cells.
+* **Batch coalescing** — queued jobs are drained fairly (round-robin
+  per client), grouped by compatible profile, and their cells fused
+  into one worker-pool batch.  The pool width (``jobs``) and the batch
+  size (``max_batch``) bound the service's concurrency budget.
+* **Assembly from the warmed context** — after the fused batch runs,
+  each job's result table is assembled purely from the context's memo
+  layer (see :func:`repro.experiments.sweep.assemble_sweep`), rendered
+  with the same deterministic manifest writer the CLI uses, and stored
+  in the artifact cache under the request's key.  A service response is
+  therefore byte-identical to the equivalent local ``repro sweep`` /
+  figure run — the property the end-to-end tests pin.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.cache import ArtifactCache, CacheCounters
+from repro.experiments.export import render_manifest
+from repro.experiments.parallel import Job, execute
+from repro.experiments.runner import ExperimentContext, ExperimentProfile
+from repro.experiments.sweep import (
+    SWEEP_AXES,
+    adhoc_spec,
+    assemble_sweep,
+    sweep_title,
+)
+from repro.registry import UnknownComponentError
+from repro.service.queue import JobQueue, JobState, ServiceJob, TransitionError
+from repro.workloads.suite import get_workload
+
+__all__ = [
+    "Dispatcher",
+    "DispatcherStats",
+    "RequestError",
+    "normalize_request",
+    "sweep_title",
+]
+
+#: Artifact kind under which rendered job results are stored.
+RESULT_KIND = "service"
+
+
+class RequestError(ValueError):
+    """A submitted payload failed validation (HTTP 400)."""
+
+
+def normalize_request(payload: dict) -> dict:
+    """Validate and canonicalize a submitted request payload.
+
+    Returns a fully explicit request dict: defaults are resolved, names
+    are normalized through their registries, and values are parsed to
+    their axis types — so payload identity equals experiment identity.
+    Raises :class:`RequestError` with a message naming valid choices.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError("request body must be a JSON object")
+    kind = payload.get("kind", "sweep")
+    try:
+        profile = ExperimentProfile.by_name(payload.get("profile", "quick"))
+    except ValueError as error:
+        raise RequestError(str(error)) from None
+
+    if kind == "figure":
+        target = payload.get("target")
+        if not isinstance(target, str) or target not in EXPERIMENTS:
+            raise RequestError(
+                f"unknown figure target {target!r}; valid targets: "
+                + ", ".join(EXPERIMENTS)
+            )
+        return {"kind": "figure", "target": target, "profile": profile.name}
+
+    if kind != "sweep":
+        raise RequestError(
+            f"unknown request kind {kind!r}; valid kinds: sweep, figure"
+        )
+    axis_name = payload.get("axis")
+    try:
+        axis = SWEEP_AXES.get(axis_name or "")
+    except UnknownComponentError as error:
+        raise RequestError(str(error)) from None
+    values = payload.get("values")
+    if values is not None and not isinstance(values, (list, tuple)):
+        raise RequestError("'values' must be a list of axis values")
+    try:
+        if values is None:
+            parsed = list(axis.default_values(profile))
+        else:
+            parsed = [axis.parse(str(value)) for value in values]
+    except UnknownComponentError as error:
+        raise RequestError(str(error)) from None
+    except ValueError as error:
+        raise RequestError(f"bad value for axis {axis.name!r}: {error}") from None
+    workloads = payload.get("workloads")
+    if workloads is not None and not isinstance(workloads, (list, tuple)):
+        raise RequestError("'workloads' must be a list of workload names")
+    try:
+        if workloads is None:
+            resolved_workloads = list(profile.workloads)
+        else:
+            resolved_workloads = [
+                get_workload(str(name)).name for name in workloads
+            ]
+    except UnknownComponentError as error:
+        raise RequestError(str(error)) from None
+    return {
+        "kind": "sweep",
+        "axis": axis.name,
+        "values": parsed,
+        "workloads": resolved_workloads,
+        "profile": profile.name,
+    }
+
+
+def _result_key(request: dict) -> tuple:
+    """The artifact-cache key tuple a request's rendered result lives under."""
+    return (request,)
+
+
+def _spec_for(request: dict, profile: ExperimentProfile):
+    """The SweepSpec for a normalized sweep request (CLI-identical path)."""
+    return adhoc_spec(
+        request["axis"],
+        profile,
+        values=[str(value) for value in request["values"]],
+        workloads=request["workloads"],
+    )
+
+
+@dataclass
+class DispatcherStats:
+    """Cumulative dispatcher-side tallies, served by ``GET /v1/stats``."""
+
+    submissions: int = 0
+    coalesced: int = 0
+    jobs_from_cache: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    batches: int = 0
+    batched_jobs: int = 0
+    cells_executed: int = 0
+    busy_seconds: float = 0.0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def utilization(self) -> float:
+        elapsed = time.monotonic() - self.started_at
+        return self.busy_seconds / elapsed if elapsed > 0 else 0.0
+
+
+class Dispatcher:
+    """Drains the queue into fused, bounded worker-pool batches."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        cache_root,
+        *,
+        jobs: int = 1,
+        max_batch: int = 8,
+    ) -> None:
+        self.queue = queue
+        self.cache = ArtifactCache(cache_root)
+        self.jobs = max(1, jobs)
+        self.max_batch = max(1, max_batch)
+        self.stats = DispatcherStats()
+        #: Cumulative cache tallies for this server process; survives the
+        #: per-batch flush_counters() that drains cache.counters into the
+        #: on-disk lifetime file.
+        self._session_counters: Dict[str, CacheCounters] = {}
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, payload: dict, client: str) -> ServiceJob:
+        """Normalize, dedup, and enqueue one request.
+
+        A request whose rendered result is already in the artifact store
+        is completed on the spot — the instant-response path that makes a
+        warm resubmission cost one path probe and zero simulation.  This
+        runs on the caller's thread (the server's event loop), so it
+        only probes artifact existence — it never unpickles anything.
+        The journal append it performs is a deliberate synchronous
+        fsync: the 202 receipt promises durability, and serializing
+        submits behind the (single-worker) batch executor would be far
+        worse than a short disk wait.
+        A coalesced hit on a done job re-checks that the job's artifact
+        still exists: if a cache gc evicted it, the job is requeued for
+        recomputation instead of pointing clients at a permanent 404.
+        """
+        request = normalize_request(payload)
+        self.stats.submissions += 1
+        job, created = self.queue.submit(request, client)
+        if not created:
+            self.stats.coalesced += 1
+            if (job.state is JobState.DONE
+                    and not (job.result_key
+                             and self.cache.exists_digest(
+                                 RESULT_KIND, job.result_key))):
+                job = self.queue.requeue_lost(job.id)
+            return job
+        digest = self.cache.digest(RESULT_KIND, _result_key(request))
+        if self.cache.exists_digest(RESULT_KIND, digest):
+            try:
+                job = self.queue.mark_done(
+                    job.id, result_key=digest, source="cache"
+                )
+                self.stats.jobs_from_cache += 1
+            except TransitionError:
+                # The dispatcher thread drained and finished this job
+                # between our queue.submit and the existence probe; its
+                # result is the same bytes, so just serve its record.
+                job = self.queue.get(job.id)
+        return job
+
+    def load_result(self, result_key: str) -> Optional[str]:
+        """The rendered JSON document stored under an artifact digest."""
+        hit, value = self.cache.load_digest(RESULT_KIND, result_key)
+        return value if hit else None
+
+    # -- execution -------------------------------------------------------
+
+    def _cells_for(
+        self, job: ServiceJob, profile: ExperimentProfile
+    ) -> List[Job]:
+        request = job.request
+        if request["kind"] == "figure":
+            module, _ = EXPERIMENTS[request["target"]]
+            return list(module.jobs(profile))
+        return _spec_for(request, profile).jobs(profile)
+
+    def _assemble(
+        self, job: ServiceJob, profile: ExperimentProfile,
+        context: ExperimentContext,
+    ) -> str:
+        """Render one job's manifest from the warmed context (no compute)."""
+        request = job.request
+        if request["kind"] == "figure":
+            target = request["target"]
+            module, _ = EXPERIMENTS[target]
+            result = module.run(profile, context)
+            return render_manifest(profile.name, {target: result})
+        spec = _spec_for(request, profile)
+        result = assemble_sweep(
+            spec, profile, context,
+            title=sweep_title(request["axis"], profile),
+        )
+        return render_manifest(profile.name, {spec.name: result})
+
+    def drain_once(self) -> int:
+        """Process one fused batch of queued jobs; returns jobs handled.
+
+        Drains up to ``max_batch`` jobs fairly, keeps the ones sharing
+        the head job's profile (the compatibility rule — cells from
+        different profiles never share artifacts, so fusing them buys
+        nothing), fuses their cells into a single deduplicated
+        :func:`~repro.experiments.parallel.execute` batch, then
+        assembles and stores each job's result individually.
+        """
+        if not self.queue.has_pending():  # O(1) idle fast path
+            return 0
+        drained = self.queue.pending_fair(self.max_batch)
+        if not drained:
+            return 0
+        profile_name = drained[0].request["profile"]
+        group = [
+            job for job in drained
+            if job.request["profile"] == profile_name
+        ]
+        started = time.monotonic()
+        profile = ExperimentProfile.by_name(profile_name)
+        # One fresh context per batch: its in-memory memo layer holds
+        # exactly the batch's cells and is dropped afterwards, so a
+        # long-lived server's footprint is bounded by its largest batch
+        # (the shared disk cache keeps cross-batch warmth).
+        context = ExperimentContext(profile, cache=self.cache, jobs=self.jobs)
+
+        try:
+            self._run_batch(group, profile, context)
+        except Exception:
+            # Something escaped the per-job handling (a journal I/O
+            # failure, most likely).  RUNNING is a state nothing
+            # re-drains, so demote what we marked — best effort; if the
+            # journal is truly dead, restart replay demotes instead —
+            # then let the drain loop log and back off.
+            for job in group:
+                current = self.queue.get(job.id)
+                if current is not None and current.state is JobState.RUNNING:
+                    try:
+                        self.queue.demote(job.id)
+                    except Exception:
+                        pass
+            raise
+        finally:
+            self.stats.busy_seconds += time.monotonic() - started
+        try:
+            self._accumulate_session_counters()
+            self.cache.flush_counters()
+        except OSError:
+            pass  # tallies stay in memory for the next flush attempt
+        return len(group)
+
+    def _run_batch(self, group, profile: ExperimentProfile,
+                   context: ExperimentContext) -> None:
+        """Mark, fuse, execute, and assemble one compatible job group."""
+        cells: List[Job] = []
+        runnable: List[Tuple[ServiceJob, List[Job]]] = []
+        for job in group:
+            try:
+                self.queue.mark_running(job.id)
+            except TransitionError:
+                # The submit thread instant-completed this job from the
+                # cache after we drained it; nothing left to run for it.
+                continue
+            try:
+                job_cells = self._cells_for(job, profile)
+            except Exception as error:  # bad request that survived normalize
+                self._finish(job, error=f"{type(error).__name__}: {error}")
+                continue
+            runnable.append((job, job_cells))
+            cells.extend(job_cells)
+
+        if runnable:
+            attempted = len(runnable)
+            try:
+                # spawn, not fork: this process runs an asyncio thread,
+                # and forking a multi-threaded process can hand children
+                # locks held mid-operation by the event loop.
+                executed = execute(
+                    cells, context,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            except Exception as error:
+                for job, _ in runnable:
+                    self._finish(
+                        job, error=f"{type(error).__name__}: {error}"
+                    )
+                runnable = []
+                executed = 0
+            self.stats.batches += 1
+            self.stats.batched_jobs += attempted
+            self.stats.cells_executed += executed
+
+        for job, _ in runnable:
+            try:
+                rendered = self._assemble(job, profile, context)
+                digest = self.cache.store(
+                    RESULT_KIND, _result_key(job.request), rendered
+                )
+                self._finish(job, result_key=digest)
+            except Exception as error:
+                self._finish(job, error=f"{type(error).__name__}: {error}")
+
+    def _accumulate_session_counters(self) -> None:
+        """Fold the about-to-be-flushed tallies into the session totals."""
+        for kind, counter in list(self.cache.counters.items()):
+            slot = self._session_counters.setdefault(kind, CacheCounters())
+            slot.hits += counter.hits
+            slot.misses += counter.misses
+            slot.stores += counter.stores
+
+    def _finish(self, job: ServiceJob, *, result_key: str = None,
+                error: str = None) -> None:
+        """Complete or fail a job, tolerating completion races.
+
+        A submit-thread instant-cache hit can finish a job between this
+        batch's ``mark_running`` and here; the resulting
+        :class:`TransitionError` means someone else already delivered
+        the (identical) result, which is success, not failure.
+        """
+        try:
+            if error is None:
+                self.queue.mark_done(
+                    job.id, result_key=result_key, source="computed"
+                )
+                self.stats.jobs_completed += 1
+            else:
+                self.queue.mark_failed(job.id, error)
+                self.stats.jobs_failed += 1
+        except TransitionError:
+            pass
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The ``GET /v1/stats`` document (deterministic key order).
+
+        Runs on the event-loop thread while the dispatcher thread
+        mutates the counter dicts; ``list()`` materializes the items
+        atomically (a single C-level step under the GIL) before any
+        Python-level iteration, so concurrent inserts cannot perturb it.
+        The ``session`` section is cumulative for this server process:
+        the per-batch flush into the on-disk lifetime file does not
+        zero it.
+        """
+        merged: Dict[str, CacheCounters] = {}
+        for source in (self._session_counters, self.cache.counters):
+            for kind, c in list(source.items()):
+                slot = merged.setdefault(kind, CacheCounters())
+                slot.hits += c.hits
+                slot.misses += c.misses
+                slot.stores += c.stores
+        cache_counters = {
+            kind: {"hits": c.hits, "misses": c.misses, "stores": c.stores}
+            for kind, c in sorted(merged.items())
+        }
+        return {
+            "queue": {
+                "depth": self.queue.depth(),
+                "states": self.queue.state_counts(),
+            },
+            "dispatcher": {
+                "submissions": self.stats.submissions,
+                "coalesced": self.stats.coalesced,
+                "jobs_from_cache": self.stats.jobs_from_cache,
+                "jobs_completed": self.stats.jobs_completed,
+                "jobs_failed": self.stats.jobs_failed,
+                "batches": self.stats.batches,
+                "batched_jobs": self.stats.batched_jobs,
+                "cells_executed": self.stats.cells_executed,
+            },
+            "cache": {
+                "session": cache_counters,
+                "lifetime": self.cache.persistent_counters(),
+            },
+            "workers": {
+                "pool_size": self.jobs,
+                "max_batch": self.max_batch,
+                "busy_seconds": round(self.stats.busy_seconds, 3),
+                "utilization": round(self.stats.utilization(), 4),
+            },
+        }

@@ -1,0 +1,384 @@
+"""Persistent, crash-safe job queue for the simulation service.
+
+Every submitted experiment request becomes a :class:`ServiceJob` with a
+tiny state machine (``queued -> running -> done | failed``).  All state
+lives in a JSON-lines **journal** (``<root>/journal.jsonl``): submits,
+duplicate attachments, and state transitions are each one appended,
+fsynced line, and the in-memory table mutates only *after* the journal
+line is durable — so a crash at any instant loses at most the event
+being written.  Restart replays the journal: finished jobs stay
+finished, jobs that were ``running`` when the process died are demoted
+back to ``queued`` (their work is repeatable and cache-backed, so
+re-execution is safe), and a torn trailing line from a mid-write crash
+is ignored.
+
+Deduplication happens at submit time: a job's identity is the
+value-based fingerprint of its normalized request, and submitting an
+identical request while a live job for it exists *attaches* to that job
+instead of creating a new one.  Failed jobs do not absorb duplicates —
+resubmitting a failed request queues a fresh attempt.
+
+The queue is thread-safe (the HTTP server submits from the asyncio
+thread while the dispatcher drains from a worker thread) but
+single-process; multi-process sharing is a later scale-out step and
+would shard queues, not this file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import asdict, dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.experiments.cache import code_version, fingerprint
+
+__all__ = ["JobQueue", "JobState", "ServiceJob", "TransitionError"]
+
+
+class JobState(str, Enum):
+    """Lifecycle states of a service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+#: Legal state transitions.  ``QUEUED -> DONE`` is the instant-cache-hit
+#: path (no execution phase); ``RUNNING -> QUEUED`` is crash recovery
+#: (journal replay demotes interrupted work); ``DONE -> QUEUED`` is
+#: result eviction (a gc pruned the artifact out from under the job, so
+#: it must recompute).
+_TRANSITIONS = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.DONE, JobState.FAILED},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.QUEUED},
+    JobState.DONE: {JobState.QUEUED},
+    JobState.FAILED: set(),
+}
+
+
+class TransitionError(RuntimeError):
+    """An illegal job state transition was requested."""
+
+
+@dataclass
+class ServiceJob:
+    """One submitted experiment request and its lifecycle."""
+
+    id: str
+    #: Value-based identity of the normalized request (dedup key).
+    digest: str
+    request: dict
+    client: str
+    #: Monotonic submission sequence number (fairness/ordering source).
+    seq: int
+    state: JobState = JobState.QUEUED
+    #: Extra submissions coalesced onto this job (dedup hits).
+    attached: int = 0
+    #: Artifact digest of the stored result (``service`` kind), when done.
+    result_key: Optional[str] = None
+    #: ``"computed"`` or ``"cache"``, when done.
+    source: Optional[str] = None
+    error: Optional[str] = None
+
+    def public(self) -> dict:
+        """The JSON shape ``GET /v1/jobs/<id>`` serves."""
+        record = asdict(self)
+        record["state"] = self.state.value
+        return record
+
+
+def request_digest(request: dict, version: str = None) -> str:
+    """Value-based identity of a normalized request payload.
+
+    ``version`` (default: the live :func:`code_version`) is part of the
+    identity so that a queue journal surviving a source change never
+    coalesces a fresh submission onto a job computed by old code — the
+    same invalidation rule the artifact cache applies to its keys.
+    """
+    return fingerprint(
+        "service-request", request,
+        code_version() if version is None else version,
+    )
+
+
+class JobQueue:
+    """Journal-backed job table with atomic, validated transitions."""
+
+    def __init__(self, root: os.PathLike, *, version: str = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.root / "journal.jsonl"
+        self.version = version if version is not None else code_version()
+        self.jobs: Dict[str, ServiceJob] = {}
+        self._by_digest: Dict[str, str] = {}
+        self._seq = 0
+        #: Per-state job tallies, maintained incrementally so depth and
+        #: state queries stay O(1) however many jobs the table retains.
+        self._counts = {state: 0 for state in JobState}
+        #: id -> job for QUEUED jobs only, so draining scales with the
+        #: queue, not with the ever-retained job history.
+        self._queued: Dict[str, ServiceJob] = {}
+        self._lock = threading.RLock()
+        self._truncate_torn_tail()
+        self._replay()
+        self._journal = open(self.journal_path, "a", encoding="utf-8")
+
+    # -- journal ---------------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        """One durable journal line; the caller mutates memory after."""
+        self._journal.write(json.dumps(event, sort_keys=True) + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a torn trailing line before anything appends.
+
+        A crash mid-append can leave the journal without a trailing
+        newline; appending to that file would glue the next (durably
+        acknowledged) event onto the torn fragment and silently lose it
+        on the following replay.  Truncating back to the last newline
+        restores the append-only invariant: every line is a whole line.
+        """
+        if not self.journal_path.exists():
+            return
+        with open(self.journal_path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":  # common path: one-byte peek
+                return
+            handle.seek(0)
+            keep = handle.read().rfind(b"\n") + 1  # 0 if no newline at all
+            handle.truncate(keep)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _replay(self) -> None:
+        """Rebuild the job table from the journal (crash-tolerant)."""
+        if not self.journal_path.exists():
+            return
+        with open(self.journal_path, encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn write from a crash mid-append
+                self._apply(event)
+        # Work interrupted mid-execution is repeatable: demote it.
+        events = [
+            {"event": "state", "id": job.id, "state": "queued"}
+            for job in self.jobs.values()
+            if job.state == JobState.RUNNING
+        ]
+        if events:
+            with open(self.journal_path, "a", encoding="utf-8") as handle:
+                for event in events:
+                    handle.write(json.dumps(event, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            for event in events:
+                self._apply(event)
+
+    def _apply(self, event: dict) -> None:
+        """Apply one journal event to memory.
+
+        The ONLY mutation path: live operations journal an event and
+        route it here, exactly as replay does, so a live queue and its
+        own journal replay cannot disagree.
+        """
+        kind = event.get("event")
+        if kind == "submit":
+            job = ServiceJob(
+                id=event["id"],
+                digest=event["digest"],
+                request=event["request"],
+                client=event["client"],
+                seq=event["seq"],
+            )
+            self.jobs[job.id] = job
+            self._by_digest[job.digest] = job.id
+            self._seq = max(self._seq, job.seq)
+            self._counts[JobState.QUEUED] += 1
+            self._queued[job.id] = job
+        elif kind == "attach":
+            job = self.jobs.get(event["id"])
+            if job is not None:
+                job.attached += 1
+        elif kind == "state":
+            job = self.jobs.get(event["id"])
+            if job is not None:
+                state = JobState(event["state"])
+                self._count_change(job.state, state)
+                # Outcome fields first, state LAST: the HTTP thread
+                # reads live job records without the queue lock, and
+                # state is its validity signal — a poller that sees
+                # "done" must also see the result_key that came with it.
+                if state is JobState.QUEUED:
+                    # Requeue/demotion: any prior outcome is void.
+                    job.result_key = job.source = job.error = None
+                job.result_key = event.get("result_key", job.result_key)
+                job.source = event.get("source", job.source)
+                job.error = event.get("error", job.error)
+                job.state = state
+                if state is JobState.QUEUED:
+                    self._queued[job.id] = job
+                else:
+                    self._queued.pop(job.id, None)
+
+    def _count_change(self, old: JobState, new: JobState) -> None:
+        self._counts[old] -= 1
+        self._counts[new] += 1
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: dict, client: str) -> tuple:
+        """Register a request; returns ``(job, created)``.
+
+        An identical in-flight or completed request coalesces onto the
+        existing job (``created == False``); only failed attempts are
+        eligible for a fresh retry job.
+        """
+        digest = request_digest(request, self.version)
+        with self._lock:
+            existing_id = self._by_digest.get(digest)
+            if existing_id is not None:
+                existing = self.jobs[existing_id]
+                if existing.state != JobState.FAILED:
+                    event = {"event": "attach", "id": existing.id}
+                    self._append(event)
+                    self._apply(event)
+                    return existing, False
+            self._seq += 1
+            event = {
+                "event": "submit",
+                "id": f"job-{self._seq:06d}-{digest[:12]}",
+                "digest": digest,
+                "request": request,
+                "client": client,
+                "seq": self._seq,
+            }
+            self._append(event)
+            self._apply(event)
+            return self.jobs[event["id"]], True
+
+    # -- transitions -----------------------------------------------------
+
+    def _transition(self, job_id: str, state: JobState, **details) -> ServiceJob:
+        """Validate, journal, then apply — through the same `_apply` the
+        replay path uses, so live state and post-replay state cannot
+        diverge."""
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            if state not in _TRANSITIONS[job.state]:
+                raise TransitionError(
+                    f"job {job_id}: illegal transition "
+                    f"{job.state.value} -> {state.value}"
+                )
+            event = {"event": "state", "id": job_id, "state": state.value}
+            event.update({k: v for k, v in details.items() if v is not None})
+            self._append(event)
+            self._apply(event)
+            return job
+
+    def mark_running(self, job_id: str) -> ServiceJob:
+        return self._transition(job_id, JobState.RUNNING)
+
+    def mark_done(self, job_id: str, *, result_key: str,
+                  source: str) -> ServiceJob:
+        return self._transition(
+            job_id, JobState.DONE, result_key=result_key, source=source
+        )
+
+    def mark_failed(self, job_id: str, error: str) -> ServiceJob:
+        return self._transition(job_id, JobState.FAILED, error=error)
+
+    def requeue_lost(self, job_id: str) -> ServiceJob:
+        """Put a DONE job back in the queue after its result was evicted.
+
+        The path a cache ``gc`` forces: the job record says done but the
+        artifact its ``result_key`` names no longer exists, so the next
+        identical submission must recompute rather than 404 forever.
+        """
+        return self._transition(job_id, JobState.QUEUED)
+
+    def demote(self, job_id: str) -> ServiceJob:
+        """Best-effort RUNNING -> QUEUED (dispatcher batch-failure path).
+
+        The same transition crash replay performs, available to a live
+        dispatcher whose batch died before finishing its jobs — without
+        it, a mid-batch journal I/O error would strand them RUNNING (a
+        state nothing re-drains) until the next restart.
+        """
+        return self._transition(job_id, JobState.QUEUED)
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[ServiceJob]:
+        with self._lock:
+            return self.jobs.get(job_id)
+
+    def pending_fair(self, limit: int) -> List[ServiceJob]:
+        """Up to ``limit`` queued jobs, round-robin across clients.
+
+        Clients take turns (ordered by their oldest queued submission),
+        one job per turn — a client that bulk-submits a hundred sweeps
+        cannot starve another client's single request.
+        """
+        with self._lock:
+            # The queued index keeps this O(queued), independent of how
+            # many terminal jobs the table retains for dedup.
+            queued = sorted(
+                self._queued.values(), key=lambda job: job.seq
+            )
+        buckets: Dict[str, List[ServiceJob]] = {}
+        for job in queued:
+            buckets.setdefault(job.client, []).append(job)
+        order = sorted(buckets, key=lambda client: buckets[client][0].seq)
+        picked: List[ServiceJob] = []
+        round_index = 0
+        while len(picked) < limit:
+            progressed = False
+            for client in order:
+                bucket = buckets[client]
+                if round_index < len(bucket):
+                    picked.append(bucket[round_index])
+                    progressed = True
+                    if len(picked) >= limit:
+                        break
+            if not progressed:
+                break
+            round_index += 1
+        return picked
+
+    def has_pending(self) -> bool:
+        """O(1) queued-work check (the dispatcher's idle-poll fast path)."""
+        with self._lock:
+            return self._counts[JobState.QUEUED] > 0
+
+    def depth(self) -> int:
+        """Live (queued + running) jobs; O(1)."""
+        with self._lock:
+            return (self._counts[JobState.QUEUED]
+                    + self._counts[JobState.RUNNING])
+
+    def state_counts(self) -> Dict[str, int]:
+        """Per-state job tallies; O(1)."""
+        with self._lock:
+            return {
+                state.value: self._counts[state] for state in JobState
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._journal.closed:
+                self._journal.close()

@@ -1,0 +1,346 @@
+"""Stdlib-only asyncio HTTP JSON API over the job queue and dispatcher.
+
+The server is a deliberately small HTTP/1.1 implementation on
+``asyncio.start_server`` — no third-party framework, one request per
+connection (``Connection: close``), JSON in and out:
+
+* ``POST /v1/jobs`` — submit a request (``{"kind": "sweep", "axis":
+  ..., "values": [...], "workloads": [...], "profile": ...}`` or
+  ``{"kind": "figure", "target": ..., "profile": ...}``, plus an
+  optional ``"client"`` tag).  Responds ``202`` with ``{"id",
+  "location"}`` — identical bytes for identical requests, however many
+  clients race the submission.
+* ``GET /v1/jobs/<id>`` — the job record (state, result key, error).
+* ``GET /v1/results/<key>`` — the stored result document, byte-identical
+  to the equivalent local CLI run's ``--json`` output.
+* ``GET /v1/stats`` — queue depth and state counts, dedup/batching
+  tallies, cache hit/miss counters, worker pool size and utilization.
+
+Simulation work never runs on the event loop: a single dispatcher
+thread drains the queue batch-by-batch (fanning each batch across the
+multiprocessing pool when ``jobs > 1``), so the API stays responsive
+while heavy sweeps execute.  :class:`ServerThread` hosts the whole
+service inside one background thread — the harness tests, the smoke
+script, and the benchmark all drive real sockets through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Tuple
+
+from repro.service.dispatcher import Dispatcher, RequestError
+from repro.service.queue import JobQueue
+
+__all__ = ["ServiceServer", "ServerThread", "serve_forever"]
+
+#: How long the dispatcher thread naps when the queue is empty.
+_IDLE_POLL_SECONDS = 0.05
+
+#: A client gets this long to deliver its full request; a connection
+#: that stalls (opened and silent, or a short body under a long
+#: Content-Length) is dropped instead of leaking a task + fd forever.
+_READ_TIMEOUT_SECONDS = 30.0
+
+_MAX_BODY_BYTES = 1 << 20
+_MAX_HEADERS = 100
+
+#: Result keys are SHA-256 hex digests; anything else in the URL (path
+#: separators in particular) must never reach the filesystem layer.
+_RESULT_KEY_RE = re.compile(r"[0-9a-f]{64}\Z")
+
+
+class ServiceServer:
+    """One service instance: queue + dispatcher + HTTP front end."""
+
+    def __init__(
+        self,
+        queue_dir,
+        cache_dir,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: int = 1,
+        max_batch: int = 8,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.queue = JobQueue(queue_dir)
+        self.dispatcher = Dispatcher(
+            self.queue, cache_dir, jobs=jobs, max_batch=max_batch
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-dispatch"
+        )
+        # Result reads (disk + unpickle) go here, NOT on the event loop
+        # and NOT behind the single dispatch worker a running batch owns.
+        self._read_executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-read"
+        )
+        # Created inside start(): pre-3.10 asyncio primitives bind their
+        # loop at construction, and __init__ runs before asyncio.run().
+        self._closing: Optional[asyncio.Event] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket (resolving port 0) and start the drain loop."""
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._drain_task = asyncio.ensure_future(self._drain_loop())
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def run_until_closed(self) -> None:
+        await self._closing.wait()
+        self._drain_task.cancel()
+        self._server.close()
+        await self._server.wait_closed()
+        # Cancelling the drain task does not interrupt an executor'd
+        # drain_once; wait for any in-flight batch to record its results
+        # BEFORE closing the journal it writes to.
+        self._executor.shutdown(wait=True)
+        self._read_executor.shutdown(wait=True)
+        self.queue.close()
+
+    def close(self) -> None:
+        if self._closing is not None:
+            self._closing.set()
+
+    async def _drain_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._closing.is_set():
+            try:
+                handled = await loop.run_in_executor(
+                    self._executor, self.dispatcher.drain_once
+                )
+            except Exception as error:
+                # A drain-level failure (full disk, journal I/O error)
+                # must not silently kill the dispatcher while the API
+                # keeps accepting jobs: report, back off, keep draining.
+                print(
+                    f"service: drain error: {type(error).__name__}: {error}",
+                    file=sys.stderr, flush=True,
+                )
+                await asyncio.sleep(1.0)
+                continue
+            if not handled:
+                await asyncio.sleep(_IDLE_POLL_SECONDS)
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, path, body = await asyncio.wait_for(
+                self._read_request(reader), _READ_TIMEOUT_SECONDS
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                ValueError):
+            writer.close()
+            return
+        try:
+            status, payload = await self._route(method, path, body)
+        except RequestError as error:
+            status, payload = 400, {"error": str(error)}
+        except Exception as error:  # never let a bug kill the server
+            status, payload = 500, {
+                "error": f"{type(error).__name__}: {error}"
+            }
+        body_text = (
+            payload if isinstance(payload, str)
+            else json.dumps(payload, sort_keys=True) + "\n"
+        )
+        try:
+            await self._respond(writer, status, body_text)
+        except (ConnectionError, OSError):
+            writer.close()  # client hung up mid-response; nothing to do
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ValueError("empty request")
+        try:
+            method, path, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise ValueError(f"malformed request line {request_line!r}")
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            if len(headers) >= _MAX_HEADERS:  # unbounded-header DoS guard
+                raise ValueError("too many headers")
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise ValueError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, body: str
+    ) -> None:
+        reason = {
+            200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            500: "Internal Server Error",
+        }.get(status, "OK")
+        data = body.encode("utf-8")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + data
+        )
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+
+    # -- routing ---------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/v1/jobs" and method == "POST":
+            return self._post_job(body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {"error": "method not allowed"}
+            return self._get_job(path[len("/v1/jobs/"):])
+        if path.startswith("/v1/results/"):
+            if method != "GET":
+                return 405, {"error": "method not allowed"}
+            return await self._get_result(path[len("/v1/results/"):])
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}
+            return 200, self.dispatcher.snapshot()
+        if path == "/v1/jobs" and method != "POST":
+            return 405, {"error": "method not allowed"}
+        return 404, {"error": f"no route for {method} {path}"}
+
+    def _post_job(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        client = str(payload.pop("client", "anonymous"))
+        job = self.dispatcher.submit(payload, client)
+        # Identical requests get byte-identical responses regardless of
+        # submission order or current job state.
+        return 202, {"id": job.id, "location": f"/v1/jobs/{job.id}"}
+
+    def _get_job(self, job_id: str):
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        record = job.public()
+        if job.result_key:
+            record["result_location"] = f"/v1/results/{job.result_key}"
+        return 200, record
+
+    async def _get_result(self, key: str):
+        if not _RESULT_KEY_RE.fullmatch(key):
+            return 404, {"error": "result keys are 64-char hex digests"}
+        # Disk read + unpickle of a possibly-large document: off-loop,
+        # on the reader pool (the dispatch worker may be mid-batch).
+        document = await asyncio.get_running_loop().run_in_executor(
+            self._read_executor, self.dispatcher.load_result, key
+        )
+        if document is None:
+            return 404, {"error": f"no result {key!r}"}
+        return 200, document
+
+
+# ----------------------------------------------------------------------
+# Hosting helpers: the CLI's foreground loop and the in-thread harness.
+# ----------------------------------------------------------------------
+
+async def _amain(server: ServiceServer, announce) -> None:
+    await server.start()
+    if announce is not None:
+        announce(server)
+    await server.run_until_closed()
+
+
+def serve_forever(
+    queue_dir,
+    cache_dir,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    max_batch: int = 8,
+    announce=None,
+) -> None:
+    """Run a service in the foreground until interrupted (CLI ``serve``)."""
+    server = ServiceServer(
+        queue_dir, cache_dir,
+        host=host, port=port, jobs=jobs, max_batch=max_batch,
+    )
+    try:
+        asyncio.run(_amain(server, announce))
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """Context manager hosting a :class:`ServiceServer` in a thread.
+
+    Yields after the socket is bound (``url`` is valid) and tears the
+    loop down on exit — the shape the tests, the smoke script, and the
+    service benchmark all share.
+    """
+
+    def __init__(self, queue_dir, cache_dir, **kwargs) -> None:
+        self.server = ServiceServer(queue_dir, cache_dir, **kwargs)
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def body():
+            self._loop = asyncio.get_running_loop()
+            await self.server.start()
+            self._ready.set()
+            await self.server.run_until_closed()
+
+        asyncio.run(body())
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("service thread failed to start")
+        return self
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def dispatcher(self) -> Dispatcher:
+        return self.server.dispatcher
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server.close)
+        self._thread.join(timeout=30.0)

@@ -1,0 +1,236 @@
+"""Unit tests for the service job queue: journal, replay, dedup, fairness."""
+
+import json
+
+import pytest
+
+from repro.service.queue import JobQueue, JobState, TransitionError
+
+REQ_A = {"kind": "sweep", "axis": "regfile", "values": [34],
+         "workloads": ["li_like"], "profile": "tiny"}
+REQ_B = {"kind": "sweep", "axis": "regfile", "values": [42],
+         "workloads": ["li_like"], "profile": "tiny"}
+REQ_C = {"kind": "figure", "target": "fig9", "profile": "tiny"}
+
+
+class TestLifecycle:
+    def test_submit_and_transitions(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, created = queue.submit(REQ_A, "alice")
+        assert created and job.state is JobState.QUEUED
+        queue.mark_running(job.id)
+        assert queue.get(job.id).state is JobState.RUNNING
+        queue.mark_done(job.id, result_key="abc123", source="computed")
+        done = queue.get(job.id)
+        assert done.state is JobState.DONE
+        assert done.result_key == "abc123"
+        assert done.source == "computed"
+
+    def test_instant_done_from_queued(self, tmp_path):
+        """The cache-hit path: queued -> done with no running phase."""
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+        queue.mark_done(job.id, result_key="k", source="cache")
+        assert queue.get(job.id).state is JobState.DONE
+
+    def test_illegal_transitions_rejected(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+        queue.mark_running(job.id)
+        queue.mark_done(job.id, result_key="k", source="computed")
+        with pytest.raises(TransitionError):
+            queue.mark_running(job.id)
+        with pytest.raises(TransitionError):
+            queue.mark_failed(job.id, "nope")
+
+    def test_unknown_job_raises(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        with pytest.raises(KeyError):
+            queue.mark_running("job-000042-cafebabe")
+
+
+class TestDedup:
+    def test_identical_request_attaches(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        first, created_first = queue.submit(REQ_A, "alice")
+        second, created_second = queue.submit(REQ_A, "bob")
+        assert created_first and not created_second
+        assert second.id == first.id
+        assert queue.get(first.id).attached == 1
+        assert queue.state_counts()["queued"] == 1
+
+    def test_done_job_still_absorbs_duplicates(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+        queue.mark_running(job.id)
+        queue.mark_done(job.id, result_key="k", source="computed")
+        again, created = queue.submit(REQ_A, "carol")
+        assert not created and again.id == job.id
+
+    def test_failed_job_gets_fresh_retry(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+        queue.mark_running(job.id)
+        queue.mark_failed(job.id, "boom")
+        retry, created = queue.submit(REQ_A, "alice")
+        assert created and retry.id != job.id
+        assert retry.state is JobState.QUEUED
+
+    def test_different_requests_do_not_dedup(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        a, _ = queue.submit(REQ_A, "alice")
+        b, _ = queue.submit(REQ_B, "alice")
+        assert a.id != b.id
+
+    def test_code_version_change_defeats_dedup(self, tmp_path):
+        """A journal surviving a source edit must not serve stale jobs."""
+        old = JobQueue(tmp_path, version="v1")
+        stale, _ = old.submit(REQ_A, "alice")
+        old.mark_running(stale.id)
+        old.mark_done(stale.id, result_key="old-result", source="computed")
+        old.close()
+
+        new = JobQueue(tmp_path, version="v2")
+        fresh, created = new.submit(REQ_A, "alice")
+        assert created and fresh.id != stale.id
+        assert fresh.state is JobState.QUEUED
+
+    def test_requeue_lost_puts_done_job_back(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+        queue.mark_running(job.id)
+        queue.mark_done(job.id, result_key="evicted", source="computed")
+        queue.requeue_lost(job.id)
+        requeued = queue.get(job.id)
+        assert requeued.state is JobState.QUEUED
+        # The voided outcome leaves no stale result pointer behind —
+        # in memory and across a journal replay.
+        assert requeued.result_key is None and requeued.source is None
+        replayed = JobQueue(tmp_path).get(job.id)
+        assert replayed.result_key is None and replayed.source is None
+        assert queue.has_pending()
+        # And the demoted job is drainable again.
+        assert [j.id for j in queue.pending_fair(1)] == [job.id]
+
+
+class TestCrashReplay:
+    def test_replay_restores_all_states(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        queued, _ = queue.submit(REQ_A, "alice")
+        running, _ = queue.submit(REQ_B, "alice")
+        done, _ = queue.submit(REQ_C, "bob")
+        queue.submit(REQ_A, "bob")  # attach
+        queue.mark_running(running.id)
+        queue.mark_running(done.id)
+        queue.mark_done(done.id, result_key="res", source="computed")
+        # Simulated crash: the JobQueue object is simply abandoned.
+
+        replayed = JobQueue(tmp_path)
+        assert replayed.get(queued.id).state is JobState.QUEUED
+        assert replayed.get(queued.id).attached == 1
+        # Interrupted work is demoted so it re-runs.
+        assert replayed.get(running.id).state is JobState.QUEUED
+        assert replayed.get(done.id).state is JobState.DONE
+        assert replayed.get(done.id).result_key == "res"
+
+    def test_replay_preserves_dedup_and_sequence(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+
+        replayed = JobQueue(tmp_path)
+        again, created = replayed.submit(REQ_A, "bob")
+        assert not created and again.id == job.id
+        fresh, created = replayed.submit(REQ_B, "bob")
+        assert created and fresh.seq > job.seq
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+        queue.close()
+        with open(tmp_path / "journal.jsonl", "a", encoding="utf-8") as f:
+            f.write('{"event": "state", "id": "' + job.id)  # torn write
+
+        replayed = JobQueue(tmp_path)
+        assert replayed.get(job.id).state is JobState.QUEUED
+
+    def test_torn_tail_does_not_swallow_the_next_append(self, tmp_path):
+        """The journal is truncated to whole lines before appending, so
+        an event journaled after a crash survives the *next* replay."""
+        queue = JobQueue(tmp_path)
+        first, _ = queue.submit(REQ_A, "alice")
+        queue.close()
+        with open(tmp_path / "journal.jsonl", "a", encoding="utf-8") as f:
+            f.write('{"event": "sta')  # crash mid-append, no newline
+
+        recovered = JobQueue(tmp_path)
+        second, created = recovered.submit(REQ_B, "bob")
+        assert created
+        recovered.close()
+
+        final = JobQueue(tmp_path)
+        assert final.get(first.id) is not None
+        assert final.get(second.id) is not None  # not glued onto the tear
+        assert final.get(second.id).seq > final.get(first.id).seq
+
+    def test_demotion_is_journaled(self, tmp_path):
+        """Replay-of-a-replay sees the demotion, not stale RUNNING."""
+        queue = JobQueue(tmp_path)
+        job, _ = queue.submit(REQ_A, "alice")
+        queue.mark_running(job.id)
+
+        JobQueue(tmp_path)  # replays and journals the demotion
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "journal.jsonl").read_text().splitlines()
+        ]
+        assert events[-1] == {"event": "state", "id": job.id,
+                              "state": "queued"}
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        reqs = [dict(REQ_A, values=[v]) for v in range(1, 7)]
+        a1, _ = queue.submit(reqs[0], "alice")
+        a2, _ = queue.submit(reqs[1], "alice")
+        a3, _ = queue.submit(reqs[2], "alice")
+        b1, _ = queue.submit(reqs[3], "bob")
+        c1, _ = queue.submit(reqs[4], "carol")
+        picked = queue.pending_fair(5)
+        # One job per client per round, clients ordered by oldest seq.
+        assert [job.id for job in picked] == [
+            a1.id, b1.id, c1.id, a2.id, a3.id
+        ]
+
+    def test_limit_respected(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        for v in range(8):
+            queue.submit(dict(REQ_A, values=[v]), "alice")
+        assert len(queue.pending_fair(3)) == 3
+
+    def test_depth_counts_live_jobs_only(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        a, _ = queue.submit(REQ_A, "alice")
+        b, _ = queue.submit(REQ_B, "alice")
+        queue.mark_running(a.id)
+        assert queue.depth() == 2
+        queue.mark_done(a.id, result_key="k", source="computed")
+        assert queue.depth() == 1
+        queue.mark_running(b.id)
+        queue.mark_failed(b.id, "boom")
+        assert queue.depth() == 0
+
+    def test_has_pending_tracks_lifecycle_and_replay(self, tmp_path):
+        queue = JobQueue(tmp_path)
+        assert not queue.has_pending()
+        job, _ = queue.submit(REQ_A, "alice")
+        assert queue.has_pending()
+        queue.mark_running(job.id)
+        assert not queue.has_pending()
+
+        # Crash replay demotes the running job back to queued.
+        replayed = JobQueue(tmp_path)
+        assert replayed.has_pending()
+        replayed.mark_running(job.id)
+        replayed.mark_done(job.id, result_key="k", source="computed")
+        assert not replayed.has_pending()
