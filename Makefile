@@ -1,11 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke service-smoke docs-check bench bench-perf bench-service clean-cache
+.PHONY: test test-crashsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-service clean-cache
 
 ## Tier-1 test suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+## Crash-injection suite alone: kills the service queue at every
+## fsync/rename/append boundary and asserts the replay invariants.
+test-crashsim:
+	$(PYTHON) -m pytest tests/service/test_crashsim.py -q
 
 ## Ruff lint gate (config in pyproject.toml).  Skips with a notice when
 ## ruff is not installed; CI installs ruff and enforces it.
@@ -20,6 +25,10 @@ smoke:
 ## verify the response against the cached artifact and the warm path.
 service-smoke:
 	$(PYTHON) scripts/service_smoke.py
+
+## The same smoke against a 4-worker sharded dispatcher.
+service-smoke-workers:
+	$(PYTHON) scripts/service_smoke.py --workers 4
 
 ## Fail if README.md / DESIGN.md drift from the CLI's --help surface.
 docs-check:

@@ -13,7 +13,10 @@ core's):
 * **cold batch latency** — wall-clock seconds from first HTTP submit to
   result for a tiny sweep against an empty cache (queue + dispatch +
   simulate + assemble + store), and for a fan-out of distinct sweeps
-  submitted together and fused into dispatcher batches.
+  submitted together — once fused into one dispatcher batch
+  (``workers=1``) and once sharded across four concurrent dispatch
+  workers (``workers=4``, ``max_batch=1``), so the report tracks the
+  scale-out dimension alongside the serial baseline.
 
 The service is hosted in-process (:class:`repro.service.server
 .ServerThread`) but driven over real sockets through the same urllib
@@ -85,6 +88,37 @@ def bench_cold(tmp: Path) -> dict:
     }
 
 
+def bench_cold_sharded(tmp: Path, workers: int) -> dict:
+    """The same cold fan-out, sharded across concurrent dispatch workers.
+
+    ``max_batch=1`` pins one job per batch so the fan-out exercises
+    ``workers`` truly concurrent batches instead of one fused one.
+    """
+    with ServerThread(
+        tmp / f"shard{workers}-queue", tmp / f"shard{workers}-cache",
+        workers=workers, max_batch=1,
+    ) as service:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=len(FANOUT_VALUES)) as pool:
+            list(pool.map(
+                lambda value: submit_and_wait(
+                    service.url, _payload(value), client="bench",
+                    timeout=300.0,
+                ),
+                FANOUT_VALUES,
+            ))
+        fanout = time.perf_counter() - started
+        stats = get_stats(service.url)["dispatcher"]
+    return {
+        "workers": workers,
+        "fanout_jobs": len(FANOUT_VALUES),
+        "fanout_seconds": round(fanout, 3),
+        "fanout_batches": stats["batches"],
+        "overlapped_batches": stats["overlapped_batches"],
+        "cells_executed": stats["cells_executed"],
+    }
+
+
 def bench_warm(tmp: Path, requests: int) -> dict:
     """Cache-hit round trips: sequential and 8-way concurrent."""
     with ServerThread(tmp / "warm-queue", tmp / "warm-cache") as service:
@@ -138,6 +172,12 @@ def main() -> int:
               f"{cold['fanout_jobs']} distinct jobs in "
               f"{cold['fanout_seconds']}s "
               f"({cold['fanout_batches']} batches)")
+        print("cold: same fan-out, 4 dispatch workers ...", flush=True)
+        sharded = bench_cold_sharded(tmp_path, workers=4)
+        print(f"  {sharded['fanout_jobs']} distinct jobs in "
+              f"{sharded['fanout_seconds']}s "
+              f"({sharded['fanout_batches']} batches, "
+              f"{sharded['overlapped_batches']} overlapped)")
         print(f"warm: {args.warm_requests} cache-hit round trips ...",
               flush=True)
         warm = bench_warm(tmp_path, args.warm_requests)
@@ -152,7 +192,11 @@ def main() -> int:
             "machine": platform.machine(),
             "system": platform.system(),
         },
-        "metrics": {"cold": cold, "warm": warm},
+        "metrics": {
+            "cold": cold,
+            "cold_sharded": sharded,
+            "warm": warm,
+        },
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

@@ -32,10 +32,15 @@ DESIGN_REQUIRED = (
     "batching rules",
     "coalesce",
     "/v1/jobs",
+    # The scale-out layer: snapshot compaction + sharded dispatch.
+    "compaction",
+    "snapshot",
+    "generation",
+    "worker",
 )
 
 #: Subcommands whose --help surfaces must be reflected in README.md.
-SUBCOMMANDS = ("list", "sweep", "serve", "submit", "status", "cache")
+SUBCOMMANDS = ("list", "sweep", "serve", "submit", "status", "queue", "cache")
 
 
 def cli_help(*subcommand: str) -> str:

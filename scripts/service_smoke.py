@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Service smoke: serve, submit a tiny sweep over HTTP, verify, exit.
 
-What CI's service job runs (``make service-smoke``), end to end through
-the real CLI and real sockets:
+What CI's service job runs (``make service-smoke``, and again as
+``make service-smoke-workers`` with ``--workers 4`` to cover the
+sharded multi-worker drain), end to end through the real CLI and real
+sockets:
 
-1. start ``python -m repro serve --port 0`` as a subprocess and parse
-   the announced URL;
+1. start ``python -m repro serve --port 0`` as a subprocess (with
+   ``--workers N`` when requested) and parse the announced URL;
 2. submit a tiny sweep over HTTP and wait for the result;
 3. assert the served document is byte-identical to the artifact the
    cache stored under the job's ``result_key``;
@@ -20,6 +22,7 @@ hanging the job.
 
 from __future__ import annotations
 
+import argparse
 import os
 import re
 import subprocess
@@ -41,7 +44,7 @@ PAYLOAD = {"kind": "sweep", "axis": "regfile", "values": ["34", "42"],
            "workloads": ["li_like"], "profile": "tiny"}
 
 
-def _spawn_server(cache_dir: str, queue_dir: str) -> tuple:
+def _spawn_server(cache_dir: str, queue_dir: str, workers: int) -> tuple:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
@@ -49,6 +52,7 @@ def _spawn_server(cache_dir: str, queue_dir: str) -> tuple:
     )
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", str(workers),
          "--cache-dir", cache_dir, "--queue-dir", queue_dir],
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
         text=True, env=env,
@@ -71,11 +75,19 @@ def _spawn_server(cache_dir: str, queue_dir: str) -> tuple:
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="dispatch workers for the served instance (default: 1)",
+    )
+    args = parser.parse_args()
+
     started = time.monotonic()
     with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
         cache_dir = os.path.join(tmp, "cache")
         queue_dir = os.path.join(tmp, "queue")
-        process, url = _spawn_server(cache_dir, queue_dir)
+        process, url = _spawn_server(cache_dir, queue_dir, args.workers)
+        print(f"serving with --workers {args.workers} at {url}")
         try:
             job, document = submit_and_wait(
                 url, dict(PAYLOAD), client="smoke", timeout=DEADLINE_SECONDS

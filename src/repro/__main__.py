@@ -12,9 +12,11 @@ Usage::
     python -m repro machine                   # print the Figure 2 table
     python -m repro sweep --axis predictor --workloads go,li
     python -m repro sweep --axis hierarchy --values micro97,compact
-    python -m repro serve --port 8742 --jobs 4    # simulation service
+    python -m repro serve --port 8742 --workers 4 --jobs 2   # service
     python -m repro submit --url http://127.0.0.1:8742 --axis regfile
     python -m repro status --url http://127.0.0.1:8742
+    python -m repro queue compact --url http://127.0.0.1:8742
+    python -m repro queue stats --queue-dir .repro-queue
     python -m repro cache stats
     python -m repro cache gc --max-age 604800 --max-bytes 500000000
 
@@ -271,12 +273,23 @@ def _serve_main(argv) -> int:
         help="TCP port (default: 8742; 0 picks a free port)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent dispatch workers: batches are claimed atomically "
+             "and executed in parallel, overlapping the next batch's "
+             "grouping with the previous one's execution (default: 1)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes per simulation batch (default: 1)",
     )
     parser.add_argument(
         "--max-batch", type=int, default=8, metavar="N",
         help="max service jobs fused into one batch (default: 8)",
+    )
+    parser.add_argument(
+        "--compact-every", type=int, default=4096, metavar="N",
+        help="auto-compact the queue journal into a snapshot every N "
+             "events; 0 disables auto-compaction (default: 4096)",
     )
     parser.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
@@ -289,6 +302,10 @@ def _serve_main(argv) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.compact_every < 0:
+        parser.error("--compact-every must be >= 0")
 
     from repro.service.server import serve_forever
 
@@ -296,7 +313,8 @@ def _serve_main(argv) -> int:
         print(f"serving on {server.url}", flush=True)
         print(
             f"queue journal: {args.queue_dir}; cache: {args.cache_dir}; "
-            f"workers: {args.jobs}; max batch: {args.max_batch}",
+            f"workers: {args.workers}; jobs/batch: {args.jobs}; "
+            f"max batch: {args.max_batch}",
             file=sys.stderr, flush=True,
         )
 
@@ -304,6 +322,8 @@ def _serve_main(argv) -> int:
         args.queue_dir, args.cache_dir,
         host=args.host, port=args.port,
         jobs=args.jobs, max_batch=args.max_batch,
+        workers=args.workers,
+        compact_every=args.compact_every or None,
         announce=announce,
     )
     return 0
@@ -431,18 +451,124 @@ def _status_main(argv) -> int:
         return 2
     queue, disp = stats["queue"], stats["dispatcher"]
     workers = stats["workers"]
+    compaction = queue["compaction"]
     print(f"queue depth: {queue['depth']}  states: "
           + "  ".join(f"{k}={v}" for k, v in sorted(queue["states"].items())))
+    print(f"journal: generation {compaction['generation']}  "
+          f"tail events: {compaction['journal_events']}  "
+          f"compactions: {compaction['compactions']}")
     print(f"submissions: {disp['submissions']}  coalesced: "
           f"{disp['coalesced']}  from-cache: {disp['jobs_from_cache']}  "
           f"completed: {disp['jobs_completed']}  failed: "
           f"{disp['jobs_failed']}")
     print(f"batches: {disp['batches']}  batched jobs: "
           f"{disp['batched_jobs']}  cells executed: "
-          f"{disp['cells_executed']}")
-    print(f"workers: {workers['pool_size']}  max batch: "
+          f"{disp['cells_executed']}  inflight-deduped: "
+          f"{disp['cells_deduped_inflight']}  overlapped: "
+          f"{disp['overlapped_batches']}")
+    print(f"workers: {workers['count']} ({workers['active']} active)  "
+          f"pool size: {workers['pool_size']}  max batch: "
           f"{workers['max_batch']}  utilization: "
           f"{workers['utilization']:.1%}")
+    return 0
+
+
+def _queue_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro queue",
+        description="Inspect or compact a service job-queue directory. "
+                    "'compact' folds the journal into an atomic snapshot "
+                    "(against a live service via --url, or offline on a "
+                    "--queue-dir while no server is running); 'stats' is a "
+                    "read-only report of the snapshot/journal files.",
+    )
+    parser.add_argument(
+        "action", choices=("compact", "stats"),
+        help="'compact' snapshots + truncates the journal; 'stats' reports "
+             "generation, snapshot size, and journal tail length",
+    )
+    parser.add_argument(
+        "--queue-dir", default=".repro-queue", metavar="DIR",
+        help="queue directory (default: .repro-queue)",
+    )
+    parser.add_argument(
+        "--url", metavar="URL",
+        help="compact via a running service's POST /v1/compact instead of "
+             "touching the directory (required if a server is live)",
+    )
+    parser.add_argument(
+        "--retain", type=int, default=None, metavar="N",
+        help="finished jobs to keep in the snapshot (default: 256, or "
+             "the live server's configured retention with --url)",
+    )
+    args = parser.parse_args(argv)
+    if args.retain is not None and args.retain < 0:
+        parser.error("--retain must be >= 0")
+
+    if args.action == "compact" and args.url:
+        from repro.service.client import ServiceError, compact_queue
+
+        try:
+            report = compact_queue(args.url, retain_terminal=args.retain)
+        except ServiceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"compact: generation {report['generation']}, "
+              f"kept {report['jobs_kept']} job(s), "
+              f"dropped {report['jobs_dropped']}, "
+              f"folded {report['events_folded']} journal event(s)")
+        return 0
+
+    if args.action == "compact":
+        # Offline maintenance: replays the journal (demoting interrupted
+        # work exactly as a restart would), snapshots, and truncates.
+        # Never run this against a live server's queue directory — two
+        # writers on one journal corrupt both; use --url for that.
+        from repro.service.queue import JobQueue, SnapshotCorruptError
+
+        try:
+            queue = JobQueue(args.queue_dir)
+        except SnapshotCorruptError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        try:
+            report = queue.compact(retain_terminal=args.retain)
+        finally:
+            queue.close()
+        print(report.summary())
+        return 0
+
+    # stats: pure file inspection, safe next to a running server.
+    from repro.service.queue import JobQueue as _JobQueue
+
+    queue_dir = args.queue_dir
+    snapshot_path = os.path.join(queue_dir, _JobQueue.SNAPSHOT_FILE)
+    journal_path = os.path.join(queue_dir, "journal.jsonl")
+    generation = 0
+    if os.path.exists(snapshot_path):
+        with open(snapshot_path, encoding="utf-8") as handle:
+            try:
+                snapshot = json.load(handle)
+            except json.JSONDecodeError:
+                print(f"error: {snapshot_path} is corrupt (torn snapshot)",
+                      file=sys.stderr)
+                return 2
+        generation = snapshot.get("generation", 0)
+        states = {}
+        for record in snapshot.get("jobs", ()):
+            states[record.get("state")] = states.get(record.get("state"), 0) + 1
+        print(f"snapshot: generation {generation}, "
+              f"{snapshot.get('job_count', 0)} job(s)  "
+              + "  ".join(f"{k}={v}" for k, v in sorted(states.items())))
+    else:
+        print("snapshot: none (journal-only queue)")
+    if os.path.exists(journal_path):
+        with open(journal_path, encoding="utf-8") as handle:
+            lines = sum(1 for _ in handle)
+        size = os.path.getsize(journal_path)
+        print(f"journal: {lines} line(s), {size:,} bytes")
+    else:
+        print("journal: none")
     return 0
 
 
@@ -510,6 +636,7 @@ _SUBCOMMANDS = {
     "serve": _serve_main,
     "submit": _submit_main,
     "status": _status_main,
+    "queue": _queue_main,
     "cache": _cache_main,
 }
 
@@ -527,8 +654,9 @@ def main(argv=None) -> int:
              "(--workloads/--predictors/--hierarchies show registered "
              "components), 'sweep' (ad-hoc component sweeps), 'serve' "
              "(simulation service), 'submit'/'status' (service clients), "
-             "or 'cache' (artifact-store stats/gc); each subcommand has "
-             "its own --help"
+             "'queue' (job-queue compaction/stats), or 'cache' "
+             "(artifact-store stats/gc); each subcommand has its own "
+             "--help"
              % ", ".join(EXPERIMENTS),
     )
     _add_run_options(parser)

@@ -53,6 +53,7 @@ __all__ = [
     "canonical",
     "code_version",
     "fingerprint",
+    "write_json_atomic",
 ]
 
 
@@ -112,6 +113,47 @@ def code_version() -> str:
         digest.update(path.read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()[:16]
+
+
+def write_json_atomic(
+    path: os.PathLike,
+    payload: Any,
+    *,
+    indent: Optional[int] = None,
+    checkpoint: Optional[Any] = None,
+) -> None:
+    """Write ``payload`` as JSON to ``path`` crash-safely.
+
+    The durable-replace idiom every JSON state file in this repo uses:
+    a private temp file in the destination directory, flushed and
+    fsynced, then :func:`os.replace`\\ d into place — a reader sees
+    either the old complete file or the new complete file, never a torn
+    one.  ``checkpoint``, when given, is called with ``"write"`` /
+    ``"fsync"`` / ``"rename"`` immediately before each primitive — the
+    seam the service queue's crash-injection harness interposes on.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            if checkpoint is not None:
+                checkpoint("write")
+            json.dump(payload, handle, indent=indent, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            if checkpoint is not None:
+                checkpoint("fsync")
+            os.fsync(handle.fileno())
+        if checkpoint is not None:
+            checkpoint("rename")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -375,18 +417,7 @@ class ArtifactCache:
             slot["hits"] = slot.get("hits", 0) + hits
             slot["misses"] = slot.get("misses", 0) + misses
             slot["stores"] = slot.get("stores", 0) + stores
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(merged, handle, indent=2, sort_keys=True)
-            os.replace(tmp_name, self.root / self._COUNTERS_FILE)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        write_json_atomic(self.root / self._COUNTERS_FILE, merged, indent=2)
         for _, counter, hits, misses, stores in snapshot:
             counter.hits -= hits
             counter.misses -= misses

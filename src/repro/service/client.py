@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 __all__ = [
     "ServiceError",
+    "compact_queue",
     "get_job",
     "get_result",
     "get_stats",
@@ -88,6 +89,27 @@ def get_result(base_url: str, key: str, *, timeout: float = 30.0) -> bytes:
 def get_stats(base_url: str, *, timeout: float = 30.0) -> dict:
     status, raw = _request("GET", f"{base_url}/v1/stats", None, timeout)
     return _json_or_error(status, raw, "stats")
+
+
+def compact_queue(
+    base_url: str,
+    *,
+    retain_terminal: Optional[int] = None,
+    timeout: float = 30.0,
+) -> dict:
+    """Ask a running service to compact its queue journal now.
+
+    ``retain_terminal`` overrides the server's configured finished-job
+    retention for this pass.  Returns the compaction report
+    (``generation``, ``jobs_kept``, ``jobs_dropped``,
+    ``events_folded``) — the live counterpart of the offline
+    ``repro queue compact --queue-dir`` maintenance verb.
+    """
+    body = b""
+    if retain_terminal is not None:
+        body = json.dumps({"retain_terminal": retain_terminal}).encode("utf-8")
+    status, raw = _request("POST", f"{base_url}/v1/compact", body, timeout)
+    return _json_or_error(status, raw, "compact")
 
 
 def submit_and_wait(

@@ -19,7 +19,19 @@ and the compute core, and is where the service earns its keep:
 * **Batch coalescing** — queued jobs are drained fairly (round-robin
   per client), grouped by compatible profile, and their cells fused
   into one worker-pool batch.  The pool width (``jobs``) and the batch
-  size (``max_batch``) bound the service's concurrency budget.
+  size (``max_batch``) bound each batch's concurrency budget.
+* **Sharded multi-worker dispatch** — ``workers`` drain slots call
+  :meth:`Dispatcher.drain_once` concurrently.  Claiming is atomic (one
+  dispatcher-wide lock covers the fair drain *and* the
+  ``queued -> running`` transitions), so two workers never pull the
+  same job; execution runs outside the lock, so while one worker's
+  batch executes, the next worker is already grouping and submitting
+  the following batch — the batch-overlapping drain that keeps the
+  pool busy.  Cells shared *across* concurrently executing batches are
+  deduplicated by an in-flight registry (first claimant computes, the
+  others wait and then assemble from the artifact the atomic cache
+  store published), so concurrent workers computing the same cell
+  remain byte-identical and compute-once.
 * **Assembly from the warmed context** — after the fused batch runs,
   each job's result table is assembled purely from the context's memo
   layer (see :func:`repro.experiments.sweep.assemble_sweep`), rendered
@@ -32,6 +44,7 @@ and the compute core, and is where the service earns its keep:
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -161,16 +174,77 @@ class DispatcherStats:
     batches: int = 0
     batched_jobs: int = 0
     cells_executed: int = 0
+    #: Cells skipped because another worker's in-flight batch owned them.
+    cells_deduped_inflight: int = 0
+    #: Batches that started while at least one other batch was executing.
+    overlapped_batches: int = 0
     busy_seconds: float = 0.0
     started_at: float = field(default_factory=time.monotonic)
 
     def utilization(self) -> float:
+        """Busy worker-seconds per wall second.
+
+        With ``workers > 1`` this is an *aggregate* across drain slots
+        and can exceed 1.0 — e.g. ~3.5 means three to four batches were
+        executing concurrently on average.
+        """
         elapsed = time.monotonic() - self.started_at
         return self.busy_seconds / elapsed if elapsed > 0 else 0.0
 
 
+class _InflightCells:
+    """Cross-worker registry of cells currently being computed.
+
+    :meth:`claim` partitions a batch's deduplicated cells into *owned*
+    (this worker registered them first and must compute them) and
+    *foreign* (another worker's executing batch already owns them —
+    skip computing, then :meth:`threading.Event.wait` until the owner
+    finishes and read the artifact its atomic cache store published).
+    The registry only ever *narrows* work: if an owner dies without
+    storing, the waiter's assembly path recomputes the cell inline, so
+    correctness never depends on the registry — only compute-once does.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: Dict[str, threading.Event] = {}
+
+    def claim(self, cells: List[Job]) -> Tuple[List[Job], List[str], List[threading.Event]]:
+        owned: List[Job] = []
+        owned_sigs: List[str] = []
+        foreign: List[threading.Event] = []
+        seen = set()
+        with self._lock:
+            for cell in cells:
+                signature = cell.signature()
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                event = self._events.get(signature)
+                if event is None:
+                    self._events[signature] = threading.Event()
+                    owned.append(cell)
+                    owned_sigs.append(signature)
+                else:
+                    foreign.append(event)
+        return owned, owned_sigs, foreign
+
+    def release(self, signatures: List[str]) -> None:
+        with self._lock:
+            for signature in signatures:
+                event = self._events.pop(signature, None)
+                if event is not None:
+                    event.set()
+
+
 class Dispatcher:
-    """Drains the queue into fused, bounded worker-pool batches."""
+    """Drains the queue into fused, bounded worker-pool batches.
+
+    ``workers`` is how many drain slots call :meth:`drain_once`
+    concurrently (the server hosts one thread per slot); the dispatcher
+    itself only serializes the claim phase and keeps its tallies
+    coherent — execution is the callers' concurrency.
+    """
 
     def __init__(
         self,
@@ -179,12 +253,26 @@ class Dispatcher:
         *,
         jobs: int = 1,
         max_batch: int = 8,
+        workers: int = 1,
     ) -> None:
         self.queue = queue
         self.cache = ArtifactCache(cache_root)
         self.jobs = max(1, jobs)
         self.max_batch = max(1, max_batch)
+        self.workers = max(1, workers)
         self.stats = DispatcherStats()
+        #: Serializes the fair-drain + claim phase across drain workers
+        #: so two slots never mark the same job running.
+        self._claim_lock = threading.Lock()
+        #: Guards the stats counters (mutated from every drain slot and
+        #: the event-loop submit path concurrently).
+        self._stats_lock = threading.Lock()
+        #: Serializes counter accumulation + flush (snapshot/subtract in
+        #: flush_counters is not safe against a concurrent flush).
+        self._counters_lock = threading.Lock()
+        self._inflight = _InflightCells()
+        #: Drain slots currently executing a batch (overlap gauge).
+        self._active_batches = 0
         #: Cumulative cache tallies for this server process; survives the
         #: per-batch flush_counters() that drains cache.counters into the
         #: on-disk lifetime file.
@@ -209,10 +297,12 @@ class Dispatcher:
         recomputation instead of pointing clients at a permanent 404.
         """
         request = normalize_request(payload)
-        self.stats.submissions += 1
+        with self._stats_lock:
+            self.stats.submissions += 1
         job, created = self.queue.submit(request, client)
         if not created:
-            self.stats.coalesced += 1
+            with self._stats_lock:
+                self.stats.coalesced += 1
             if (job.state is JobState.DONE
                     and not (job.result_key
                              and self.cache.exists_digest(
@@ -225,13 +315,24 @@ class Dispatcher:
                 job = self.queue.mark_done(
                     job.id, result_key=digest, source="cache"
                 )
-                self.stats.jobs_from_cache += 1
+                with self._stats_lock:
+                    self.stats.jobs_from_cache += 1
             except TransitionError:
-                # The dispatcher thread drained and finished this job
+                # A dispatcher worker drained and finished this job
                 # between our queue.submit and the existence probe; its
                 # result is the same bytes, so just serve its record.
                 job = self.queue.get(job.id)
         return job
+
+    def compact(self, retain_terminal: Optional[int] = None) -> dict:
+        """Compact the queue journal now (``POST /v1/compact``)."""
+        report = self.queue.compact(retain_terminal=retain_terminal)
+        return {
+            "generation": report.generation,
+            "jobs_kept": report.jobs_kept,
+            "jobs_dropped": report.jobs_dropped,
+            "events_folded": report.events_folded,
+        }
 
     def load_result(self, result_key: str) -> Optional[str]:
         """The rendered JSON document stored under an artifact digest."""
@@ -267,34 +368,66 @@ class Dispatcher:
         )
         return render_manifest(profile.name, {spec.name: result})
 
+    def _claim_batch(self) -> List[ServiceJob]:
+        """Atomically claim one compatible job group (queued -> running).
+
+        The claim lock makes fair-drain + grouping + the
+        ``queued -> running`` transitions one indivisible step across
+        drain workers: two concurrent slots can never pull the same job,
+        and a slot claiming jobs of one profile leaves other profiles'
+        jobs queued for the next slot — the sharding rule.
+        """
+        with self._claim_lock:
+            drained = self.queue.pending_fair(self.max_batch)
+            if not drained:
+                return []
+            profile_name = drained[0].request["profile"]
+            claimed: List[ServiceJob] = []
+            for job in drained:
+                if job.request["profile"] != profile_name:
+                    continue
+                try:
+                    self.queue.mark_running(job.id)
+                except TransitionError:
+                    # The submit thread instant-completed this job from
+                    # the cache after the fair drain picked it.
+                    continue
+                claimed.append(job)
+            return claimed
+
     def drain_once(self) -> int:
-        """Process one fused batch of queued jobs; returns jobs handled.
+        """Claim and process one fused batch; returns jobs handled.
 
         Drains up to ``max_batch`` jobs fairly, keeps the ones sharing
         the head job's profile (the compatibility rule — cells from
         different profiles never share artifacts, so fusing them buys
         nothing), fuses their cells into a single deduplicated
         :func:`~repro.experiments.parallel.execute` batch, then
-        assembles and stores each job's result individually.
+        assembles and stores each job's result individually.  Safe to
+        call from ``workers`` threads concurrently: claiming is atomic,
+        execution overlaps.
         """
+        # Auto-compaction lives here, on the drain workers — a snapshot
+        # write is multiple fsyncs and must never run on the submit
+        # path's event loop.  O(1) check when below threshold.
+        self.queue.maybe_compact()
         if not self.queue.has_pending():  # O(1) idle fast path
             return 0
-        drained = self.queue.pending_fair(self.max_batch)
-        if not drained:
+        group = self._claim_batch()
+        if not group:
             return 0
-        profile_name = drained[0].request["profile"]
-        group = [
-            job for job in drained
-            if job.request["profile"] == profile_name
-        ]
         started = time.monotonic()
-        profile = ExperimentProfile.by_name(profile_name)
+        profile = ExperimentProfile.by_name(group[0].request["profile"])
         # One fresh context per batch: its in-memory memo layer holds
         # exactly the batch's cells and is dropped afterwards, so a
         # long-lived server's footprint is bounded by its largest batch
         # (the shared disk cache keeps cross-batch warmth).
         context = ExperimentContext(profile, cache=self.cache, jobs=self.jobs)
 
+        with self._stats_lock:
+            if self._active_batches > 0:
+                self.stats.overlapped_batches += 1
+            self._active_batches += 1
         try:
             self._run_batch(group, profile, context)
         except Exception:
@@ -312,26 +445,23 @@ class Dispatcher:
                         pass
             raise
         finally:
-            self.stats.busy_seconds += time.monotonic() - started
+            with self._stats_lock:
+                self._active_batches -= 1
+                self.stats.busy_seconds += time.monotonic() - started
         try:
-            self._accumulate_session_counters()
-            self.cache.flush_counters()
+            with self._counters_lock:
+                self._accumulate_session_counters()
+                self.cache.flush_counters()
         except OSError:
             pass  # tallies stay in memory for the next flush attempt
         return len(group)
 
     def _run_batch(self, group, profile: ExperimentProfile,
                    context: ExperimentContext) -> None:
-        """Mark, fuse, execute, and assemble one compatible job group."""
+        """Fuse, execute, and assemble one claimed job group."""
         cells: List[Job] = []
         runnable: List[Tuple[ServiceJob, List[Job]]] = []
         for job in group:
-            try:
-                self.queue.mark_running(job.id)
-            except TransitionError:
-                # The submit thread instant-completed this job from the
-                # cache after we drained it; nothing left to run for it.
-                continue
             try:
                 job_cells = self._cells_for(job, profile)
             except Exception as error:  # bad request that survived normalize
@@ -342,24 +472,38 @@ class Dispatcher:
 
         if runnable:
             attempted = len(runnable)
+            # Cells another worker's in-flight batch owns are computed
+            # exactly once there; this batch executes only the cells it
+            # claimed first, then waits for the foreign ones below.
+            owned, owned_sigs, foreign = self._inflight.claim(cells)
             try:
-                # spawn, not fork: this process runs an asyncio thread,
-                # and forking a multi-threaded process can hand children
-                # locks held mid-operation by the event loop.
-                executed = execute(
-                    cells, context,
-                    mp_context=multiprocessing.get_context("spawn"),
-                )
-            except Exception as error:
-                for job, _ in runnable:
-                    self._finish(
-                        job, error=f"{type(error).__name__}: {error}"
+                try:
+                    # spawn, not fork: this process runs an asyncio
+                    # thread, and forking a multi-threaded process can
+                    # hand children locks held mid-operation by the
+                    # event loop.
+                    executed = execute(
+                        owned, context,
+                        mp_context=multiprocessing.get_context("spawn"),
                     )
-                runnable = []
-                executed = 0
-            self.stats.batches += 1
-            self.stats.batched_jobs += attempted
-            self.stats.cells_executed += executed
+                except Exception as error:
+                    for job, _ in runnable:
+                        self._finish(
+                            job, error=f"{type(error).__name__}: {error}"
+                        )
+                    runnable = []
+                    executed = 0
+            finally:
+                self._inflight.release(owned_sigs)
+            for event in foreign:
+                # Bounded wait: if the owning batch died, assembly
+                # recomputes the cell inline (correct, just slower).
+                event.wait(timeout=600.0)
+            with self._stats_lock:
+                self.stats.batches += 1
+                self.stats.batched_jobs += attempted
+                self.stats.cells_executed += executed
+                self.stats.cells_deduped_inflight += len(foreign)
 
         for job, _ in runnable:
             try:
@@ -393,10 +537,12 @@ class Dispatcher:
                 self.queue.mark_done(
                     job.id, result_key=result_key, source="computed"
                 )
-                self.stats.jobs_completed += 1
+                with self._stats_lock:
+                    self.stats.jobs_completed += 1
             else:
                 self.queue.mark_failed(job.id, error)
-                self.stats.jobs_failed += 1
+                with self._stats_lock:
+                    self.stats.jobs_failed += 1
         except TransitionError:
             pass
 
@@ -428,6 +574,7 @@ class Dispatcher:
             "queue": {
                 "depth": self.queue.depth(),
                 "states": self.queue.state_counts(),
+                "compaction": self.queue.compaction_stats(),
             },
             "dispatcher": {
                 "submissions": self.stats.submissions,
@@ -438,12 +585,16 @@ class Dispatcher:
                 "batches": self.stats.batches,
                 "batched_jobs": self.stats.batched_jobs,
                 "cells_executed": self.stats.cells_executed,
+                "cells_deduped_inflight": self.stats.cells_deduped_inflight,
+                "overlapped_batches": self.stats.overlapped_batches,
             },
             "cache": {
                 "session": cache_counters,
                 "lifetime": self.cache.persistent_counters(),
             },
             "workers": {
+                "count": self.workers,
+                "active": self._active_batches,
                 "pool_size": self.jobs,
                 "max_batch": self.max_batch,
                 "busy_seconds": round(self.stats.busy_seconds, 3),

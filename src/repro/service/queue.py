@@ -2,15 +2,39 @@
 
 Every submitted experiment request becomes a :class:`ServiceJob` with a
 tiny state machine (``queued -> running -> done | failed``).  All state
-lives in a JSON-lines **journal** (``<root>/journal.jsonl``): submits,
-duplicate attachments, and state transitions are each one appended,
-fsynced line, and the in-memory table mutates only *after* the journal
-line is durable — so a crash at any instant loses at most the event
-being written.  Restart replays the journal: finished jobs stay
-finished, jobs that were ``running`` when the process died are demoted
-back to ``queued`` (their work is repeatable and cache-backed, so
-re-execution is safe), and a torn trailing line from a mid-write crash
-is ignored.
+lives in two files under ``<root>``:
+
+* **journal** (``journal.jsonl``) — submits, duplicate attachments, and
+  state transitions are each one appended, fsynced JSON line, and the
+  in-memory table mutates only *after* the journal line is durable — so
+  a crash at any instant loses at most the event being written.
+* **snapshot** (``snapshot.json``) — a periodic :meth:`~JobQueue.compact`
+  writes the whole live table atomically (temp file + fsync +
+  ``os.replace``) and resets the journal, so a long-lived queue's
+  restart cost is O(live jobs), not O(journal history).
+
+Snapshot and journal are stitched together by a **generation** counter:
+every compaction bumps it, stamps the new snapshot with it, and starts
+the fresh journal with a ``{"event": "journal", "generation": G}``
+header line.  Replay loads the snapshot (generation ``S``), then applies
+the journal tail only when its header generation matches ``S`` — a
+journal left behind by a crash *between* the snapshot rename and the
+journal reset carries the previous generation and is correctly ignored
+(every event in it is already folded into the snapshot).  A journal
+*newer* than the snapshot, or a snapshot that fails to parse (a torn or
+truncated file), fails loudly with :class:`SnapshotCorruptError` —
+silently replaying stale state would be worse than refusing to start.
+Jobs that were ``running`` when the process died are demoted back to
+``queued`` (their work is repeatable and cache-backed, so re-execution
+is safe), and a torn trailing journal line from a mid-write crash is
+truncated away.
+
+Compaction retains every live (queued/running) job plus the
+``retain_terminal`` most recent finished ones (so pollers of a
+just-completed job keep getting its record); older terminal jobs are
+dropped from the table.  Dropping them is safe because their results
+live in the content-addressed artifact cache: a resubmission creates a
+fresh job that the dispatcher instantly completes from the store.
 
 Deduplication happens at submit time: a job's identity is the
 value-based fingerprint of its normalized request, and submitting an
@@ -19,9 +43,15 @@ instead of creating a new one.  Failed jobs do not absorb duplicates —
 resubmitting a failed request queues a fresh attempt.
 
 The queue is thread-safe (the HTTP server submits from the asyncio
-thread while the dispatcher drains from a worker thread) but
-single-process; multi-process sharing is a later scale-out step and
-would shard queues, not this file.
+thread while dispatcher workers drain concurrently) but single-process;
+multi-process sharing would shard queue directories, not this file.
+
+Crash-injection seams: every fsync/rename/append/truncate boundary in
+this module calls :func:`_fp` with a site name from
+:data:`FAILPOINT_SITES`.  The default hook is ``None`` (zero overhead
+beyond a global read); ``tests/service/crashsim.py`` installs a hook
+that raises at a chosen site occurrence and then asserts the replay
+invariants hold.
 """
 
 from __future__ import annotations
@@ -32,11 +62,58 @@ import threading
 from dataclasses import asdict, dataclass
 from enum import Enum
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.experiments.cache import code_version, fingerprint
+from repro.experiments.cache import code_version, fingerprint, write_json_atomic
 
-__all__ = ["JobQueue", "JobState", "ServiceJob", "TransitionError"]
+__all__ = [
+    "CompactionReport",
+    "FAILPOINT_SITES",
+    "JobQueue",
+    "JobState",
+    "ServiceJob",
+    "SnapshotCorruptError",
+    "TransitionError",
+    "set_failpoint_hook",
+]
+
+
+# ----------------------------------------------------------------------
+# Failpoints: the crash-injection seam.
+# ----------------------------------------------------------------------
+
+#: Every durability boundary in queue + compaction code, in the order a
+#: full submit/compact/recover cycle visits them.  The crash harness
+#: asserts it covered all of them.
+FAILPOINT_SITES = (
+    "journal.append.write",   # before the journal line is written
+    "journal.append.fsync",   # line written+flushed, before fsync
+    "journal.append.done",    # line durable, before memory mutates
+    "journal.truncate",       # before a torn tail is truncated away
+    "journal.reset.write",    # before the fresh journal's header is written
+    "journal.reset.fsync",    # header written, before fsync
+    "journal.reset.rename",   # header durable, before it replaces the journal
+    "snapshot.write",         # before the snapshot temp file is written
+    "snapshot.fsync",         # snapshot written, before fsync
+    "snapshot.rename",        # snapshot durable, before it replaces snapshot.json
+    "snapshot.replaced",      # snapshot live, before the journal resets
+    "compact.done",           # journal reset, before memory drops old jobs
+)
+
+#: Test-only hook; ``None`` in production.
+_FAILPOINT_HOOK: Optional[Callable[[str], None]] = None
+
+
+def set_failpoint_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install (or clear, with ``None``) the global failpoint hook."""
+    global _FAILPOINT_HOOK
+    _FAILPOINT_HOOK = hook
+
+
+def _fp(site: str) -> None:
+    hook = _FAILPOINT_HOOK
+    if hook is not None:
+        hook(site)
 
 
 class JobState(str, Enum):
@@ -63,6 +140,19 @@ _TRANSITIONS = {
 
 class TransitionError(RuntimeError):
     """An illegal job state transition was requested."""
+
+
+class SnapshotCorruptError(RuntimeError):
+    """The on-disk snapshot/journal pair is unusable.
+
+    Raised instead of silently replaying stale state: a snapshot that
+    fails to parse (torn or truncated), a snapshot whose job table does
+    not match its own ``job_count``, or a journal whose generation is
+    *newer* than the snapshot next to it (the snapshot was deleted or
+    replaced out-of-band) all mean the queue directory no longer tells a
+    consistent story, and starting from a guess would resurrect or lose
+    acknowledged jobs.
+    """
 
 
 @dataclass
@@ -106,14 +196,54 @@ def request_digest(request: dict, version: str = None) -> str:
     )
 
 
-class JobQueue:
-    """Journal-backed job table with atomic, validated transitions."""
+@dataclass
+class CompactionReport:
+    """What one :meth:`JobQueue.compact` pass did."""
 
-    def __init__(self, root: os.PathLike, *, version: str = None) -> None:
+    generation: int
+    jobs_kept: int
+    jobs_dropped: int
+    events_folded: int
+
+    def summary(self) -> str:
+        return (
+            f"compact: generation {self.generation}, "
+            f"kept {self.jobs_kept} job(s), dropped {self.jobs_dropped}, "
+            f"folded {self.events_folded} journal event(s) into the snapshot"
+        )
+
+
+class JobQueue:
+    """Journal-backed job table with atomic, validated transitions.
+
+    ``compact_every`` (events appended since the last snapshot) arms
+    :meth:`maybe_compact`, which the owner's housekeeping loop (the
+    dispatcher's drain workers, for the service) calls between batches;
+    ``None`` leaves compaction manual.  ``retain_terminal`` bounds how
+    many finished jobs a snapshot keeps.
+    """
+
+    SNAPSHOT_FILE = "snapshot.json"
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        *,
+        version: str = None,
+        compact_every: Optional[int] = None,
+        retain_terminal: int = 256,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.journal_path = self.root / "journal.jsonl"
+        self.snapshot_path = self.root / self.SNAPSHOT_FILE
         self.version = version if version is not None else code_version()
+        if compact_every is not None and compact_every < 1:
+            raise ValueError("compact_every must be >= 1 (or None)")
+        if retain_terminal < 0:
+            raise ValueError("retain_terminal must be >= 0")
+        self.compact_every = compact_every
+        self.retain_terminal = retain_terminal
         self.jobs: Dict[str, ServiceJob] = {}
         self._by_digest: Dict[str, str] = {}
         self._seq = 0
@@ -124,17 +254,49 @@ class JobQueue:
         #: queue, not with the ever-retained job history.
         self._queued: Dict[str, ServiceJob] = {}
         self._lock = threading.RLock()
+        #: Snapshot/journal generation; bumped by every compaction.
+        self._generation = 0
+        #: Events appended since the last snapshot (auto-compact trigger).
+        self._events_since_snapshot = 0
+        #: Cumulative compaction tallies for this process (``/v1/stats``).
+        self._compactions = 0
+        self._compacted_events = 0
+        self._dropped_jobs = 0
+        self._journal: Optional[object] = None
+
         self._truncate_torn_tail()
-        self._replay()
+        self._load_snapshot()
+        if not self._replay_tail():
+            # The journal predates the snapshot (a crash hit between the
+            # snapshot rename and the journal reset): every event in it
+            # is already folded into the snapshot, so finish the
+            # interrupted reset before anything appends.
+            self._reset_journal()
         self._journal = open(self.journal_path, "a", encoding="utf-8")
+        self._demote_interrupted()
 
     # -- journal ---------------------------------------------------------
 
     def _append(self, event: dict) -> None:
         """One durable journal line; the caller mutates memory after."""
-        self._journal.write(json.dumps(event, sort_keys=True) + "\n")
+        if self._journal is None:
+            # A compaction published its snapshot but could not reset
+            # the journal to match (see compact()); an event appended to
+            # the stale-generation journal would be silently discarded
+            # by the next replay, so refuse it loudly instead.
+            raise RuntimeError(
+                "queue journal is unavailable (compaction failed between "
+                "snapshot publish and journal reset); restart the queue "
+                "to recover from the snapshot"
+            )
+        line = json.dumps(event, sort_keys=True) + "\n"
+        _fp("journal.append.write")
+        self._journal.write(line)
         self._journal.flush()
+        _fp("journal.append.fsync")
         os.fsync(self._journal.fileno())
+        _fp("journal.append.done")
+        self._events_since_snapshot += 1
 
     def _truncate_torn_tail(self) -> None:
         """Drop a torn trailing line before anything appends.
@@ -157,35 +319,135 @@ class JobQueue:
                 return
             handle.seek(0)
             keep = handle.read().rfind(b"\n") + 1  # 0 if no newline at all
+            _fp("journal.truncate")
             handle.truncate(keep)
             handle.flush()
             os.fsync(handle.fileno())
 
-    def _replay(self) -> None:
-        """Rebuild the job table from the journal (crash-tolerant)."""
-        if not self.journal_path.exists():
+    def _reset_journal(self) -> None:
+        """Atomically replace the journal with a fresh header-only file.
+
+        The fresh journal's single line stamps the current generation;
+        the same temp+fsync+rename idiom every JSON state file uses
+        (:func:`~repro.experiments.cache.write_json_atomic`), so a
+        crash at any point leaves either the old complete journal or
+        the new one — never a torn hybrid.  The caller is responsible
+        for reopening ``self._journal`` if a handle was open.
+        """
+        write_json_atomic(
+            self.journal_path,
+            {"event": "journal", "generation": self._generation},
+            checkpoint=lambda step: _fp(f"journal.reset.{step}"),
+        )
+        self._events_since_snapshot = 0
+
+    # -- snapshot / replay ----------------------------------------------
+
+    @staticmethod
+    def _job_record(job: ServiceJob) -> dict:
+        record = asdict(job)
+        record["state"] = job.state.value
+        return record
+
+    def _load_snapshot(self) -> None:
+        """Load ``snapshot.json`` into the table; loud on corruption."""
+        try:
+            raw = self.snapshot_path.read_text(encoding="utf-8")
+        except FileNotFoundError:
             return
-        with open(self.journal_path, encoding="utf-8") as handle:
-            for line in handle:
-                try:
-                    event = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn write from a crash mid-append
-                self._apply(event)
-        # Work interrupted mid-execution is repeatable: demote it.
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise SnapshotCorruptError(
+                f"{self.snapshot_path}: snapshot does not parse ({error}); "
+                f"refusing to silently replay stale state"
+            ) from None
+        if not isinstance(payload, dict):
+            raise SnapshotCorruptError(
+                f"{self.snapshot_path}: snapshot is not a JSON object"
+            )
+        jobs = payload.get("jobs")
+        expected = payload.get("job_count")
+        if not isinstance(jobs, list) or expected != len(jobs):
+            raise SnapshotCorruptError(
+                f"{self.snapshot_path}: snapshot job table is truncated "
+                f"(job_count {expected!r} != {len(jobs) if isinstance(jobs, list) else 'n/a'})"
+            )
+        try:
+            self._generation = int(payload["generation"])
+            self._seq = int(payload["seq"])
+            for record in jobs:
+                job = ServiceJob(
+                    id=record["id"],
+                    digest=record["digest"],
+                    request=record["request"],
+                    client=record["client"],
+                    seq=record["seq"],
+                    state=JobState(record["state"]),
+                    attached=record["attached"],
+                    result_key=record["result_key"],
+                    source=record["source"],
+                    error=record["error"],
+                )
+                self.jobs[job.id] = job
+                self._by_digest[job.digest] = job.id
+                self._counts[job.state] += 1
+                if job.state is JobState.QUEUED:
+                    self._queued[job.id] = job
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotCorruptError(
+                f"{self.snapshot_path}: malformed snapshot record "
+                f"({type(error).__name__}: {error})"
+            ) from None
+
+    def _replay_tail(self) -> bool:
+        """Apply the journal on top of the snapshot (crash-tolerant).
+
+        Returns ``True`` when the journal belonged to the current
+        generation (its events were applied), ``False`` when it was a
+        stale pre-snapshot leftover whose events are already folded into
+        the snapshot (the caller then resets it).  A journal from a
+        *future* generation is a loud error: its snapshot is missing.
+        """
+        generation = 0
+        events: List[dict] = []
+        if self.journal_path.exists():
+            first = True
+            with open(self.journal_path, encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write from a crash mid-append
+                    if first and event.get("event") == "journal":
+                        generation = int(event.get("generation", 0))
+                        first = False
+                        continue
+                    first = False
+                    events.append(event)
+        if generation > self._generation:
+            raise SnapshotCorruptError(
+                f"{self.journal_path}: journal generation {generation} is "
+                f"newer than snapshot generation {self._generation}; the "
+                f"snapshot it was appended after is gone"
+            )
+        if generation < self._generation:
+            return False
+        for event in events:
+            self._apply(event)
+        self._events_since_snapshot = len(events)
+        return True
+
+    def _demote_interrupted(self) -> None:
+        """Journal + apply ``running -> queued`` for interrupted work."""
         events = [
             {"event": "state", "id": job.id, "state": "queued"}
             for job in self.jobs.values()
             if job.state == JobState.RUNNING
         ]
-        if events:
-            with open(self.journal_path, "a", encoding="utf-8") as handle:
-                for event in events:
-                    handle.write(json.dumps(event, sort_keys=True) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            for event in events:
-                self._apply(event)
+        for event in events:
+            self._append(event)
+            self._apply(event)
 
     def _apply(self, event: dict) -> None:
         """Apply one journal event to memory.
@@ -236,6 +498,130 @@ class JobQueue:
     def _count_change(self, old: JobState, new: JobState) -> None:
         self._counts[old] -= 1
         self._counts[new] += 1
+
+    # -- compaction ------------------------------------------------------
+
+    def compact(self, *, retain_terminal: Optional[int] = None) -> CompactionReport:
+        """Fold the journal into an atomic snapshot and reset the journal.
+
+        Ordering (all under the queue lock, so no event can land in the
+        about-to-die journal):
+
+        1. write ``snapshot.json`` (temp + fsync + rename) stamped with
+           generation ``G+1``, containing every live job plus the
+           ``retain_terminal`` most recent finished ones;
+        2. replace the journal with a fresh header-only file stamped
+           ``G+1`` (temp + fsync + rename) and reopen the append handle;
+        3. drop the non-retained terminal jobs from memory.
+
+        A crash before step 1's rename leaves the old snapshot+journal
+        pair (generation ``G``) fully intact; a crash between steps 1
+        and 2 leaves a generation-``G`` journal next to a
+        generation-``G+1`` snapshot, which replay detects and discards
+        (its events are all folded into the snapshot); a crash inside
+        step 2 leaves either journal file whole, never a hybrid.  Memory
+        mutates last, after everything is durable.
+        """
+        retain = (
+            self.retain_terminal if retain_terminal is None else retain_terminal
+        )
+        if retain < 0:
+            raise ValueError("retain_terminal must be >= 0")
+        with self._lock:
+            live = [
+                job for job in self.jobs.values()
+                if job.state in (JobState.QUEUED, JobState.RUNNING)
+            ]
+            terminal = sorted(
+                (
+                    job for job in self.jobs.values()
+                    if job.state in (JobState.DONE, JobState.FAILED)
+                ),
+                key=lambda job: job.seq,
+            )
+            dropped = terminal[:max(0, len(terminal) - retain)]
+            dropped_ids = {job.id for job in dropped}
+            kept = sorted(
+                (job for job in self.jobs.values()
+                 if job.id not in dropped_ids),
+                key=lambda job: job.seq,
+            )
+            generation = self._generation + 1
+            folded = self._events_since_snapshot
+            payload = {
+                "generation": generation,
+                "seq": self._seq,
+                "job_count": len(kept),
+                "jobs": [self._job_record(job) for job in kept],
+            }
+            write_json_atomic(
+                self.snapshot_path, payload,
+                checkpoint=lambda step: _fp(f"snapshot.{step}"),
+            )
+            self._generation = generation
+            _fp("snapshot.replaced")
+            try:
+                self._reset_journal()
+                if self._journal is not None and not self._journal.closed:
+                    self._journal.close()
+                self._journal = open(self.journal_path, "a",
+                                     encoding="utf-8")
+            except BaseException:
+                # The generation-G+1 snapshot is live but the journal
+                # could not be reset to match.  If appends kept landing
+                # in the stale generation-G journal they would be
+                # acknowledged, then silently discarded by the next
+                # replay — so close the handle and let _append refuse
+                # loudly until a restart recovers from the snapshot.
+                if self._journal is not None and not self._journal.closed:
+                    try:
+                        self._journal.close()
+                    except OSError:
+                        pass
+                self._journal = None
+                raise
+            _fp("compact.done")
+            for job in dropped:
+                del self.jobs[job.id]
+                self._counts[job.state] -= 1
+                if self._by_digest.get(job.digest) == job.id:
+                    del self._by_digest[job.digest]
+            self._compactions += 1
+            self._compacted_events += folded
+            self._dropped_jobs += len(dropped)
+            return CompactionReport(
+                generation=generation,
+                jobs_kept=len(kept),
+                jobs_dropped=len(dropped),
+                events_folded=folded,
+            )
+
+    def maybe_compact(self) -> Optional[CompactionReport]:
+        """Compact iff the journal has outgrown ``compact_every`` events.
+
+        The auto-compaction entry point — called by the dispatcher's
+        drain workers (never from the HTTP event loop: a snapshot write
+        is multiple fsyncs, and the submit path runs on the loop), and
+        available to any standalone queue owner's housekeeping loop.
+        """
+        with self._lock:
+            if (
+                self.compact_every is None
+                or self._events_since_snapshot < self.compact_every
+            ):
+                return None
+            return self.compact()
+
+    def compaction_stats(self) -> Dict[str, int]:
+        """Generation + compaction tallies, served by ``GET /v1/stats``."""
+        with self._lock:
+            return {
+                "generation": self._generation,
+                "compactions": self._compactions,
+                "events_folded": self._compacted_events,
+                "jobs_dropped": self._dropped_jobs,
+                "journal_events": self._events_since_snapshot,
+            }
 
     # -- submission ------------------------------------------------------
 
@@ -380,5 +766,5 @@ class JobQueue:
 
     def close(self) -> None:
         with self._lock:
-            if not self._journal.closed:
+            if self._journal is not None and not self._journal.closed:
                 self._journal.close()

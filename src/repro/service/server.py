@@ -14,14 +14,18 @@ connection (``Connection: close``), JSON in and out:
 * ``GET /v1/results/<key>`` — the stored result document, byte-identical
   to the equivalent local CLI run's ``--json`` output.
 * ``GET /v1/stats`` — queue depth and state counts, dedup/batching
-  tallies, cache hit/miss counters, worker pool size and utilization.
+  tallies, cache hit/miss counters, worker/compaction counters.
+* ``POST /v1/compact`` — fold the queue journal into a snapshot now
+  (compaction also runs automatically every ``compact_every`` events).
 
-Simulation work never runs on the event loop: a single dispatcher
-thread drains the queue batch-by-batch (fanning each batch across the
-multiprocessing pool when ``jobs > 1``), so the API stays responsive
-while heavy sweeps execute.  :class:`ServerThread` hosts the whole
-service inside one background thread — the harness tests, the smoke
-script, and the benchmark all drive real sockets through it.
+Simulation work never runs on the event loop: ``workers`` dispatcher
+threads drain the queue batch-by-batch (each fanning its batch across
+a multiprocessing pool when ``jobs > 1``), so the API stays responsive
+while heavy sweeps execute — and with more than one worker, the next
+batch is claimed and grouped while the previous one is still
+executing.  :class:`ServerThread` hosts the whole service inside one
+background thread — the harness tests, the smoke script, and the
+benchmark all drive real sockets through it.
 """
 
 from __future__ import annotations
@@ -67,16 +71,27 @@ class ServiceServer:
         port: int = 0,
         jobs: int = 1,
         max_batch: int = 8,
+        workers: int = 1,
+        compact_every: Optional[int] = 4096,
+        retain_terminal: int = 256,
     ) -> None:
         self.host = host
         self.port = port
-        self.queue = JobQueue(queue_dir)
+        self.workers = max(1, workers)
+        self.queue = JobQueue(
+            queue_dir,
+            compact_every=compact_every,
+            retain_terminal=retain_terminal,
+        )
         self.dispatcher = Dispatcher(
-            self.queue, cache_dir, jobs=jobs, max_batch=max_batch
+            self.queue, cache_dir,
+            jobs=jobs, max_batch=max_batch, workers=self.workers,
         )
         self._server: Optional[asyncio.base_events.Server] = None
+        #: One thread per drain slot: claims are serialized inside the
+        #: dispatcher, batch execution overlaps across slots.
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-dispatch"
+            max_workers=self.workers, thread_name_prefix="repro-dispatch"
         )
         # Result reads (disk + unpickle) go here, NOT on the event loop
         # and NOT behind the single dispatch worker a running batch owns.
@@ -96,7 +111,10 @@ class ServiceServer:
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._drain_task = asyncio.ensure_future(self._drain_loop())
+        self._drain_tasks = [
+            asyncio.ensure_future(self._drain_loop(slot))
+            for slot in range(self.workers)
+        ]
 
     @property
     def url(self) -> str:
@@ -104,12 +122,13 @@ class ServiceServer:
 
     async def run_until_closed(self) -> None:
         await self._closing.wait()
-        self._drain_task.cancel()
+        for task in self._drain_tasks:
+            task.cancel()
         self._server.close()
         await self._server.wait_closed()
-        # Cancelling the drain task does not interrupt an executor'd
-        # drain_once; wait for any in-flight batch to record its results
-        # BEFORE closing the journal it writes to.
+        # Cancelling the drain tasks does not interrupt an executor'd
+        # drain_once; wait for any in-flight batches to record their
+        # results BEFORE closing the journal they write to.
         self._executor.shutdown(wait=True)
         self._read_executor.shutdown(wait=True)
         self.queue.close()
@@ -118,7 +137,7 @@ class ServiceServer:
         if self._closing is not None:
             self._closing.set()
 
-    async def _drain_loop(self) -> None:
+    async def _drain_loop(self, slot: int) -> None:
         loop = asyncio.get_running_loop()
         while not self._closing.is_set():
             try:
@@ -130,7 +149,8 @@ class ServiceServer:
                 # must not silently kill the dispatcher while the API
                 # keeps accepting jobs: report, back off, keep draining.
                 print(
-                    f"service: drain error: {type(error).__name__}: {error}",
+                    f"service: drain error (worker {slot}): "
+                    f"{type(error).__name__}: {error}",
                     file=sys.stderr, flush=True,
                 )
                 await asyncio.sleep(1.0)
@@ -230,9 +250,38 @@ class ServiceServer:
             if method != "GET":
                 return 405, {"error": "method not allowed"}
             return 200, self.dispatcher.snapshot()
+        if path == "/v1/compact":
+            if method != "POST":
+                return 405, {"error": "method not allowed"}
+            retain = self._parse_compact_body(body)
+            # Journal fsyncs + a snapshot write: off-loop, on the reader
+            # pool (the drain workers may all be mid-batch).
+            report = await asyncio.get_running_loop().run_in_executor(
+                self._read_executor, self.dispatcher.compact, retain
+            )
+            return 200, report
         if path == "/v1/jobs" and method != "POST":
             return 405, {"error": "method not allowed"}
         return 404, {"error": f"no route for {method} {path}"}
+
+    @staticmethod
+    def _parse_compact_body(body: bytes):
+        """The optional ``{"retain_terminal": N}`` compaction override."""
+        if not body.strip():
+            return None
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise RequestError(f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise RequestError("compact body must be a JSON object")
+        retain = payload.get("retain_terminal")
+        if retain is None:
+            return None
+        if not isinstance(retain, int) or isinstance(retain, bool) \
+                or retain < 0:
+            raise RequestError("'retain_terminal' must be an integer >= 0")
+        return retain
 
     def _post_job(self, body: bytes):
         try:
@@ -288,12 +337,15 @@ def serve_forever(
     port: int = 0,
     jobs: int = 1,
     max_batch: int = 8,
+    workers: int = 1,
+    compact_every: Optional[int] = 4096,
     announce=None,
 ) -> None:
     """Run a service in the foreground until interrupted (CLI ``serve``)."""
     server = ServiceServer(
         queue_dir, cache_dir,
         host=host, port=port, jobs=jobs, max_batch=max_batch,
+        workers=workers, compact_every=compact_every,
     )
     try:
         asyncio.run(_amain(server, announce))

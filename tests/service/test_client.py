@@ -1,0 +1,177 @@
+"""Unit tests for the service client's error paths.
+
+`repro.service.client` is the one service module everything drives the
+service through (CLI verbs, smoke script, benchmark, tests), so its
+failure behavior is contractual: transport errors, non-JSON bodies,
+HTTP 4xx/5xx, failed jobs, and poll timeouts must all surface as
+:class:`ServiceError` with a usable message — never a raw traceback
+from urllib internals, and never a hang.
+
+The tests run against a canned stub HTTP server (no dispatcher, no
+simulation) so each path is exercised deterministically.
+"""
+
+import http.server
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import (
+    ServiceError,
+    compact_queue,
+    get_job,
+    get_result,
+    get_stats,
+    submit_and_wait,
+    submit_job,
+)
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class _StubHandler(http.server.BaseHTTPRequestHandler):
+    """Serves whatever ``self.server.responses`` maps the path to."""
+
+    def _serve(self):
+        status, body = self.server.responses.get(
+            self.path, (404, b'{"error": "nope"}')
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = _serve
+
+    def log_message(self, *args):  # keep pytest output clean
+        pass
+
+
+@pytest.fixture
+def stub():
+    """A configurable one-thread HTTP server; yields (url, responses)."""
+    server = http.server.ThreadingHTTPServer(
+        ("127.0.0.1", 0), _StubHandler
+    )
+    server.responses = {}
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", server.responses
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _json(payload) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class TestTransportErrors:
+    def test_connection_refused(self):
+        url = f"http://127.0.0.1:{_free_port()}"  # nothing listening
+        with pytest.raises(ServiceError, match="/v1/jobs"):
+            submit_job(url, {"axis": "regfile"})
+        with pytest.raises(ServiceError, match="/v1/stats"):
+            get_stats(url)
+        with pytest.raises(ServiceError, match="/v1/compact"):
+            compact_queue(url)
+
+    def test_unresolvable_host(self):
+        with pytest.raises(ServiceError, match="GET"):
+            get_stats("http://service.invalid.example:1")
+
+
+class TestBodyErrors:
+    def test_non_json_success_body(self, stub):
+        url, responses = stub
+        responses["/v1/stats"] = (200, b"<html>not json</html>")
+        with pytest.raises(ServiceError, match="non-JSON response"):
+            get_stats(url)
+
+    def test_non_json_error_body(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = (500, b"Internal Server Error")
+        with pytest.raises(ServiceError, match="non-JSON response"):
+            submit_job(url, {"axis": "regfile"})
+
+    def test_http_400_carries_server_error_message(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = (
+            400, _json({"error": "unknown sweep axis 'bogus'"})
+        )
+        with pytest.raises(ServiceError, match="HTTP 400.*bogus"):
+            submit_job(url, {"axis": "bogus"})
+
+    def test_http_500_raises(self, stub):
+        url, responses = stub
+        responses["/v1/stats"] = (500, _json({"error": "dispatcher died"}))
+        with pytest.raises(ServiceError, match="HTTP 500.*dispatcher died"):
+            get_stats(url)
+
+    def test_get_result_error_raises_but_success_returns_raw(self, stub):
+        url, responses = stub
+        key = "ab" * 32
+        responses[f"/v1/results/{key}"] = (200, b'{"profile": "tiny"}')
+        assert get_result(url, key) == b'{"profile": "tiny"}'
+        responses[f"/v1/results/{key}"] = (404, _json({"error": "no result"}))
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            get_result(url, key)
+
+
+class TestSubmitAndWait:
+    RECEIPT = {"id": "job-000001-cafecafecafe",
+               "location": "/v1/jobs/job-000001-cafecafecafe"}
+
+    def test_poll_timeout_raises_with_state(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = (202, _json(self.RECEIPT))
+        responses[f"/v1/jobs/{self.RECEIPT['id']}"] = (
+            200, _json({"id": self.RECEIPT["id"], "state": "queued"})
+        )
+        with pytest.raises(ServiceError, match="still queued after"):
+            submit_and_wait(url, {"axis": "regfile"},
+                            timeout=0.3, poll=0.05)
+
+    def test_failed_job_raises_with_server_error(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = (202, _json(self.RECEIPT))
+        responses[f"/v1/jobs/{self.RECEIPT['id']}"] = (
+            200, _json({"id": self.RECEIPT["id"], "state": "failed",
+                        "error": "ValueError: need >= 34 registers"})
+        )
+        with pytest.raises(ServiceError,
+                           match="failed.*need >= 34 registers"):
+            submit_and_wait(url, {"axis": "regfile"}, timeout=5)
+
+    def test_done_job_fetches_result_bytes(self, stub):
+        url, responses = stub
+        key = "cd" * 32
+        responses["/v1/jobs"] = (202, _json(self.RECEIPT))
+        responses[f"/v1/jobs/{self.RECEIPT['id']}"] = (
+            200, _json({"id": self.RECEIPT["id"], "state": "done",
+                        "result_key": key})
+        )
+        responses[f"/v1/results/{key}"] = (200, b'{"doc": 1}')
+        job, document = submit_and_wait(url, {"axis": "regfile"}, timeout=5)
+        assert job["state"] == "done"
+        assert document == b'{"doc": 1}'
+
+    def test_job_record_polls_use_job_endpoint(self, stub):
+        url, responses = stub
+        responses["/v1/jobs/job-000009-feedfeedfeed"] = (
+            200, _json({"id": "job-000009-feedfeedfeed", "state": "done"})
+        )
+        record = get_job(url, "job-000009-feedfeedfeed")
+        assert record["state"] == "done"
+        with pytest.raises(ServiceError, match="HTTP 404"):
+            get_job(url, "job-unknown")

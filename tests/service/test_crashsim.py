@@ -1,0 +1,169 @@
+"""Crash-injection suite: kill the queue at every durability boundary.
+
+Drives the :mod:`crashsim` harness: every (failpoint site, occurrence)
+pair in both scenarios gets one simulated process death, followed by a
+normal restart and a full replay-invariant check — no lost queued job,
+no done job demoted, no duplicate execution, atomic in-flight ops, and
+deterministic replay.  Crashes *during* the recovery replay itself are
+injected too, and a coverage test pins that the campaign exercises
+every declared failpoint site in ``repro.service.queue``.
+"""
+
+import pytest
+
+from crashsim import (
+    SCENARIOS,
+    FailpointTrap,
+    InjectedCrash,
+    check_invariants,
+    enumerate_failpoints,
+    inject_everywhere,
+    recovery_sites,
+    run_recovery_crash,
+    run_scenario,
+    snapshot_generation,
+)
+from repro.service.queue import FAILPOINT_SITES, JobQueue, JobState
+
+
+class TestInjectionCampaign:
+    def test_basic_scenario_every_failpoint(self, tmp_path):
+        """Submit/attach/transition lifecycle, no compaction: nothing
+        acknowledged may be lost, at any boundary."""
+        runs, sites = inject_everywhere(tmp_path, "basic")
+        assert runs == sum(sites.values())
+        # Every append boundary fires many times; each was injected.
+        assert sites["journal.append.write"] >= 10
+        assert sites["journal.append.fsync"] == sites["journal.append.write"]
+        assert sites["journal.append.done"] == sites["journal.append.write"]
+
+    def test_compact_scenario_every_failpoint(self, tmp_path):
+        """The same contract through two compactions: snapshot write,
+        rename, journal reset, and the memory cut-over are all fatal
+        boundaries that must leave a replayable directory."""
+        runs, sites = inject_everywhere(tmp_path, "compact")
+        assert runs == sum(sites.values())
+        for site in ("snapshot.write", "snapshot.fsync", "snapshot.rename",
+                     "snapshot.replaced", "journal.reset.write",
+                     "journal.reset.fsync", "journal.reset.rename",
+                     "compact.done"):
+            assert sites[site] == 2, f"{site} should fire once per compaction"
+
+    def test_torn_append_tail_at_every_write_crash(self, tmp_path):
+        """A mid-``write(2)`` death leaves half a line; replay truncates
+        it and still honors every acknowledgement."""
+        runs, sites = inject_everywhere(tmp_path, "basic", torn_tail=True)
+        assert runs == sum(sites.values())
+
+    def test_crash_during_recovery(self, tmp_path):
+        """Kill the *replay* (demotion appends, journal reset after a
+        snapshot/journal generation gap) and recover from that."""
+        scenario = SCENARIOS["compact"]
+        # Wound a directory so recovery has real work: crash right after
+        # the snapshot rename (stale journal left behind) with a running
+        # job in the table.
+        log = run_scenario(
+            tmp_path / "wounded", scenario,
+            FailpointTrap("snapshot.replaced", 1),
+        )
+        wounded = tmp_path / "wounded"
+        assert snapshot_generation(wounded) == 1
+        # Pass 1: count what a clean reopen of this directory visits.
+        probe = tmp_path / "probe"
+        run_scenario(probe, scenario, FailpointTrap("snapshot.replaced", 1))
+        counter = recovery_sites(probe)
+        assert counter.counts.get("journal.reset.rename"), (
+            "recovery of a stale-journal directory must reset the journal"
+        )
+        # Pass 2: one fresh wounded directory per recovery failpoint.
+        for index, (site, occurrence) in enumerate(counter.occurrences()):
+            root = tmp_path / f"recovery-{index}"
+            crash_log = run_scenario(
+                root, scenario, FailpointTrap("snapshot.replaced", 1)
+            )
+            assert run_recovery_crash(root, site, occurrence)
+            check_invariants(root, crash_log)
+        assert log.acked  # the scenario made acked progress pre-crash
+
+    def test_every_declared_site_is_covered(self, tmp_path):
+        """The campaign exercises every failpoint the queue declares."""
+        covered = set()
+        for name, scenario in SCENARIOS.items():
+            counter = enumerate_failpoints(tmp_path / name, scenario)
+            covered |= set(counter.counts)
+        # Recovery-only sites (torn-tail truncation, stale-journal reset)
+        # fire during the reopen of wounded directories.
+        wounded = tmp_path / "wounded"
+        run_scenario(wounded, SCENARIOS["compact"],
+                     FailpointTrap("snapshot.replaced", 1))
+        with open(wounded / "journal.jsonl", "a", encoding="utf-8") as f:
+            f.write('{"event": "torn')
+        covered |= set(recovery_sites(wounded).counts)
+        missing = set(FAILPOINT_SITES) - covered
+        assert not missing, f"failpoints never exercised: {sorted(missing)}"
+
+
+class TestCrashEdgeCases:
+    def test_unacked_submission_may_vanish_but_never_half_exists(
+        self, tmp_path
+    ):
+        """Crash before the journal write: the job must be fully absent
+        (the client got no receipt, so nothing was promised)."""
+        trap = FailpointTrap("journal.append.write", 1)
+        log = run_scenario(tmp_path, SCENARIOS["basic"], trap)
+        assert not log.acked  # first op died before acking anything
+        queue = check_invariants(tmp_path, log)
+        assert not queue.jobs
+
+    def test_acked_submission_survives_fsync_boundary_crash(self, tmp_path):
+        """Crash on the *second* op: the first, acked submission must
+        replay even though the process died mid-append of the next."""
+        trap = FailpointTrap("journal.append.fsync", 2)
+        log = run_scenario(tmp_path, SCENARIOS["basic"], trap)
+        assert len(log.acked) == 1
+        queue = JobQueue(tmp_path, version="crash-test")
+        (job_id,) = log.acked
+        assert queue.get(job_id).state is JobState.QUEUED
+        queue.close()
+
+    def test_crash_between_snapshot_and_journal_reset_loses_nothing(
+        self, tmp_path
+    ):
+        """The classic compaction torn-state: new snapshot, old journal.
+        Replay must prefer the snapshot and discard the stale journal,
+        not double-apply history."""
+        log = run_scenario(
+            tmp_path, SCENARIOS["compact"],
+            FailpointTrap("snapshot.replaced", 1),
+        )
+        assert snapshot_generation(tmp_path) == 1
+        queue = check_invariants(tmp_path, log)
+        assert queue._generation == 1
+
+    def test_injection_is_deterministic(self, tmp_path):
+        """Same trap, same scenario, same directory state: byte-equal
+        journals and identical ack logs across two runs."""
+        trap_a = FailpointTrap("journal.append.done", 7)
+        log_a = run_scenario(tmp_path / "a", SCENARIOS["compact"], trap_a)
+        trap_b = FailpointTrap("journal.append.done", 7)
+        log_b = run_scenario(tmp_path / "b", SCENARIOS["compact"], trap_b)
+        assert trap_a.fired and trap_b.fired
+        assert log_a.acked == log_b.acked
+        assert (tmp_path / "a" / "journal.jsonl").read_bytes() == \
+            (tmp_path / "b" / "journal.jsonl").read_bytes()
+
+    def test_trap_outside_queue_code_does_not_leak(self, tmp_path):
+        """The hook is always cleared, even when a trap fires."""
+        run_scenario(tmp_path, SCENARIOS["basic"],
+                     FailpointTrap("journal.append.write", 3))
+        from repro.service import queue as queue_module
+        assert queue_module._FAILPOINT_HOOK is None
+
+    def test_injected_crash_is_not_swallowable(self):
+        """InjectedCrash must escape ``except Exception`` handlers, or
+        the code under test could absorb its own simulated death."""
+        with pytest.raises(InjectedCrash):
+            try:
+                raise InjectedCrash("x")
+            except Exception:
+                pytest.fail("InjectedCrash was caught as Exception")

@@ -1,0 +1,221 @@
+"""Property-based queue tests: random op interleavings, pinned invariants.
+
+Each case drives a seeded-random sequence of ``submit`` / attach /
+transition / ``compact`` / replay (close + reopen) operations against a
+real queue directory, mirroring every acknowledged effect into a plain
+in-Python model, and asserts after every step:
+
+* **state-count invariants** — the O(1) counters, the queued index, the
+  dedup index, ``depth()`` and ``has_pending()`` all agree with a full
+  recount of the job table;
+* **journal <-> snapshot equivalence** — at random points the queue is
+  closed and replayed from disk; the replayed table must equal the live
+  table (modulo the contractual ``running -> queued`` demotion), with
+  or without a snapshot underneath, and a compaction must change
+  nothing observable except dropping old terminal jobs.
+
+~200 seeded cases; failures print the seed so any run is replayable.
+"""
+
+import random
+
+import pytest
+
+from repro.service.queue import JobQueue, JobState
+
+VERSION = "prop-test"
+CASES = 200
+OPS_PER_CASE = 24
+#: Small request pool so duplicate submissions (attach/coalesce paths)
+#: happen often.
+REQUEST_POOL = 6
+CLIENTS = ("alice", "bob", "carol")
+
+
+def _request(index: int) -> dict:
+    return {"kind": "sweep", "axis": "regfile", "values": [34 + index],
+            "workloads": ["li_like"], "profile": "tiny"}
+
+
+def _snapshot_table(queue: JobQueue) -> dict:
+    """The observable job table, normalized for equivalence checks."""
+    return {
+        job.id: {
+            "digest": job.digest,
+            "state": job.state,
+            "attached": job.attached,
+            "result_key": job.result_key,
+            "source": job.source,
+            "error": job.error,
+            "seq": job.seq,
+            "client": job.client,
+        }
+        for job in queue.jobs.values()
+    }
+
+
+def _demoted(table: dict) -> dict:
+    """What a replay must produce: RUNNING jobs demoted, outcomes void."""
+    out = {}
+    for job_id, row in table.items():
+        row = dict(row)
+        if row["state"] is JobState.RUNNING:
+            row["state"] = JobState.QUEUED
+            row["result_key"] = row["source"] = row["error"] = None
+        out[job_id] = row
+    return out
+
+
+def _check_consistency(queue: JobQueue) -> None:
+    recount = {state: 0 for state in JobState}
+    for job in queue.jobs.values():
+        recount[job.state] += 1
+    assert recount == queue._counts
+    assert set(queue._queued) == {
+        job.id for job in queue.jobs.values()
+        if job.state is JobState.QUEUED
+    }
+    assert queue.depth() == (recount[JobState.QUEUED]
+                             + recount[JobState.RUNNING])
+    assert queue.has_pending() == bool(recount[JobState.QUEUED])
+    assert queue.state_counts() == {
+        state.value: recount[state] for state in JobState
+    }
+    # Dedup index: every entry points at a real job with that digest,
+    # and every non-failed job is findable through it.
+    for digest, job_id in queue._by_digest.items():
+        assert queue.jobs[job_id].digest == digest
+    for job in queue.jobs.values():
+        if job.state is not JobState.FAILED:
+            assert queue._by_digest.get(job.digest) == job.id
+
+
+def _run_case(seed: int, tmp_path) -> None:
+    rng = random.Random(seed)
+    root = tmp_path / f"case-{seed}"
+    queue = JobQueue(root, version=VERSION)
+    replays = 0
+    compactions = 0
+    try:
+        for step in range(OPS_PER_CASE):
+            op = rng.choice(
+                ("submit", "submit", "submit", "run", "done", "fail",
+                 "requeue", "compact", "replay")
+            )
+            if op == "submit":
+                request = _request(rng.randrange(REQUEST_POOL))
+                job, created = queue.submit(request, rng.choice(CLIENTS))
+                if not created:
+                    assert job.state is not JobState.FAILED
+            elif op == "run":
+                queued = sorted(queue._queued)
+                if queued:
+                    queue.mark_running(rng.choice(queued))
+            elif op == "done":
+                # Both legal paths: running -> done and the instant
+                # queued -> done cache hit.
+                eligible = sorted(
+                    job.id for job in queue.jobs.values()
+                    if job.state in (JobState.QUEUED, JobState.RUNNING)
+                )
+                if eligible:
+                    job_id = rng.choice(eligible)
+                    queue.mark_done(job_id, result_key=f"res-{job_id}",
+                                    source=rng.choice(("computed", "cache")))
+            elif op == "fail":
+                eligible = sorted(
+                    job.id for job in queue.jobs.values()
+                    if job.state in (JobState.QUEUED, JobState.RUNNING)
+                )
+                if eligible:
+                    queue.mark_failed(rng.choice(eligible), "boom")
+            elif op == "requeue":
+                done = sorted(
+                    job.id for job in queue.jobs.values()
+                    if job.state is JobState.DONE
+                )
+                if done:
+                    job_id = rng.choice(done)
+                    queue.requeue_lost(job_id)
+                    requeued = queue.get(job_id)
+                    assert requeued.result_key is None
+                    assert requeued.source is None
+            elif op == "compact":
+                retain = rng.randrange(4)
+                before = _snapshot_table(queue)
+                live_before = {
+                    job_id for job_id, row in before.items()
+                    if row["state"] in (JobState.QUEUED, JobState.RUNNING)
+                }
+                report = queue.compact(retain_terminal=retain)
+                compactions += 1
+                after = _snapshot_table(queue)
+                # Compaction may only drop terminal jobs, and every
+                # surviving row is bit-for-bit what it was.
+                assert live_before <= set(after)
+                for job_id, row in after.items():
+                    assert row == before[job_id]
+                assert report.jobs_dropped == len(before) - len(after)
+                terminal_after = [
+                    row for row in after.values()
+                    if row["state"] in (JobState.DONE, JobState.FAILED)
+                ]
+                assert len(terminal_after) <= max(
+                    retain,
+                    len([r for r in before.values()
+                         if r["state"] in (JobState.DONE, JobState.FAILED)])
+                    - report.jobs_dropped,
+                )
+            elif op == "replay":
+                expected = _demoted(_snapshot_table(queue))
+                queue.close()
+                queue = JobQueue(root, version=VERSION)
+                replays += 1
+                assert _snapshot_table(queue) == expected, (
+                    f"seed {seed} step {step}: replay diverged from live "
+                    f"state"
+                )
+            _check_consistency(queue)
+
+        # Terminal equivalence: whatever the case did, one more replay
+        # (journal tail, snapshot, or both) reproduces the live table.
+        expected = _demoted(_snapshot_table(queue))
+        queue.close()
+        replayed = JobQueue(root, version=VERSION)
+        assert _snapshot_table(replayed) == expected, (
+            f"seed {seed}: final replay diverged "
+            f"(replays={replays}, compactions={compactions})"
+        )
+        _check_consistency(replayed)
+        replayed.close()
+    finally:
+        queue.close()
+
+
+@pytest.mark.parametrize("seed", range(CASES))
+def test_random_interleaving(seed, tmp_path):
+    _run_case(seed, tmp_path)
+
+
+def test_sequence_survives_replay_and_compaction(tmp_path):
+    """The submission sequence counter never regresses, so job ids stay
+    unique across any mix of replays and compactions."""
+    rng = random.Random(1234)
+    root = tmp_path / "seq"
+    queue = JobQueue(root, version=VERSION)
+    seen_ids = set()
+    high = 0
+    for step in range(60):
+        job, created = queue.submit(_request(rng.randrange(40)), "alice")
+        if created:
+            assert job.id not in seen_ids
+            seen_ids.add(job.id)
+            assert job.seq > high or job.seq == high + 1
+            high = max(high, job.seq)
+        if step % 11 == 0:
+            queue.mark_done(job.id, result_key="k", source="cache")
+            queue.compact(retain_terminal=0)  # drops it; id must not recur
+        if step % 17 == 0:
+            queue.close()
+            queue = JobQueue(root, version=VERSION)
+    queue.close()

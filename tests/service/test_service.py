@@ -18,6 +18,7 @@ from repro.experiments.runner import ExperimentContext, ExperimentProfile
 from repro.experiments.sweep import adhoc_spec, run_sweep
 from repro.service.client import (
     ServiceError,
+    compact_queue,
     get_job,
     get_result,
     get_stats,
@@ -344,3 +345,70 @@ class TestHTTPService:
             record = get_job(again.url, job["id"])
             assert record["state"] == "done"
             assert record["result_key"] == job["result_key"]
+
+    def test_stats_expose_worker_and_compaction_counters(self, tmp_path):
+        with ServerThread(tmp_path / "queue", tmp_path / "cache") as service:
+            stats = get_stats(service.url)
+            workers = stats["workers"]
+            assert workers["count"] == 1 and workers["active"] == 0
+            compaction = stats["queue"]["compaction"]
+            assert compaction["generation"] == 0
+            assert compaction["compactions"] == 0
+            assert stats["dispatcher"]["cells_deduped_inflight"] == 0
+            assert stats["dispatcher"]["overlapped_batches"] == 0
+
+    def test_compact_endpoint_snapshots_live_queue(self, tmp_path):
+        with ServerThread(tmp_path / "queue", tmp_path / "cache") as service:
+            job, _ = submit_and_wait(service.url, dict(PAYLOAD), timeout=120)
+            report = compact_queue(service.url)
+            assert report["generation"] == 1
+            assert report["jobs_kept"] == 1
+            assert get_stats(
+                service.url
+            )["queue"]["compaction"]["generation"] == 1
+            # The retained job's record survives live compaction ...
+            assert get_job(service.url, job["id"])["state"] == "done"
+
+        # ... and a restart replays it from the snapshot.
+        with ServerThread(tmp_path / "queue", tmp_path / "cache") as again:
+            record = get_job(again.url, job["id"])
+            assert record["state"] == "done"
+            assert record["result_key"] == job["result_key"]
+
+    def test_compact_endpoint_is_post_only(self, tmp_path):
+        import urllib.request
+
+        with ServerThread(tmp_path / "queue", tmp_path / "cache") as service:
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(f"{service.url}/v1/compact")
+            assert caught.value.code == 405
+
+    def test_compact_endpoint_retain_override(self, tmp_path):
+        """retain_terminal forwarded through POST /v1/compact: a zero
+        retention drops the finished job, whose result then lives on in
+        the artifact cache (resubmission instant-completes)."""
+        import urllib.request
+
+        with ServerThread(tmp_path / "queue", tmp_path / "cache") as service:
+            job, document = submit_and_wait(
+                service.url, dict(PAYLOAD), timeout=120
+            )
+            report = compact_queue(service.url, retain_terminal=0)
+            assert report["jobs_dropped"] == 1 and report["jobs_kept"] == 0
+            with pytest.raises(ServiceError, match="HTTP 404"):
+                get_job(service.url, job["id"])
+            warm_job, warm_document = submit_and_wait(
+                service.url, dict(PAYLOAD), timeout=30
+            )
+            assert warm_job["id"] != job["id"]
+            assert warm_job["source"] == "cache"
+            assert warm_document == document
+
+            # A malformed retention override is a 400, not a crash.
+            request = urllib.request.Request(
+                f"{service.url}/v1/compact",
+                data=b'{"retain_terminal": -1}', method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as caught:
+                urllib.request.urlopen(request)
+            assert caught.value.code == 400
