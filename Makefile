@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-crashsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-service clean-cache
+.PHONY: test test-crashsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-service bench-load bench-load-smoke clean-cache
 
 ## Tier-1 test suite.
 test:
@@ -48,6 +48,19 @@ bench-perf:
 ## writes BENCH_service.json at the root.
 bench-service:
 	$(PYTHON) benchmarks/perf/bench_service.py
+
+## Multi-tenant load/SLO harness: 10k+ seeded mixed warm/cold jobs plus
+## a sustained-overload phase; merges a `load` section (p50/p95/p99,
+## saturation throughput, rejection rates, exactly-once ledger) into
+## BENCH_service.json.
+bench-load:
+	$(PYTHON) benchmarks/perf/bench_load.py
+
+## Seconds-bounded miniature of the same harness (the CI gate): writes
+## BENCH_load_smoke.json and fails loudly if the `load` section is
+## missing keys, mis-ordered, or violates the exactly-once ledger.
+bench-load-smoke:
+	$(PYTHON) benchmarks/perf/bench_load.py --smoke
 
 ## Remove everything .gitignore ignores: the artifact cache, bytecode
 ## droppings, egg-info, and smoke output.

@@ -37,6 +37,13 @@ DESIGN_REQUIRED = (
     "snapshot",
     "generation",
     "worker",
+    # Multi-tenant traffic hardening: admission control + SLO harness.
+    "admission",
+    "quota",
+    "Retry-After",
+    "backpressure",
+    "load harness",
+    "p99",
 )
 
 #: Subcommands whose --help surfaces must be reflected in README.md.

@@ -259,6 +259,8 @@ def _sweep_main(argv) -> int:
 
 
 def _serve_main(argv) -> int:
+    from repro.service.dispatcher import DEFAULT_MAX_BODY_BYTES
+
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description="Run the simulation service (job queue + batching "
@@ -292,6 +294,22 @@ def _serve_main(argv) -> int:
              "events; 0 disables auto-compaction (default: 4096)",
     )
     parser.add_argument(
+        "--quota", type=int, default=0, metavar="N",
+        help="max in-flight (queued+running) jobs per client id; breaches "
+             "get HTTP 429 with Retry-After; 0 = unlimited (default: 0)",
+    )
+    parser.add_argument(
+        "--max-queue-depth", type=int, default=0, metavar="N",
+        help="max total in-flight jobs before submissions get HTTP 503 "
+             "with Retry-After; 0 = unbounded (default: 0)",
+    )
+    parser.add_argument(
+        "--max-body-bytes", type=int, default=DEFAULT_MAX_BODY_BYTES,
+        metavar="N",
+        help="largest accepted POST body; bigger requests get HTTP 413 "
+             "(default: %d)" % DEFAULT_MAX_BODY_BYTES,
+    )
+    parser.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="artifact cache backing the service (default: .repro-cache)",
     )
@@ -306,6 +324,12 @@ def _serve_main(argv) -> int:
         parser.error("--workers must be >= 1")
     if args.compact_every < 0:
         parser.error("--compact-every must be >= 0")
+    if args.quota < 0:
+        parser.error("--quota must be >= 0")
+    if args.max_queue_depth < 0:
+        parser.error("--max-queue-depth must be >= 0")
+    if args.max_body_bytes < 1:
+        parser.error("--max-body-bytes must be >= 1")
 
     from repro.service.server import serve_forever
 
@@ -324,6 +348,9 @@ def _serve_main(argv) -> int:
         jobs=args.jobs, max_batch=args.max_batch,
         workers=args.workers,
         compact_every=args.compact_every or None,
+        quota=args.quota or None,
+        max_queue_depth=args.max_queue_depth or None,
+        max_body_bytes=args.max_body_bytes,
         announce=announce,
     )
     return 0
@@ -361,8 +388,16 @@ def _submit_main(argv) -> int:
         help="experiment profile (default: quick)",
     )
     parser.add_argument(
-        "--client", default="cli", metavar="NAME",
-        help="client tag for queue fairness (default: cli)",
+        "--client-id", "--client", dest="client", default="cli",
+        metavar="NAME",
+        help="client identity for queue fairness and admission quotas "
+             "(default: cli)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=5, metavar="N",
+        help="retry a 429/503 admission refusal up to N times, honoring "
+             "the server's Retry-After with capped exponential backoff; "
+             "0 fails fast (default: 5)",
     )
     parser.add_argument(
         "--no-wait", action="store_true",
@@ -387,6 +422,8 @@ def _submit_main(argv) -> int:
                      "with --no-wait")
     if args.json:
         _check_json_path(parser, args.json)
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
 
     from repro.service.client import ServiceError, submit_and_wait, submit_job
 
@@ -401,13 +438,24 @@ def _submit_main(argv) -> int:
         if args.workloads:
             payload["workloads"] = args.workloads.split(",")
 
+    def on_retry(attempt, delay, error):
+        print(
+            f"service busy (HTTP {error.status}); retrying in {delay:.1f}s "
+            f"(attempt {attempt + 1}/{args.max_retries})",
+            file=sys.stderr, flush=True,
+        )
+
     try:
         if args.no_wait:
-            receipt = submit_job(args.url, payload, client=args.client)
+            receipt = submit_job(
+                args.url, payload, client=args.client,
+                max_retries=args.max_retries, on_retry=on_retry,
+            )
             print(f"submitted {receipt['id']} ({receipt['location']})")
             return 0
         job, document = submit_and_wait(
-            args.url, payload, client=args.client, timeout=args.timeout
+            args.url, payload, client=args.client, timeout=args.timeout,
+            max_retries=args.max_retries, on_retry=on_retry,
         )
     except ServiceError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -73,6 +73,29 @@ class Job:
             self.machine, self.live_hist,
         )
 
+    def dependencies(self) -> List["Job"]:
+        """The implicit upstream cells running this cell materializes.
+
+        A ``timed`` cell generates its trace (and the trace its binary)
+        on a cache miss without those cells ever being enumerated in a
+        job list.  Cross-batch dedup that only registers enumerated
+        cells therefore lets two concurrent batches race the shared
+        dependency artifacts; claiming the closure returned here closes
+        that gap.  The ``binary`` dependency deliberately uses the
+        default field values so its signature matches an enumerated
+        ``binary`` cell (one build produces both E-DVI variants).
+        """
+        if self.kind == "binary":
+            return []
+        binary = Job("binary", self.workload)
+        if self.kind in ("functional", "trace"):
+            return [binary]
+        return [
+            binary,
+            Job("trace", self.workload, dvi=self.dvi,
+                edvi_binary=self.edvi_binary),
+        ]
+
 
 # ----------------------------------------------------------------------
 # Running one job inside a context (used by both serial and worker paths).

@@ -7,6 +7,13 @@ the service benchmark.  Every helper takes the service base URL
 submit-poll-fetch round trip and returns the result document exactly as
 served (bytes), preserving the byte-identity guarantees the service
 makes.
+
+Submissions understand the service's admission-control responses: a 429
+(per-client quota) or 503 (queue depth) refusal carries a
+``Retry-After`` hint, and :func:`submit_job` can honor it — sleeping
+``max(Retry-After, base * 2^attempt)`` capped at ``backoff_cap`` between
+attempts — so well-behaved clients convert overload into latency instead
+of hammering a saturated server.  Any other 4xx/5xx fails fast.
 """
 
 from __future__ import annotations
@@ -15,9 +22,10 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Optional, Tuple
+from typing import Callable, Mapping, Optional, Tuple
 
 __all__ = [
+    "RETRYABLE_STATUSES",
     "ServiceError",
     "compact_queue",
     "get_job",
@@ -27,34 +35,81 @@ __all__ = [
     "submit_job",
 ]
 
+#: Admission refusals the server expects clients to retry.  Everything
+#: else (400 bad request, 404, 413 oversize, 500 bug) is not transient:
+#: resending the same bytes cannot succeed, so those fail fast.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
 
 class ServiceError(RuntimeError):
-    """A request to the service failed (transport, HTTP, or job error)."""
+    """A request to the service failed (transport, HTTP, or job error).
+
+    ``status`` carries the HTTP status when one was received (``None``
+    for transport failures); ``retry_after`` the parsed ``Retry-After``
+    seconds when the server sent the header.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+def _parse_retry_after(headers: Mapping[str, str]) -> Optional[float]:
+    """The ``Retry-After`` delay in seconds, or ``None``.
+
+    Only the delta-seconds form is parsed (the service always sends an
+    integer); an HTTP-date or garbage value degrades to ``None`` rather
+    than failing the whole response.
+    """
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        seconds = float(value.strip())
+    except (AttributeError, ValueError):
+        return None
+    return seconds if seconds >= 0 else None
 
 
 def _request(
     method: str, url: str, body: Optional[bytes] = None, timeout: float = 30.0
-) -> Tuple[int, bytes]:
+) -> Tuple[int, bytes, Mapping[str, str]]:
     request = urllib.request.Request(url, data=body, method=method)
     if body is not None:
         request.add_header("Content-Type", "application/json")
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, response.read()
+            return response.status, response.read(), response.headers
     except urllib.error.HTTPError as error:
-        return error.code, error.read()
+        return error.code, error.read(), error.headers
     except (urllib.error.URLError, OSError) as error:
         raise ServiceError(f"{method} {url}: {error}") from None
 
 
-def _json_or_error(status: int, body: bytes, what: str) -> dict:
+def _json_or_error(
+    status: int,
+    body: bytes,
+    what: str,
+    headers: Optional[Mapping[str, str]] = None,
+) -> dict:
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError):
-        raise ServiceError(f"{what}: non-JSON response (HTTP {status})")
+        raise ServiceError(
+            f"{what}: non-JSON response (HTTP {status})", status=status
+        )
     if status >= 400:
         raise ServiceError(
-            f"{what}: HTTP {status}: {payload.get('error', body[:200])}"
+            f"{what}: HTTP {status}: {payload.get('error', body[:200])}",
+            status=status,
+            retry_after=_parse_retry_after(headers or {}),
         )
     return payload
 
@@ -62,33 +117,69 @@ def _json_or_error(status: int, body: bytes, what: str) -> dict:
 def submit_job(
     base_url: str, payload: dict, *, client: str = "cli",
     timeout: float = 30.0,
+    max_retries: int = 0,
+    backoff_base: float = 0.1,
+    backoff_cap: float = 30.0,
+    on_retry: Optional[Callable[[int, float, ServiceError], None]] = None,
+    _sleep: Callable[[float], None] = time.sleep,
 ) -> dict:
-    """POST one request; returns the ``{"id", "location"}`` receipt."""
+    """POST one request; returns the ``{"id", "location"}`` receipt.
+
+    With ``max_retries > 0``, admission refusals (HTTP 429/503) are
+    retried up to that many times; each attempt sleeps
+    ``min(backoff_cap, max(Retry-After, backoff_base * 2^attempt))`` —
+    honoring the server's hint but never retrying tighter than the
+    exponential schedule, and never looser than the cap.  ``on_retry``
+    (if given) observes each ``(attempt, delay, error)`` before the
+    sleep.  Non-retryable errors, and a refusal on the final attempt,
+    raise :class:`ServiceError` with ``.status`` / ``.retry_after`` set.
+    """
     body = dict(payload)
     body["client"] = client
-    status, raw = _request(
-        "POST", f"{base_url}/v1/jobs",
-        json.dumps(body).encode("utf-8"), timeout,
-    )
-    return _json_or_error(status, raw, "submit")
+    encoded = json.dumps(body).encode("utf-8")
+    attempts = max(0, max_retries) + 1
+    for attempt in range(attempts):
+        status, raw, headers = _request(
+            "POST", f"{base_url}/v1/jobs", encoded, timeout
+        )
+        try:
+            return _json_or_error(status, raw, "submit", headers)
+        except ServiceError as error:
+            last_attempt = attempt == attempts - 1
+            if error.status not in RETRYABLE_STATUSES or last_attempt:
+                raise
+            hinted = error.retry_after or 0.0
+            delay = min(
+                backoff_cap, max(hinted, backoff_base * (2 ** attempt))
+            )
+            if on_retry is not None:
+                on_retry(attempt, delay, error)
+            _sleep(delay)
+    raise AssertionError("unreachable: loop returns or raises")
 
 
 def get_job(base_url: str, job_id: str, *, timeout: float = 30.0) -> dict:
-    status, raw = _request("GET", f"{base_url}/v1/jobs/{job_id}", None, timeout)
-    return _json_or_error(status, raw, f"job {job_id}")
+    status, raw, headers = _request(
+        "GET", f"{base_url}/v1/jobs/{job_id}", None, timeout
+    )
+    return _json_or_error(status, raw, f"job {job_id}", headers)
 
 
 def get_result(base_url: str, key: str, *, timeout: float = 30.0) -> bytes:
     """The raw stored result document for an artifact key."""
-    status, raw = _request("GET", f"{base_url}/v1/results/{key}", None, timeout)
+    status, raw, headers = _request(
+        "GET", f"{base_url}/v1/results/{key}", None, timeout
+    )
     if status >= 400:
-        _json_or_error(status, raw, f"result {key}")
+        _json_or_error(status, raw, f"result {key}", headers)
     return raw
 
 
 def get_stats(base_url: str, *, timeout: float = 30.0) -> dict:
-    status, raw = _request("GET", f"{base_url}/v1/stats", None, timeout)
-    return _json_or_error(status, raw, "stats")
+    status, raw, headers = _request(
+        "GET", f"{base_url}/v1/stats", None, timeout
+    )
+    return _json_or_error(status, raw, "stats", headers)
 
 
 def compact_queue(
@@ -108,8 +199,10 @@ def compact_queue(
     body = b""
     if retain_terminal is not None:
         body = json.dumps({"retain_terminal": retain_terminal}).encode("utf-8")
-    status, raw = _request("POST", f"{base_url}/v1/compact", body, timeout)
-    return _json_or_error(status, raw, "compact")
+    status, raw, headers = _request(
+        "POST", f"{base_url}/v1/compact", body, timeout
+    )
+    return _json_or_error(status, raw, "compact", headers)
 
 
 def submit_and_wait(
@@ -119,13 +212,23 @@ def submit_and_wait(
     client: str = "cli",
     timeout: float = 300.0,
     poll: float = 0.1,
+    max_retries: int = 0,
+    backoff_base: float = 0.1,
+    backoff_cap: float = 30.0,
+    on_retry: Optional[Callable[[int, float, ServiceError], None]] = None,
 ) -> Tuple[dict, bytes]:
     """Submit, poll to completion, fetch the result.
 
     Returns ``(job record, result document bytes)``; raises
     :class:`ServiceError` if the job fails or the deadline passes.
+    Retry parameters apply to the submission only (polls hit GET
+    routes, which the service never rate-limits).
     """
-    receipt = submit_job(base_url, payload, client=client, timeout=timeout)
+    receipt = submit_job(
+        base_url, payload, client=client, timeout=timeout,
+        max_retries=max_retries, backoff_base=backoff_base,
+        backoff_cap=backoff_cap, on_retry=on_retry,
+    )
     deadline = time.monotonic() + timeout
     while True:
         job = get_job(base_url, receipt["id"], timeout=timeout)

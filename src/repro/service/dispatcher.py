@@ -61,10 +61,18 @@ from repro.experiments.sweep import (
     sweep_title,
 )
 from repro.registry import UnknownComponentError
-from repro.service.queue import JobQueue, JobState, ServiceJob, TransitionError
+from repro.service.queue import (
+    JobQueue,
+    JobState,
+    QueueFullError,
+    QuotaExceededError,
+    ServiceJob,
+    TransitionError,
+)
 from repro.workloads.suite import get_workload
 
 __all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
     "Dispatcher",
     "DispatcherStats",
     "RequestError",
@@ -74,6 +82,9 @@ __all__ = [
 
 #: Artifact kind under which rendered job results are stored.
 RESULT_KIND = "service"
+
+#: Default POST body cap (the server's transport-level admission bound).
+DEFAULT_MAX_BODY_BYTES = 1 << 20
 
 
 class RequestError(ValueError):
@@ -176,8 +187,15 @@ class DispatcherStats:
     cells_executed: int = 0
     #: Cells skipped because another worker's in-flight batch owned them.
     cells_deduped_inflight: int = 0
+    #: Dependency artifacts (traces, binaries) a batch waited on instead
+    #: of racing another batch that was already computing them.
+    deps_deduped_inflight: int = 0
     #: Batches that started while at least one other batch was executing.
     overlapped_batches: int = 0
+    #: Submissions refused at admission (429 quota / 503 depth / 413 size).
+    rejected_quota: int = 0
+    rejected_depth: int = 0
+    rejected_size: int = 0
     busy_seconds: float = 0.0
     started_at: float = field(default_factory=time.monotonic)
 
@@ -200,19 +218,45 @@ class _InflightCells:
     *foreign* (another worker's executing batch already owns them —
     skip computing, then :meth:`threading.Event.wait` until the owner
     finishes and read the artifact its atomic cache store published).
+
+    The claim covers the full *dependency closure*: an owned ``timed``
+    cell registers the trace and binary cells it will materialize on a
+    cache miss, even though those are never enumerated in the batch's
+    job list — so two concurrent batches of distinct timed cells over
+    one workload no longer race the shared trace artifact (each
+    dependency is computed by exactly one batch; the others wait on its
+    event and then read the artifact from the atomic store).  Because
+    every claim is one atomic pass under the registry lock, a batch can
+    only ever wait on batches that claimed *before* it — the wait-for
+    graph follows claim order and cannot cycle.
+
     The registry only ever *narrows* work: if an owner dies without
-    storing, the waiter's assembly path recomputes the cell inline, so
-    correctness never depends on the registry — only compute-once does.
+    storing, the waiter's execution path recomputes the dependency
+    inline, so correctness never depends on the registry — only
+    compute-once does.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._events: Dict[str, threading.Event] = {}
 
-    def claim(self, cells: List[Job]) -> Tuple[List[Job], List[str], List[threading.Event]]:
+    def claim(
+        self, cells: List[Job]
+    ) -> Tuple[List[Job], List[str], List[threading.Event], List[threading.Event]]:
+        """Returns ``(owned, owned_sigs, foreign, dep_waits)``.
+
+        ``owned`` are enumerated cells this batch must execute;
+        ``owned_sigs`` every signature registered (cells *and* their
+        dependency closure) that :meth:`release` must clear; ``foreign``
+        events for enumerated cells another batch owns (wait before
+        assembling); ``dep_waits`` events for dependency cells another
+        batch owns (wait before executing, so the owned cells' implicit
+        dependency lookups hit the artifact the owner stored).
+        """
         owned: List[Job] = []
         owned_sigs: List[str] = []
         foreign: List[threading.Event] = []
+        dep_waits: List[threading.Event] = []
         seen = set()
         with self._lock:
             for cell in cells:
@@ -227,7 +271,22 @@ class _InflightCells:
                     owned_sigs.append(signature)
                 else:
                     foreign.append(event)
-        return owned, owned_sigs, foreign
+            # Second pass: the owned cells' dependency closures.  Only
+            # owned cells matter — a foreign cell's dependencies are the
+            # owning batch's business.
+            for cell in owned:
+                for dependency in cell.dependencies():
+                    signature = dependency.signature()
+                    if signature in seen:
+                        continue
+                    seen.add(signature)
+                    event = self._events.get(signature)
+                    if event is None:
+                        self._events[signature] = threading.Event()
+                        owned_sigs.append(signature)
+                    else:
+                        dep_waits.append(event)
+        return owned, owned_sigs, foreign, dep_waits
 
     def release(self, signatures: List[str]) -> None:
         with self._lock:
@@ -254,12 +313,23 @@ class Dispatcher:
         jobs: int = 1,
         max_batch: int = 8,
         workers: int = 1,
+        quota: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
         self.queue = queue
         self.cache = ArtifactCache(cache_root)
         self.jobs = max(1, jobs)
         self.max_batch = max(1, max_batch)
         self.workers = max(1, workers)
+        #: Admission bounds (``None``/0 = unlimited): max live jobs per
+        #: client id, max live jobs total, max POST body size.  The
+        #: queue enforces the first two at submit; the server enforces
+        #: the body cap at the transport layer and reports through
+        #: :meth:`reject_size`.
+        self.quota = quota or None
+        self.max_queue_depth = max_queue_depth or None
+        self.max_body_bytes = max_body_bytes
         self.stats = DispatcherStats()
         #: Serializes the fair-drain + claim phase across drain workers
         #: so two slots never mark the same job running.
@@ -295,11 +365,36 @@ class Dispatcher:
         A coalesced hit on a done job re-checks that the job's artifact
         still exists: if a cache gc evicted it, the job is requeued for
         recomputation instead of pointing clients at a permanent 404.
+
+        Admission control: a new job that would push ``client`` past
+        ``quota`` live jobs raises
+        :class:`~repro.service.queue.QuotaExceededError`; one that would
+        push the queue past ``max_queue_depth`` raises
+        :class:`~repro.service.queue.QueueFullError`.  Coalescing
+        submissions and requests whose rendered result already sits in
+        the artifact store are always admitted — both cost one journal
+        line and zero simulation, so refusing them would throttle
+        exactly the traffic the service handles for free.
         """
         request = normalize_request(payload)
         with self._stats_lock:
             self.stats.submissions += 1
-        job, created = self.queue.submit(request, client)
+        digest = self.cache.digest(RESULT_KIND, _result_key(request))
+        cached = self.cache.exists_digest(RESULT_KIND, digest)
+        try:
+            job, created = self.queue.submit(
+                request, client,
+                quota=self.quota, max_depth=self.max_queue_depth,
+                exempt=cached,
+            )
+        except QuotaExceededError:
+            with self._stats_lock:
+                self.stats.rejected_quota += 1
+            raise
+        except QueueFullError:
+            with self._stats_lock:
+                self.stats.rejected_depth += 1
+            raise
         if not created:
             with self._stats_lock:
                 self.stats.coalesced += 1
@@ -309,8 +404,7 @@ class Dispatcher:
                                  RESULT_KIND, job.result_key))):
                 job = self.queue.requeue_lost(job.id)
             return job
-        digest = self.cache.digest(RESULT_KIND, _result_key(request))
-        if self.cache.exists_digest(RESULT_KIND, digest):
+        if cached:
             try:
                 job = self.queue.mark_done(
                     job.id, result_key=digest, source="cache"
@@ -323,6 +417,11 @@ class Dispatcher:
                 # result is the same bytes, so just serve its record.
                 job = self.queue.get(job.id)
         return job
+
+    def reject_size(self) -> None:
+        """Tally one oversize-body refusal (the server's 413 path)."""
+        with self._stats_lock:
+            self.stats.rejected_size += 1
 
     def compact(self, retain_terminal: Optional[int] = None) -> dict:
         """Compact the queue journal now (``POST /v1/compact``)."""
@@ -475,7 +574,19 @@ class Dispatcher:
             # Cells another worker's in-flight batch owns are computed
             # exactly once there; this batch executes only the cells it
             # claimed first, then waits for the foreign ones below.
-            owned, owned_sigs, foreign = self._inflight.claim(cells)
+            # The claim also covers the owned cells' dependency closure
+            # (traces, binaries), so dependency artifacts another batch
+            # is already materializing are waited on — not raced.
+            owned, owned_sigs, foreign, dep_waits = \
+                self._inflight.claim(cells)
+            with self._stats_lock:
+                self.stats.deps_deduped_inflight += len(dep_waits)
+            for event in dep_waits:
+                # Before executing: the owned cells' implicit dependency
+                # lookups must find the artifact the owning batch's
+                # atomic store publishes.  Bounded wait — a dead owner
+                # just means this batch recomputes the dependency.
+                event.wait(timeout=600.0)
             try:
                 try:
                     # spawn, not fork: this process runs an asyncio
@@ -586,7 +697,16 @@ class Dispatcher:
                 "batched_jobs": self.stats.batched_jobs,
                 "cells_executed": self.stats.cells_executed,
                 "cells_deduped_inflight": self.stats.cells_deduped_inflight,
+                "deps_deduped_inflight": self.stats.deps_deduped_inflight,
                 "overlapped_batches": self.stats.overlapped_batches,
+            },
+            "admission": {
+                "quota": self.quota,
+                "max_queue_depth": self.max_queue_depth,
+                "max_body_bytes": self.max_body_bytes,
+                "rejected_quota": self.stats.rejected_quota,
+                "rejected_depth": self.stats.rejected_depth,
+                "rejected_size": self.stats.rejected_size,
             },
             "cache": {
                 "session": cache_counters,

@@ -67,10 +67,13 @@ from typing import Callable, Dict, List, Optional
 from repro.experiments.cache import code_version, fingerprint, write_json_atomic
 
 __all__ = [
+    "AdmissionError",
     "CompactionReport",
     "FAILPOINT_SITES",
     "JobQueue",
     "JobState",
+    "QueueFullError",
+    "QuotaExceededError",
     "ServiceJob",
     "SnapshotCorruptError",
     "TransitionError",
@@ -140,6 +143,24 @@ _TRANSITIONS = {
 
 class TransitionError(RuntimeError):
     """An illegal job state transition was requested."""
+
+
+class AdmissionError(RuntimeError):
+    """A submission was refused at admission (overload protection).
+
+    Refusal happens *before* anything is journaled: a refused request
+    costs one in-memory check, never an fsync, and leaves no job record
+    behind.  Subclasses name the breached limit; the HTTP layer maps
+    them to 429/503 with a ``Retry-After`` hint.
+    """
+
+
+class QuotaExceededError(AdmissionError):
+    """The client already has its full quota of live jobs (HTTP 429)."""
+
+
+class QueueFullError(AdmissionError):
+    """The queue is at its configured depth bound (HTTP 503)."""
 
 
 class SnapshotCorruptError(RuntimeError):
@@ -253,6 +274,9 @@ class JobQueue:
         #: id -> job for QUEUED jobs only, so draining scales with the
         #: queue, not with the ever-retained job history.
         self._queued: Dict[str, ServiceJob] = {}
+        #: client -> live (queued + running) job count, maintained
+        #: incrementally so per-client quota checks stay O(1).
+        self._client_live: Dict[str, int] = {}
         self._lock = threading.RLock()
         #: Snapshot/journal generation; bumped by every compaction.
         self._generation = 0
@@ -394,6 +418,10 @@ class JobQueue:
                 self._counts[job.state] += 1
                 if job.state is JobState.QUEUED:
                     self._queued[job.id] = job
+                if job.state in (JobState.QUEUED, JobState.RUNNING):
+                    self._client_live[job.client] = (
+                        self._client_live.get(job.client, 0) + 1
+                    )
         except (KeyError, TypeError, ValueError) as error:
             raise SnapshotCorruptError(
                 f"{self.snapshot_path}: malformed snapshot record "
@@ -470,6 +498,9 @@ class JobQueue:
             self._seq = max(self._seq, job.seq)
             self._counts[JobState.QUEUED] += 1
             self._queued[job.id] = job
+            self._client_live[job.client] = (
+                self._client_live.get(job.client, 0) + 1
+            )
         elif kind == "attach":
             job = self.jobs.get(event["id"])
             if job is not None:
@@ -479,6 +510,7 @@ class JobQueue:
             if job is not None:
                 state = JobState(event["state"])
                 self._count_change(job.state, state)
+                self._client_live_change(job, job.state, state)
                 # Outcome fields first, state LAST: the HTTP thread
                 # reads live job records without the queue lock, and
                 # state is its validity signal — a poller that sees
@@ -498,6 +530,25 @@ class JobQueue:
     def _count_change(self, old: JobState, new: JobState) -> None:
         self._counts[old] -= 1
         self._counts[new] += 1
+
+    _LIVE_STATES = (JobState.QUEUED, JobState.RUNNING)
+
+    def _client_live_change(
+        self, job: ServiceJob, old: JobState, new: JobState
+    ) -> None:
+        """Keep the per-client live tally in step with a transition."""
+        was_live = old in self._LIVE_STATES
+        is_live = new in self._LIVE_STATES
+        if was_live and not is_live:
+            remaining = self._client_live.get(job.client, 0) - 1
+            if remaining > 0:
+                self._client_live[job.client] = remaining
+            else:
+                self._client_live.pop(job.client, None)
+        elif is_live and not was_live:
+            self._client_live[job.client] = (
+                self._client_live.get(job.client, 0) + 1
+            )
 
     # -- compaction ------------------------------------------------------
 
@@ -625,12 +676,31 @@ class JobQueue:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, request: dict, client: str) -> tuple:
+    def submit(
+        self,
+        request: dict,
+        client: str,
+        *,
+        quota: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        exempt: bool = False,
+    ) -> tuple:
         """Register a request; returns ``(job, created)``.
 
         An identical in-flight or completed request coalesces onto the
         existing job (``created == False``); only failed attempts are
         eligible for a fresh retry job.
+
+        Admission control happens here, inside the queue lock, so the
+        check and the journal append are one atomic step.  Coalescing
+        is always admitted (an attach is one journal line and zero new
+        work); a *new* job is refused with :class:`QuotaExceededError`
+        when ``client`` already has ``quota`` live (queued + running)
+        jobs, or :class:`QueueFullError` when the queue already holds
+        ``max_depth`` live jobs.  ``exempt=True`` bypasses both bounds
+        — the dispatcher sets it for requests whose rendered result is
+        already in the artifact store, since those complete at submit
+        time without ever occupying the queue.
         """
         digest = request_digest(request, self.version)
         with self._lock:
@@ -642,6 +712,20 @@ class JobQueue:
                     self._append(event)
                     self._apply(event)
                     return existing, False
+            if not exempt:
+                if (max_depth is not None
+                        and self._counts[JobState.QUEUED]
+                        + self._counts[JobState.RUNNING] >= max_depth):
+                    raise QueueFullError(
+                        f"queue is full ({max_depth} live job(s)); "
+                        f"retry later"
+                    )
+                if (quota is not None
+                        and self._client_live.get(client, 0) >= quota):
+                    raise QuotaExceededError(
+                        f"client {client!r} already has {quota} live "
+                        f"job(s) in flight; retry later"
+                    )
             self._seq += 1
             event = {
                 "event": "submit",
@@ -756,6 +840,11 @@ class JobQueue:
         with self._lock:
             return (self._counts[JobState.QUEUED]
                     + self._counts[JobState.RUNNING])
+
+    def client_inflight(self, client: str) -> int:
+        """Live (queued + running) jobs charged to one client; O(1)."""
+        with self._lock:
+            return self._client_live.get(client, 0)
 
     def state_counts(self) -> Dict[str, int]:
         """Per-state job tallies; O(1)."""

@@ -38,8 +38,16 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
-from repro.service.dispatcher import Dispatcher, RequestError
-from repro.service.queue import JobQueue
+from repro.service.dispatcher import (
+    DEFAULT_MAX_BODY_BYTES,
+    Dispatcher,
+    RequestError,
+)
+from repro.service.queue import (
+    AdmissionError,
+    JobQueue,
+    QueueFullError,
+)
 
 __all__ = ["ServiceServer", "ServerThread", "serve_forever"]
 
@@ -51,8 +59,11 @@ _IDLE_POLL_SECONDS = 0.05
 #: Content-Length) is dropped instead of leaking a task + fd forever.
 _READ_TIMEOUT_SECONDS = 30.0
 
-_MAX_BODY_BYTES = 1 << 20
 _MAX_HEADERS = 100
+
+
+class _BodyTooLargeError(ValueError):
+    """Content-Length exceeds the configured POST body cap (HTTP 413)."""
 
 #: Result keys are SHA-256 hex digests; anything else in the URL (path
 #: separators in particular) must never reach the filesystem layer.
@@ -74,6 +85,9 @@ class ServiceServer:
         workers: int = 1,
         compact_every: Optional[int] = 4096,
         retain_terminal: int = 256,
+        quota: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     ) -> None:
         self.host = host
         self.port = port
@@ -86,6 +100,8 @@ class ServiceServer:
         self.dispatcher = Dispatcher(
             self.queue, cache_dir,
             jobs=jobs, max_batch=max_batch, workers=self.workers,
+            quota=quota, max_queue_depth=max_queue_depth,
+            max_body_bytes=max_body_bytes,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         #: One thread per drain slot: claims are serialized inside the
@@ -167,14 +183,43 @@ class ServiceServer:
             method, path, body = await asyncio.wait_for(
                 self._read_request(reader), _READ_TIMEOUT_SECONDS
             )
+        except _BodyTooLargeError as error:
+            # A refusal the client can act on — unlike the silent drop
+            # for malformed requests below, an oversize body gets a
+            # proper 413 so well-behaved clients stop resending it.
+            self.dispatcher.reject_size()
+            try:
+                await self._respond(
+                    writer, 413, json.dumps(
+                        {"error": str(error)}, sort_keys=True
+                    ) + "\n",
+                )
+            except (ConnectionError, OSError):
+                writer.close()
+            return
         except (asyncio.IncompleteReadError, asyncio.TimeoutError,
                 ValueError):
             writer.close()
             return
+        headers = {}
         try:
-            status, payload = await self._route(method, path, body)
+            result = await self._route(method, path, body)
+            if len(result) == 3:
+                status, payload, headers = result
+            else:
+                status, payload = result
         except RequestError as error:
             status, payload = 400, {"error": str(error)}
+        except QueueFullError as error:
+            retry = self._retry_after_seconds(backlog=True)
+            status, payload, headers = 503, {
+                "error": str(error), "retry_after": retry,
+            }, {"Retry-After": str(retry)}
+        except AdmissionError as error:  # per-client quota breach
+            retry = self._retry_after_seconds(backlog=False)
+            status, payload, headers = 429, {
+                "error": str(error), "retry_after": retry,
+            }, {"Retry-After": str(retry)}
         except Exception as error:  # never let a bug kill the server
             status, payload = 500, {
                 "error": f"{type(error).__name__}: {error}"
@@ -184,9 +229,26 @@ class ServiceServer:
             else json.dumps(payload, sort_keys=True) + "\n"
         )
         try:
-            await self._respond(writer, status, body_text)
+            await self._respond(writer, status, body_text, headers)
         except (ConnectionError, OSError):
             writer.close()  # client hung up mid-response; nothing to do
+
+    def _retry_after_seconds(self, *, backlog: bool) -> int:
+        """Advisory ``Retry-After`` for refused submissions.
+
+        Integer seconds, so any RFC-compliant parser accepts it.  A
+        quota refusal clears as soon as one of the client's own jobs
+        finishes — a short constant hint; a depth refusal clears as the
+        shared backlog drains, so the hint scales with queue depth per
+        batch of drain capacity, capped so clients never back off for
+        minutes on a transient spike.
+        """
+        if not backlog:
+            return 1
+        batches_behind = self.queue.depth() // (
+            4 * max(1, self.dispatcher.max_batch)
+        )
+        return max(1, min(30, 1 + batches_behind))
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -208,24 +270,37 @@ class ServiceServer:
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
-        if length > _MAX_BODY_BYTES:
-            raise ValueError("request body too large")
+        if length > self.dispatcher.max_body_bytes:
+            raise _BodyTooLargeError(
+                f"request body of {length} byte(s) exceeds the "
+                f"{self.dispatcher.max_body_bytes}-byte limit"
+            )
         body = await reader.readexactly(length) if length else b""
         return method, path, body
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, body: str
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: str,
+        headers: Optional[dict] = None,
     ) -> None:
         reason = {
             200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
-            500: "Internal Server Error",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable",
         }.get(status, "OK")
         data = body.encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (headers or {}).items()
+        )
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n".encode("latin-1") + data
         )
         try:
@@ -339,6 +414,9 @@ def serve_forever(
     max_batch: int = 8,
     workers: int = 1,
     compact_every: Optional[int] = 4096,
+    quota: Optional[int] = None,
+    max_queue_depth: Optional[int] = None,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
     announce=None,
 ) -> None:
     """Run a service in the foreground until interrupted (CLI ``serve``)."""
@@ -346,6 +424,8 @@ def serve_forever(
         queue_dir, cache_dir,
         host=host, port=port, jobs=jobs, max_batch=max_batch,
         workers=workers, compact_every=compact_every,
+        quota=quota, max_queue_depth=max_queue_depth,
+        max_body_bytes=max_body_bytes,
     )
     try:
         asyncio.run(_amain(server, announce))

@@ -1,0 +1,380 @@
+"""Deterministic multi-client load harness for the simulation service.
+
+Shared by the SLO tests (``tests/service/test_load.py``) and the load
+benchmark (``benchmarks/perf/bench_load.py``): both need to drive a
+live server with a reproducible population of clients — each with its
+own seeded schedule of warm (cache-hit) and cold (must-simulate)
+submissions, its own retry policy, and optionally its own think time —
+and then reduce the raw per-job outcomes to the numbers that matter:
+p50/p95/p99 latency, saturation throughput, rejection rates, and the
+exactly-once ledger (every accepted job reaches ``done``; every
+distinct cold cell simulates exactly once, however many clients raced
+it).
+
+Determinism: a client's schedule (warm-or-cold choice, cold-cell pick,
+think time) is a pure function of ``(seed, client name)`` via
+``random.Random`` — two runs with the same specs submit the same job
+sequences.  Thread interleaving (and therefore which submission a
+quota refusal lands on) still varies, which is exactly the point: the
+tests assert *invariants* over the outcomes, not exact traces.
+
+The harness is closed-loop per client: each client thread submits its
+next job only after the previous one resolved (accepted and — when
+``wait`` is set — observed terminal, or definitively refused), so
+offered load tracks service capacity the way real pollers do.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.service.client import (
+    ServiceError,
+    get_job,
+    get_stats,
+    submit_job,
+)
+
+__all__ = [
+    "ClientSpec",
+    "LoadResult",
+    "Outcome",
+    "exactly_once_ledger",
+    "percentile",
+    "run_load",
+    "summarize",
+    "uniform_clients",
+]
+
+#: One single-cell tiny request per value: the cold-work unit.  Values
+#: are drawn from this pool, so the distinct-cell universe of a run is
+#: ``len(cold_values) * len(workloads)`` however many jobs are fired.
+DEFAULT_COLD_VALUES = tuple(str(size) for size in range(36, 100, 2))
+
+#: The warm cell (primed before the clients start) — deliberately
+#: outside DEFAULT_COLD_VALUES so warm and cold traffic never share a
+#: cell and the exactly-once ledger stays exact.
+WARM_VALUE = "34"
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One synthetic client: identity, offered load, and retry policy."""
+
+    name: str
+    jobs: int
+    #: Probability a scheduled job is the (primed) warm request.
+    warm_ratio: float = 0.9
+    #: Admission-refusal retries per submission (0 = fail fast).
+    max_retries: int = 6
+    backoff_base: float = 0.02
+    backoff_cap: float = 1.0
+    #: Mean uniform think time between a client's jobs (0 = tight loop).
+    think_mean: float = 0.0
+    #: Poll accepted jobs to a terminal state before the next submit.
+    wait: bool = True
+
+
+def uniform_clients(
+    count: int,
+    jobs_each: int,
+    *,
+    prefix: str = "tenant",
+    **overrides,
+) -> List[ClientSpec]:
+    """``count`` identical clients (the benchmark's default population)."""
+    return [
+        ClientSpec(name=f"{prefix}-{index:02d}", jobs=jobs_each, **overrides)
+        for index in range(count)
+    ]
+
+
+@dataclass
+class Outcome:
+    """What happened to one scheduled submission."""
+
+    client: str
+    index: int
+    kind: str  # "warm" | "cold"
+    cell: str  # the regfile value the job sweeps (warm or cold)
+    accepted: bool = False
+    job_id: Optional[str] = None
+    #: First attempt -> terminal observation (includes retry sleeps and
+    #: completion polling — the latency the tenant actually experiences).
+    latency: Optional[float] = None
+    retries: int = 0
+    #: Final refusal status for unaccepted jobs (429/503/...).
+    reject_status: Optional[int] = None
+    #: Every Retry-After value seen across this job's refusals.
+    retry_after_seen: List[float] = field(default_factory=list)
+    error: Optional[str] = None
+
+
+@dataclass
+class LoadResult:
+    """A finished run: raw outcomes plus the server's closing stats."""
+
+    specs: List[ClientSpec]
+    outcomes: List[Outcome]
+    wall_seconds: float
+    stats: dict
+
+    def by_client(self) -> Dict[str, List[Outcome]]:
+        grouped: Dict[str, List[Outcome]] = {spec.name: [] for spec in self.specs}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.client, []).append(outcome)
+        return grouped
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without floats
+    return ordered[int(rank) - 1]
+
+
+def _payload(value: str, workloads: Sequence[str], profile: str) -> dict:
+    return {
+        "kind": "sweep", "axis": "regfile", "values": [value],
+        "workloads": list(workloads), "profile": profile,
+    }
+
+
+def _schedule(
+    spec: ClientSpec, seed: int, cold_values: Sequence[str]
+) -> List[Tuple[str, str, float]]:
+    """The client's deterministic job list: (kind, value, think_time)."""
+    rng = random.Random(f"loadsim:{seed}:{spec.name}")
+    plan = []
+    for _ in range(spec.jobs):
+        if rng.random() < spec.warm_ratio:
+            kind, value = "warm", WARM_VALUE
+        else:
+            kind, value = "cold", rng.choice(list(cold_values))
+        think = rng.uniform(0, 2 * spec.think_mean) if spec.think_mean else 0.0
+        plan.append((kind, value, think))
+    return plan
+
+
+def _drive_client(
+    url: str,
+    spec: ClientSpec,
+    plan: List[Tuple[str, str, float]],
+    workloads: Sequence[str],
+    profile: str,
+    poll: float,
+    timeout: float,
+    outcomes: List[Outcome],
+) -> None:
+    for index, (kind, value, think) in enumerate(plan):
+        if think:
+            time.sleep(think)
+        outcome = Outcome(client=spec.name, index=index, kind=kind, cell=value)
+        outcomes.append(outcome)
+        refusals: List[float] = []
+
+        def on_retry(attempt, delay, error, _refusals=refusals):
+            if error.retry_after is not None:
+                _refusals.append(error.retry_after)
+
+        started = time.perf_counter()
+        try:
+            receipt = submit_job(
+                url, _payload(value, workloads, profile), client=spec.name,
+                max_retries=spec.max_retries,
+                backoff_base=spec.backoff_base,
+                backoff_cap=spec.backoff_cap,
+                on_retry=on_retry,
+            )
+        except ServiceError as error:
+            outcome.reject_status = error.status
+            if error.retry_after is not None:
+                refusals.append(error.retry_after)
+            outcome.retry_after_seen = refusals
+            outcome.retries = len(refusals)
+            outcome.error = str(error)
+            continue
+        outcome.accepted = True
+        outcome.job_id = receipt["id"]
+        outcome.retry_after_seen = refusals
+        outcome.retries = len(refusals)
+        if spec.wait:
+            deadline = started + timeout
+            while True:
+                record = get_job(url, receipt["id"])
+                if record["state"] in ("done", "failed"):
+                    if record["state"] == "failed":
+                        outcome.error = record.get("error") or "failed"
+                    break
+                if time.perf_counter() > deadline:
+                    outcome.error = f"timeout in state {record['state']}"
+                    break
+                time.sleep(poll)
+        outcome.latency = time.perf_counter() - started
+
+
+def run_load(
+    url: str,
+    specs: Sequence[ClientSpec],
+    *,
+    seed: int = 0,
+    cold_values: Sequence[str] = DEFAULT_COLD_VALUES,
+    workloads: Sequence[str] = ("li_like",),
+    profile: str = "tiny",
+    poll: float = 0.005,
+    timeout: float = 180.0,
+    prime: bool = True,
+    settle: bool = False,
+) -> LoadResult:
+    """Run every client's schedule against a live server; gather stats.
+
+    ``prime`` computes the warm cell once (and waits for it) before any
+    client starts, so "warm" traffic is genuinely the instant-response
+    path from the first scheduled job onward.  ``settle`` waits for the
+    queue to go idle after the clients finish before capturing stats —
+    required for the exactly-once ledger when any client ran with
+    ``wait=False`` (its accepted jobs may still be draining).  Do not
+    combine ``settle`` with a frozen dispatcher and a non-empty queue.
+    """
+    if prime:
+        receipt = submit_job(
+            url, _payload(WARM_VALUE, workloads, profile),
+            client="loadsim-prime", max_retries=20, backoff_base=0.05,
+        )
+        deadline = time.perf_counter() + timeout
+        while True:
+            record = get_job(url, receipt["id"])
+            if record["state"] == "done":
+                break
+            if record["state"] == "failed":
+                raise RuntimeError(
+                    f"warm prime failed: {record.get('error')}"
+                )
+            if time.perf_counter() > deadline:
+                raise RuntimeError("warm prime did not finish in time")
+            time.sleep(poll)
+
+    plans = {spec.name: _schedule(spec, seed, cold_values) for spec in specs}
+    outcomes: List[Outcome] = []
+    per_thread: List[List[Outcome]] = []
+    threads = []
+    for spec in specs:
+        sink: List[Outcome] = []
+        per_thread.append(sink)
+        threads.append(threading.Thread(
+            target=_drive_client,
+            args=(url, spec, plans[spec.name], workloads, profile,
+                  poll, timeout, sink),
+            name=f"loadsim-{spec.name}", daemon=True,
+        ))
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    for sink in per_thread:
+        outcomes.extend(sink)
+    if settle:
+        deadline = time.perf_counter() + timeout
+        while True:
+            states = get_stats(url)["queue"]["states"]
+            if states["queued"] == 0 and states["running"] == 0:
+                break
+            if time.perf_counter() > deadline:
+                raise RuntimeError(
+                    f"queue did not settle: {states} after {timeout}s"
+                )
+            time.sleep(poll)
+    return LoadResult(
+        specs=list(specs), outcomes=outcomes, wall_seconds=wall,
+        stats=get_stats(url),
+    )
+
+
+def exactly_once_ledger(result: LoadResult, url: Optional[str] = None) -> dict:
+    """The no-lost/no-duplicated-work accounting for a finished run.
+
+    * every accepted job reached ``done`` (none lost, none stuck);
+    * the distinct cold cells among *accepted* jobs each simulated
+      exactly once: ``cells_executed`` equals that count plus the one
+      primed warm cell, however many clients raced each cell.
+
+    ``url`` re-polls every distinct accepted job's final state over
+    HTTP — needed for fire-and-forget (``wait=False``) clients, whose
+    outcomes carry no terminal observation of their own.  Call it after
+    a ``settle=True`` run so every accepted job has reached a terminal
+    state.
+    """
+    accepted = [o for o in result.outcomes if o.accepted]
+    lost = [
+        o for o in accepted
+        if o.error is not None or o.job_id is None
+    ]
+    if url is not None:
+        for job_id in sorted({o.job_id for o in accepted if o.job_id}):
+            record = get_job(url, job_id)
+            if record["state"] != "done" or not record.get("result_key"):
+                lost.append(record)
+    cold_cells = {o.cell for o in accepted if o.kind == "cold"}
+    executed = result.stats["dispatcher"]["cells_executed"]
+    timed = result.stats["cache"]["session"].get("timed", {})
+    return {
+        "accepted": len(accepted),
+        "lost": len(lost),
+        "distinct_cold_cells": len(cold_cells),
+        "cells_executed": executed,
+        "expected_executed": len(cold_cells) + 1,  # + the primed warm cell
+        "timed_misses": timed.get("misses", 0),
+        "exactly_once": (
+            not lost and executed == len(cold_cells) + 1
+            and timed.get("misses", 0) == len(cold_cells) + 1
+        ),
+    }
+
+
+def summarize(result: LoadResult) -> dict:
+    """Reduce a run to the BENCH ``load`` section shape."""
+    latencies = [
+        o.latency for o in result.outcomes
+        if o.accepted and o.latency is not None
+    ]
+    warm_latencies = [
+        o.latency for o in result.outcomes
+        if o.accepted and o.latency is not None and o.kind == "warm"
+    ]
+    accepted = sum(1 for o in result.outcomes if o.accepted)
+    rejected: Dict[str, int] = {}
+    for outcome in result.outcomes:
+        if not outcome.accepted and outcome.reject_status is not None:
+            key = str(outcome.reject_status)
+            rejected[key] = rejected.get(key, 0) + 1
+    retries = sum(o.retries for o in result.outcomes)
+    admission = result.stats.get("admission", {})
+    return {
+        "clients": len(result.specs),
+        "jobs_offered": len(result.outcomes),
+        "jobs_accepted": accepted,
+        "jobs_rejected_final": rejected,
+        "retries": retries,
+        "wall_seconds": round(result.wall_seconds, 3),
+        "throughput_rps": round(
+            accepted / result.wall_seconds, 1
+        ) if result.wall_seconds > 0 else 0.0,
+        "latency_p50_ms": round(percentile(latencies, 50) * 1000, 2),
+        "latency_p95_ms": round(percentile(latencies, 95) * 1000, 2),
+        "latency_p99_ms": round(percentile(latencies, 99) * 1000, 2),
+        "warm_latency_p99_ms": round(
+            percentile(warm_latencies, 99) * 1000, 2
+        ),
+        "rejected_quota": admission.get("rejected_quota", 0),
+        "rejected_depth": admission.get("rejected_depth", 0),
+        "rejected_size": admission.get("rejected_size", 0),
+        "exactly_once": exactly_once_ledger(result),
+    }

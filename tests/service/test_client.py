@@ -36,15 +36,29 @@ def _free_port() -> int:
 
 
 class _StubHandler(http.server.BaseHTTPRequestHandler):
-    """Serves whatever ``self.server.responses`` maps the path to."""
+    """Serves whatever ``self.server.responses`` maps the path to.
+
+    An entry is ``(status, body)`` or ``(status, body, headers)``; a
+    *list* of entries is a script — each request consumes the next one,
+    and the last entry repeats once the script is exhausted (so a
+    retry-then-succeed sequence is one list).  Every request is
+    appended to ``self.server.request_log``.
+    """
 
     def _serve(self):
-        status, body = self.server.responses.get(
+        self.server.request_log.append((self.command, self.path))
+        entry = self.server.responses.get(
             self.path, (404, b'{"error": "nope"}')
         )
+        if isinstance(entry, list):
+            entry = entry.pop(0) if len(entry) > 1 else entry[0]
+        status, body = entry[0], entry[1]
+        extra = entry[2] if len(entry) > 2 else {}
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -61,6 +75,7 @@ def stub():
         ("127.0.0.1", 0), _StubHandler
     )
     server.responses = {}
+    server.request_log = []
     thread = threading.Thread(
         target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
     )
@@ -175,3 +190,143 @@ class TestSubmitAndWait:
         assert record["state"] == "done"
         with pytest.raises(ServiceError, match="HTTP 404"):
             get_job(url, "job-unknown")
+
+
+class TestSubmitRetries:
+    """Honor-Retry-After retry with capped exponential backoff.
+
+    Scripted response sequences (each request consumes the next entry)
+    make every schedule deterministic, and the injected ``_sleep``
+    records the exact delays instead of waiting them out.  A success
+    sentinel *after* the scripted refusals proves fail-fast paths
+    really stop — if a forbidden retry happened, it would hit the
+    sentinel and the test's ``pytest.raises`` would fail.
+    """
+
+    RECEIPT = {"id": "job-000001-cafecafecafe",
+               "location": "/v1/jobs/job-000001-cafecafecafe"}
+
+    def _refusal(self, status, retry_after=None):
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = str(retry_after)
+        return (status, _json({"error": "busy"}), headers)
+
+    def test_retry_after_header_honored(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            self._refusal(429, retry_after=3),
+            (202, _json(self.RECEIPT)),
+        ]
+        delays = []
+        receipt = submit_job(
+            url, {"axis": "regfile"}, max_retries=2,
+            backoff_base=0.1, _sleep=delays.append,
+        )
+        assert receipt == self.RECEIPT
+        assert delays == [3.0]  # the hint, not the 0.1s backoff floor
+
+    def test_exponential_backoff_when_no_header(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            self._refusal(503), self._refusal(503), self._refusal(503),
+            (202, _json(self.RECEIPT)),
+        ]
+        delays = []
+        receipt = submit_job(
+            url, {"axis": "regfile"}, max_retries=3,
+            backoff_base=0.1, _sleep=delays.append,
+        )
+        assert receipt == self.RECEIPT
+        assert delays == [pytest.approx(0.1), pytest.approx(0.2),
+                          pytest.approx(0.4)]
+
+    def test_backoff_cap_respected(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            self._refusal(503, retry_after=100),
+            self._refusal(503, retry_after=100),
+            (202, _json(self.RECEIPT)),
+        ]
+        delays = []
+        submit_job(
+            url, {"axis": "regfile"}, max_retries=2,
+            backoff_base=0.1, backoff_cap=5.0, _sleep=delays.append,
+        )
+        assert delays == [5.0, 5.0]  # the server's 100s hint is capped
+
+    def test_non_retryable_4xx_fails_fast(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            (400, _json({"error": "unknown sweep axis 'bogus'"})),
+            (202, _json(self.RECEIPT)),  # sentinel: must never be hit
+        ]
+        delays = []
+        with pytest.raises(ServiceError, match="HTTP 400") as info:
+            submit_job(url, {"axis": "bogus"}, max_retries=5,
+                       _sleep=delays.append)
+        assert info.value.status == 400
+        assert delays == []
+
+    def test_exhausted_retries_raise_with_status_and_hint(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            self._refusal(429, retry_after=2),
+            self._refusal(429, retry_after=2),
+            self._refusal(429, retry_after=7),
+            (202, _json(self.RECEIPT)),  # sentinel: one retry too many
+        ]
+        delays = []
+        with pytest.raises(ServiceError, match="HTTP 429") as info:
+            submit_job(url, {"axis": "regfile"}, max_retries=2,
+                       _sleep=delays.append)
+        assert info.value.status == 429
+        assert info.value.retry_after == 7.0  # from the *final* refusal
+        assert len(delays) == 2
+
+    def test_zero_retries_is_the_default(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            self._refusal(503, retry_after=1),
+            (202, _json(self.RECEIPT)),  # sentinel
+        ]
+        with pytest.raises(ServiceError, match="HTTP 503") as info:
+            submit_job(url, {"axis": "regfile"})
+        assert info.value.status == 503
+        assert info.value.retry_after == 1.0
+
+    def test_on_retry_observes_each_attempt(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            self._refusal(429, retry_after=1),
+            self._refusal(503),
+            (202, _json(self.RECEIPT)),
+        ]
+        observed = []
+        submit_job(
+            url, {"axis": "regfile"}, max_retries=2, backoff_base=0.1,
+            on_retry=lambda attempt, delay, error:
+                observed.append((attempt, delay, error.status)),
+            _sleep=lambda _: None,
+        )
+        assert observed == [(0, 1.0, 429), (1, pytest.approx(0.2), 503)]
+
+    def test_submit_and_wait_passes_retry_policy_through(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = [
+            self._refusal(429, retry_after=1),
+            (202, _json(self.RECEIPT)),
+        ]
+        responses[f"/v1/jobs/{self.RECEIPT['id']}"] = (
+            200, _json({"id": self.RECEIPT["id"], "state": "done",
+                        "result_key": "cd" * 32})
+        )
+        responses["/v1/results/" + "cd" * 32] = (200, b'{"doc": 1}')
+        observed = []
+        job, document = submit_and_wait(
+            url, {"axis": "regfile"}, timeout=5, max_retries=1,
+            on_retry=lambda *args: observed.append(args),
+        )
+        assert job["state"] == "done"
+        assert document == b'{"doc": 1}'
+        assert len(observed) == 1

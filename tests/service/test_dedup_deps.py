@@ -1,0 +1,155 @@
+"""Dependency-level in-flight dedup: traces and binaries never race.
+
+The hole this closes (the "benign dependency-artifact race" the ROADMAP
+carried): enumerated sweep cells are ``timed``-only, but running a
+timed cell on a cold cache *implicitly* computes its trace and binary.
+The cross-batch in-flight registry used to register only the enumerated
+cells, so two concurrent batches of *distinct* timed cells over one
+workload would both compute the shared trace — correct bytes (the
+atomic store makes last-writer-wins safe) but duplicated work.
+
+Now :meth:`Job.dependencies` names the closure, claims cover it, and a
+batch whose dependency is owned elsewhere waits on the owner's event
+before executing — counted in ``deps_deduped_inflight``.  The tests pin
+the closure's shape, the claim partitioning, and (barrier-forced, so
+the overlap is deterministic) the end-to-end exactly-once property.
+"""
+
+import threading
+
+from repro.experiments.parallel import Job
+from repro.experiments.runner import ExperimentProfile
+from repro.experiments.sweep import adhoc_spec
+from repro.service.dispatcher import Dispatcher, _InflightCells
+from repro.service.queue import JobQueue
+
+TINY = ExperimentProfile.tiny()
+
+
+def _cells(value: str):
+    spec = adhoc_spec("regfile", TINY, values=[value],
+                      workloads=["li_like"])
+    return spec.jobs(TINY)
+
+
+class TestDependencyClosure:
+    def test_binary_has_no_dependencies(self):
+        assert Job("binary", "li_like").dependencies() == []
+
+    def test_timed_closure_is_binary_plus_trace(self):
+        [timed] = [c for c in _cells("34") if c.kind == "timed"]
+        deps = timed.dependencies()
+        assert [d.kind for d in deps] == ["binary", "trace"]
+        binary, trace = deps
+        # The dependency jobs carry the fields the implicit computation
+        # uses, so their signatures match enumerated equivalents.
+        assert trace.workload == timed.workload
+        assert trace.dvi == timed.dvi
+        assert trace.edvi_binary == timed.edvi_binary
+        assert binary.signature() == Job("binary", timed.workload).signature()
+
+    def test_distinct_machines_share_the_trace_dependency(self):
+        """The race's shape: two timed cells differing only in machine
+        config have different signatures but identical trace deps."""
+        [a] = [c for c in _cells("34") if c.kind == "timed"]
+        [b] = [c for c in _cells("42") if c.kind == "timed"]
+        assert a.signature() != b.signature()
+        assert (a.dependencies()[1].signature()
+                == b.dependencies()[1].signature())
+
+    def test_trace_depends_on_binary_only(self):
+        [timed] = [c for c in _cells("34") if c.kind == "timed"]
+        trace = timed.dependencies()[1]
+        assert [d.kind for d in trace.dependencies()] == ["binary"]
+
+
+class TestClaimPartitioning:
+    def test_second_claim_waits_on_shared_dependencies(self):
+        registry = _InflightCells()
+        first, second = _cells("34"), _cells("42")
+
+        owned1, sigs1, foreign1, deps1 = registry.claim(first)
+        assert owned1 == first
+        assert foreign1 == [] and deps1 == []
+        assert len(sigs1) == 3  # timed + its trace + its binary
+
+        owned2, sigs2, foreign2, deps2 = registry.claim(second)
+        assert owned2 == second
+        assert foreign2 == []
+        assert len(deps2) == 2  # waits on the first claim's trace+binary
+        assert len(sigs2) == 1  # registers only its own timed cell
+        assert all(not event.is_set() for event in deps2)
+
+        registry.release(sigs1)
+        assert all(event.is_set() for event in deps2)
+        registry.release(sigs2)
+        assert registry._events == {}
+
+    def test_foreign_enumerated_cell_registers_no_dependencies(self):
+        """A cell another batch owns is not executed here, so its
+        dependency closure is the owner's business, not ours."""
+        registry = _InflightCells()
+        cells = _cells("34")
+        _, sigs1, _, _ = registry.claim(cells)
+        owned2, sigs2, foreign2, deps2 = registry.claim(cells)
+        assert owned2 == [] and sigs2 == []
+        assert len(foreign2) == 1
+        assert deps2 == []
+        registry.release(sigs1)
+
+
+class TestConcurrentBatchesComputeDependenciesOnce:
+    def test_barrier_forced_overlap_single_trace_computation(self, tmp_path):
+        """Two dispatch workers, two distinct timed cells, one shared
+        trace.  A barrier inside the claim path forces both batches to
+        overlap (no timing luck), so without dependency claiming this
+        would compute the trace twice; with it, the loser waits and
+        reads the winner's artifact — one trace miss total."""
+        queue = JobQueue(tmp_path / "queue")
+        dispatcher = Dispatcher(
+            queue, tmp_path / "cache", workers=2, max_batch=1
+        )
+        dispatcher.submit(
+            {"kind": "sweep", "axis": "regfile", "values": ["34"],
+             "workloads": ["li_like"], "profile": "tiny"}, "a",
+        )
+        dispatcher.submit(
+            {"kind": "sweep", "axis": "regfile", "values": ["42"],
+             "workloads": ["li_like"], "profile": "tiny"}, "b",
+        )
+
+        barrier = threading.Barrier(2, timeout=120)
+        original_claim = dispatcher._inflight.claim
+
+        def gated_claim(cells):
+            barrier.wait()  # both batches are in-flight before either claims
+            return original_claim(cells)
+
+        dispatcher._inflight.claim = gated_claim
+
+        errors = []
+
+        def drain():
+            try:
+                dispatcher.drain_once()
+            except Exception as error:  # surface in the main thread
+                errors.append(error)
+
+        threads = [threading.Thread(target=drain) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors, errors
+
+        states = queue.state_counts()
+        assert states["done"] == 2 and states["failed"] == 0
+        snapshot = dispatcher.snapshot()
+        assert snapshot["dispatcher"]["cells_executed"] == 2
+        # The losing batch waited on both shared deps (binary + trace).
+        assert snapshot["dispatcher"]["deps_deduped_inflight"] == 2
+        session = snapshot["cache"]["session"]
+        assert session["trace"]["misses"] == 1
+        assert session["binary"]["misses"] == 1
+        assert session["timed"]["misses"] == 2
+        queue.close()
