@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-crashsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-service bench-load bench-load-smoke clean-cache
+.PHONY: test test-crashsim test-faultsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-service bench-load bench-load-smoke clean-cache
 
 ## Tier-1 test suite.
 test:
@@ -11,6 +11,12 @@ test:
 ## fsync/rename/append boundary and asserts the replay invariants.
 test-crashsim:
 	$(PYTHON) -m pytest tests/service/test_crashsim.py -q
+
+## Fault-injection suite alone: arms deterministic kill/hang/raise
+## faults inside real worker pools and asserts the containment contract
+## (healthy batchmates exactly once, poison quarantined, replay clean).
+test-faultsim:
+	$(PYTHON) -m pytest tests/service/test_faultsim.py -q
 
 ## Ruff lint gate (config in pyproject.toml).  Skips with a notice when
 ## ruff is not installed; CI installs ruff and enforces it.

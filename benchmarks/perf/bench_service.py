@@ -16,7 +16,12 @@ core's):
   submitted together — once fused into one dispatcher batch
   (``workers=1``) and once sharded across four concurrent dispatch
   workers (``workers=4``, ``max_batch=1``), so the report tracks the
-  scale-out dimension alongside the serial baseline.
+  scale-out dimension alongside the serial baseline;
+* **fault-containment overhead** — the same cold single job and warm
+  round trips with ``--job-timeout`` armed (per-cell deadlines, job
+  leases, containment bookkeeping), so the report tracks what the
+  contained executor costs a healthy workload relative to the
+  uncontained baseline above.
 
 The service is hosted in-process (:class:`repro.service.server
 .ServerThread`) but driven over real sockets through the same urllib
@@ -152,6 +157,42 @@ def bench_warm(tmp: Path, requests: int) -> dict:
     }
 
 
+def bench_fault_overhead(tmp: Path, requests: int) -> dict:
+    """Cold + warm measurements with the contained executor armed.
+
+    ``job_timeout`` switches execution onto the deadline-enforcing
+    path (futures with per-cell deadlines, journaled job leases,
+    containment counters); on a healthy workload its overhead should be
+    noise, and this dimension keeps that claim measured.
+    """
+    with ServerThread(
+        tmp / "fault-queue", tmp / "fault-cache", job_timeout=120.0,
+    ) as service:
+        started = time.perf_counter()
+        submit_and_wait(service.url, dict(WARM_PAYLOAD), client="bench",
+                        timeout=300.0)
+        cold_single = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(requests):
+            submit_and_wait(service.url, dict(WARM_PAYLOAD), client="bench",
+                            timeout=60.0)
+        sequential = time.perf_counter() - started
+        stats = get_stats(service.url)
+    containment = stats["containment"]
+    return {
+        "job_timeout_seconds": 120.0,
+        "cold_single_job_seconds": round(cold_single, 3),
+        "warm_requests": requests,
+        "warm_sequential_seconds": round(sequential, 3),
+        "warm_sequential_rps": round(requests / sequential, 1),
+        # Must all stay zero on a healthy run: armed is not triggered.
+        "retries": containment["retries"],
+        "quarantined": containment["quarantined"],
+        "pool_crashes": containment["pool_crashes"],
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -183,21 +224,32 @@ def main() -> int:
         warm = bench_warm(tmp_path, args.warm_requests)
         print(f"  sequential {warm['sequential_rps']} req/s, "
               f"8-way concurrent {warm['concurrent_rps']} req/s")
+        print("fault overhead: same cold + warm with --job-timeout ...",
+              flush=True)
+        fault = bench_fault_overhead(tmp_path, args.warm_requests)
+        print(f"  contained cold {fault['cold_single_job_seconds']}s, "
+              f"warm sequential {fault['warm_sequential_rps']} req/s")
 
-    report = {
-        "bench": "service",
-        "date": date.today().isoformat(),
-        "host": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "system": platform.system(),
-        },
-        "metrics": {
-            "cold": cold,
-            "cold_sharded": sharded,
-            "warm": warm,
-        },
+    # Merge, never overwrite: the `load` section bench_load.py maintains
+    # lives in the same committed file.
+    try:
+        with open(args.output, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        report = {"bench": "service", "metrics": {}}
+    report["bench"] = "service"
+    report["date"] = date.today().isoformat()
+    report["host"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "system": platform.system(),
     }
+    report.setdefault("metrics", {}).update({
+        "cold": cold,
+        "cold_sharded": sharded,
+        "warm": warm,
+        "fault_overhead": fault,
+    })
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -44,6 +44,13 @@ DESIGN_REQUIRED = (
     "backpressure",
     "load harness",
     "p99",
+    # Failure containment: leases, bounded retries, quarantine, drain.
+    "lease",
+    "quarantine",
+    "bisection",
+    "circuit breaker",
+    "graceful drain",
+    "/v1/health",
 )
 
 #: Subcommands whose --help surfaces must be reflected in README.md.

@@ -310,6 +310,25 @@ def _serve_main(argv) -> int:
              "(default: %d)" % DEFAULT_MAX_BODY_BYTES,
     )
     parser.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="failed executions (crash, hang, error) a job gets before "
+             "it is quarantined with its failure diagnostic "
+             "(default: 3)",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=0, metavar="SECONDS",
+        help="per-cell wall-clock deadline: enables the contained "
+             "executor (killable workers, hang detection, poison-job "
+             "bisection on pool crashes); 0 disables deadline "
+             "enforcement entirely (default: 0)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, how long in-flight batches get to "
+             "finish before stragglers are demoted back to queued "
+             "(default: 30)",
+    )
+    parser.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="artifact cache backing the service (default: .repro-cache)",
     )
@@ -330,6 +349,12 @@ def _serve_main(argv) -> int:
         parser.error("--max-queue-depth must be >= 0")
     if args.max_body_bytes < 1:
         parser.error("--max-body-bytes must be >= 1")
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be >= 1")
+    if args.job_timeout < 0:
+        parser.error("--job-timeout must be >= 0")
+    if args.drain_grace < 0:
+        parser.error("--drain-grace must be >= 0")
 
     from repro.service.server import serve_forever
 
@@ -342,7 +367,7 @@ def _serve_main(argv) -> int:
             file=sys.stderr, flush=True,
         )
 
-    serve_forever(
+    drained_clean = serve_forever(
         args.queue_dir, args.cache_dir,
         host=args.host, port=args.port,
         jobs=args.jobs, max_batch=args.max_batch,
@@ -351,8 +376,21 @@ def _serve_main(argv) -> int:
         quota=args.quota or None,
         max_queue_depth=args.max_queue_depth or None,
         max_body_bytes=args.max_body_bytes,
+        max_attempts=args.max_attempts,
+        job_timeout=args.job_timeout or None,
+        drain_grace=args.drain_grace,
         announce=announce,
     )
+    if not drained_clean:
+        # A wedged batch outlived the grace: its dispatch thread is
+        # non-daemon, so a normal return would hang the interpreter on
+        # thread join.  The drain already demoted the batch's jobs and
+        # abandoned the journal writer, so replay is clean — hard-exit
+        # with the success status the drain contract promises.
+        print("drain grace expired with a batch still executing; "
+              "exiting hard (jobs demoted for replay)",
+              file=sys.stderr, flush=True)
+        os._exit(0)
     return 0
 
 
@@ -514,6 +552,17 @@ def _status_main(argv) -> int:
           f"{disp['cells_executed']}  inflight-deduped: "
           f"{disp['cells_deduped_inflight']}  overlapped: "
           f"{disp['overlapped_batches']}")
+    containment = stats.get("containment")
+    if containment:
+        deadline = containment["job_timeout"]
+        print(f"containment: retries={containment['retries']}  "
+              f"quarantined={containment['quarantined']}  "
+              f"timeouts={containment['timeouts']}  "
+              f"bisections={containment['bisections']}  "
+              f"pool crashes={containment['pool_crashes']}  "
+              f"breaker={'OPEN' if containment['breaker_open'] else 'closed'}"
+              f"  (max attempts {containment['max_attempts']}, deadline "
+              + (f"{deadline:g}s)" if deadline else "off)"))
     print(f"workers: {workers['count']} ({workers['active']} active)  "
           f"pool size: {workers['pool_size']}  max batch: "
           f"{workers['max_batch']}  utilization: "

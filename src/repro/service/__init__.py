@@ -8,10 +8,13 @@ CLI uses:
   queue with atomic state transitions and crash replay;
 * :mod:`repro.service.dispatcher` — request normalization, three-layer
   deduplication (live jobs, stored results, shared cells), fair
-  batching onto the worker pool;
+  batching onto the worker pool, bounded retry/quarantine containment;
+* :mod:`repro.service.execution` — the contained executor: per-cell
+  deadlines, killable workers, poison-job bisection on pool crashes,
+  deterministic fault injection for the tests;
 * :mod:`repro.service.server` — stdlib asyncio HTTP JSON API
   (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``GET /v1/results/<key>``,
-  ``GET /v1/stats``);
+  ``GET /v1/stats``, ``GET /v1/health``) with graceful SIGTERM drain;
 * :mod:`repro.service.client` — urllib helpers behind ``repro submit``
   and ``repro status``.
 
@@ -19,11 +22,17 @@ DESIGN.md section 5 documents the architecture; the README's "Serving"
 section is the quick-start.
 """
 
-from repro.service.dispatcher import Dispatcher, RequestError, normalize_request
+from repro.service.dispatcher import (
+    BreakerOpenError,
+    Dispatcher,
+    RequestError,
+    normalize_request,
+)
 from repro.service.queue import JobQueue, JobState, ServiceJob
 from repro.service.server import ServerThread, ServiceServer, serve_forever
 
 __all__ = [
+    "BreakerOpenError",
     "Dispatcher",
     "JobQueue",
     "JobState",

@@ -26,11 +26,14 @@ from typing import Callable, Mapping, Optional, Tuple
 
 __all__ = [
     "RETRYABLE_STATUSES",
+    "TERMINAL_STATES",
     "ServiceError",
     "compact_queue",
+    "get_health",
     "get_job",
     "get_result",
     "get_stats",
+    "poll_job",
     "submit_and_wait",
     "submit_job",
 ]
@@ -39,6 +42,12 @@ __all__ = [
 #: else (400 bad request, 404, 413 oversize, 500 bug) is not transient:
 #: resending the same bytes cannot succeed, so those fail fast.
 RETRYABLE_STATUSES = frozenset({429, 503})
+
+#: Job states that will never change again.  ``quarantined`` is the
+#: containment terminal — the job exhausted its attempt budget (its
+#: record carries ``attempts`` and a ``failure_reason`` diagnostic) —
+#: so pollers treat it exactly like ``failed``: stop waiting.
+TERMINAL_STATES = frozenset({"done", "failed", "quarantined"})
 
 
 class ServiceError(RuntimeError):
@@ -165,6 +174,52 @@ def get_job(base_url: str, job_id: str, *, timeout: float = 30.0) -> dict:
     return _json_or_error(status, raw, f"job {job_id}", headers)
 
 
+def poll_job(
+    base_url: str,
+    job_id: str,
+    *,
+    timeout: float = 300.0,
+    poll: float = 0.1,
+) -> dict:
+    """Poll one job until it reaches a terminal state.
+
+    Returns the final record for any state in :data:`TERMINAL_STATES`
+    (including ``failed``/``quarantined`` — inspecting the verdict is
+    the caller's business); raises :class:`ServiceError` only if the
+    deadline passes first.  Quarantine is terminal precisely so this
+    loop cannot spin forever on a poison job.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        job = get_job(base_url, job_id, timeout=timeout)
+        if job["state"] in TERMINAL_STATES:
+            return job
+        if time.monotonic() > deadline:
+            raise ServiceError(
+                f"job {job_id} still {job['state']} after {timeout}s"
+            )
+        time.sleep(poll)
+
+
+def get_health(base_url: str, *, timeout: float = 30.0) -> dict:
+    """The ``/v1/health`` document, whatever the status code.
+
+    Both the 200 (ready) and 503 (draining / breaker open) responses
+    carry the same JSON shape; transport failures still raise
+    :class:`ServiceError` — the caller distinguishes "server says not
+    ready" from "server unreachable".
+    """
+    status, raw, _headers = _request(
+        "GET", f"{base_url}/v1/health", None, timeout
+    )
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ServiceError(
+            f"health: non-JSON response (HTTP {status})", status=status
+        )
+
+
 def get_result(base_url: str, key: str, *, timeout: float = 30.0) -> bytes:
     """The raw stored result document for an artifact key."""
     status, raw, headers = _request(
@@ -229,17 +284,15 @@ def submit_and_wait(
         max_retries=max_retries, backoff_base=backoff_base,
         backoff_cap=backoff_cap, on_retry=on_retry,
     )
-    deadline = time.monotonic() + timeout
-    while True:
-        job = get_job(base_url, receipt["id"], timeout=timeout)
-        if job["state"] == "done":
-            return job, get_result(base_url, job["result_key"], timeout=timeout)
-        if job["state"] == "failed":
-            raise ServiceError(
-                f"job {job['id']} failed: {job.get('error', 'unknown error')}"
-            )
-        if time.monotonic() > deadline:
-            raise ServiceError(
-                f"job {receipt['id']} still {job['state']} after {timeout}s"
-            )
-        time.sleep(poll)
+    job = poll_job(base_url, receipt["id"], timeout=timeout, poll=poll)
+    if job["state"] == "done":
+        return job, get_result(base_url, job["result_key"], timeout=timeout)
+    if job["state"] == "quarantined":
+        raise ServiceError(
+            f"job {job['id']} quarantined after "
+            f"{job.get('attempts', '?')} attempt(s): "
+            f"{job.get('failure_reason', 'unknown failure')}"
+        )
+    raise ServiceError(
+        f"job {job['id']} failed: {job.get('error', 'unknown error')}"
+    )

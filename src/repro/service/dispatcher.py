@@ -43,6 +43,7 @@ and the compute core, and is where the service earns its keep:
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import threading
 import time
@@ -61,6 +62,7 @@ from repro.experiments.sweep import (
     sweep_title,
 )
 from repro.registry import UnknownComponentError
+from repro.service.execution import execute_contained
 from repro.service.queue import (
     JobQueue,
     JobState,
@@ -73,6 +75,8 @@ from repro.workloads.suite import get_workload
 
 __all__ = [
     "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_WAIT_TIMEOUT",
+    "BreakerOpenError",
     "Dispatcher",
     "DispatcherStats",
     "RequestError",
@@ -86,9 +90,27 @@ RESULT_KIND = "service"
 #: Default POST body cap (the server's transport-level admission bound).
 DEFAULT_MAX_BODY_BYTES = 1 << 20
 
+#: In-flight wait deadline when no ``--job-timeout`` is configured.
+#: With a timeout configured, waits use it instead: a wait on a foreign
+#: cell should expire on the same clock the cell's own execution would.
+DEFAULT_WAIT_TIMEOUT = 600.0
+
 
 class RequestError(ValueError):
     """A submitted payload failed validation (HTTP 400)."""
+
+
+class BreakerOpenError(RuntimeError):
+    """New work refused: the pool circuit breaker is open (HTTP 503).
+
+    Raised by :meth:`Dispatcher.submit` while the breaker's cooldown is
+    running; ``retry_after`` is the remaining cooldown in whole seconds
+    (the server forwards it as the ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, *, retry_after: int) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 def normalize_request(payload: dict) -> dict:
@@ -196,6 +218,14 @@ class DispatcherStats:
     rejected_quota: int = 0
     rejected_depth: int = 0
     rejected_size: int = 0
+    #: Containment tallies: bounded retries granted, jobs quarantined,
+    #: deadline expiries (cell executions *and* in-flight waits), batch
+    #: bisection rounds, and worker-pool deaths observed.
+    retries: int = 0
+    quarantined: int = 0
+    timeouts: int = 0
+    bisections: int = 0
+    pool_crashes: int = 0
     busy_seconds: float = 0.0
     started_at: float = field(default_factory=time.monotonic)
 
@@ -231,9 +261,9 @@ class _InflightCells:
     graph follows claim order and cannot cycle.
 
     The registry only ever *narrows* work: if an owner dies without
-    storing, the waiter's execution path recomputes the dependency
-    inline, so correctness never depends on the registry — only
-    compute-once does.
+    storing, the waiter's deadline expires, it reclaims the signature
+    (:meth:`reclaim`), and recomputes — so correctness never depends on the
+    registry, only compute-once does.
     """
 
     def __init__(self) -> None:
@@ -242,21 +272,23 @@ class _InflightCells:
 
     def claim(
         self, cells: List[Job]
-    ) -> Tuple[List[Job], List[str], List[threading.Event], List[threading.Event]]:
+    ) -> Tuple[List[Job], List[str], List["_Wait"], List["_Wait"]]:
         """Returns ``(owned, owned_sigs, foreign, dep_waits)``.
 
         ``owned`` are enumerated cells this batch must execute;
         ``owned_sigs`` every signature registered (cells *and* their
         dependency closure) that :meth:`release` must clear; ``foreign``
-        events for enumerated cells another batch owns (wait before
-        assembling); ``dep_waits`` events for dependency cells another
-        batch owns (wait before executing, so the owned cells' implicit
-        dependency lookups hit the artifact the owner stored).
+        waits for enumerated cells another batch owns (await before
+        assembling); ``dep_waits`` waits for dependency cells another
+        batch owns (await before executing, so the owned cells' implicit
+        dependency lookups hit the artifact the owner stored).  Each
+        wait carries the cell and signature so an expired wait can be
+        reclaimed and recomputed by the waiter.
         """
         owned: List[Job] = []
         owned_sigs: List[str] = []
-        foreign: List[threading.Event] = []
-        dep_waits: List[threading.Event] = []
+        foreign: List[_Wait] = []
+        dep_waits: List[_Wait] = []
         seen = set()
         with self._lock:
             for cell in cells:
@@ -270,7 +302,7 @@ class _InflightCells:
                     owned.append(cell)
                     owned_sigs.append(signature)
                 else:
-                    foreign.append(event)
+                    foreign.append(_Wait(cell, signature, event))
             # Second pass: the owned cells' dependency closures.  Only
             # owned cells matter — a foreign cell's dependencies are the
             # owning batch's business.
@@ -285,8 +317,27 @@ class _InflightCells:
                         self._events[signature] = threading.Event()
                         owned_sigs.append(signature)
                     else:
-                        dep_waits.append(event)
+                        dep_waits.append(_Wait(dependency, signature, event))
         return owned, owned_sigs, foreign, dep_waits
+
+    def reclaim(self, signature: str, stale: threading.Event) -> bool:
+        """Take over a claim whose owner blew the wait deadline.
+
+        Atomic compare-and-swap: succeeds only while ``signature`` is
+        still registered to the ``stale`` event (the presumed-dead
+        owner).  The reclaimer installs a fresh event — later claimants
+        wait on *it* — and must :meth:`release` the signature when its
+        own recompute finishes.  Returns ``False`` when the owner
+        finished (or another waiter reclaimed) in the meantime; the
+        caller recomputes anyway — against a finished owner that is one
+        cache probe, against a racing reclaimer the atomic artifact
+        store makes the double-compute byte-safe.
+        """
+        with self._lock:
+            if self._events.get(signature) is not stale:
+                return False
+            self._events[signature] = threading.Event()
+            return True
 
     def release(self, signatures: List[str]) -> None:
         with self._lock:
@@ -294,6 +345,15 @@ class _InflightCells:
                 event = self._events.pop(signature, None)
                 if event is not None:
                     event.set()
+
+
+@dataclass
+class _Wait:
+    """One foreign-owned signature a batch must await (or reclaim)."""
+
+    cell: Job
+    signature: str
+    event: threading.Event
 
 
 class Dispatcher:
@@ -316,12 +376,46 @@ class Dispatcher:
         quota: Optional[int] = None,
         max_queue_depth: Optional[int] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_attempts: int = 3,
+        job_timeout: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
     ) -> None:
         self.queue = queue
         self.cache = ArtifactCache(cache_root)
         self.jobs = max(1, jobs)
         self.max_batch = max(1, max_batch)
         self.workers = max(1, workers)
+        #: Failure containment: how many failed executions a job gets
+        #: before quarantine, and the per-cell wall-clock deadline.
+        #: ``job_timeout`` of ``None``/0 disables deadline enforcement —
+        #: batches run on the legacy fast path (in-process or
+        #: ``multiprocessing.Pool``) with no containment overhead.
+        self.max_attempts = max(1, int(max_attempts))
+        self.job_timeout = float(job_timeout) if job_timeout else None
+        #: Deadline for in-flight waits on cells another batch owns:
+        #: the configured job deadline when one is set, else a generous
+        #: constant — either way an expired wait reclaims + recomputes,
+        #: never proceeds without a result.
+        self.wait_timeout = self.job_timeout or DEFAULT_WAIT_TIMEOUT
+        #: How long a RUNNING claim is trusted before lease reclaim.
+        #: A batch's worst case is ~log2(max_batch) bisection rounds,
+        #: each bounded by the deadline, plus pool spawns — 8x the
+        #: deadline + a minute is generously past that, so a live slow
+        #: batch is practically never reclaimed out from under its
+        #: worker (and a false reclaim is safe, just wasteful: the
+        #: late verdict loses its transition race and is dropped).
+        self.lease_seconds = (
+            None if self.job_timeout is None
+            else self.job_timeout * 8 + 60.0
+        )
+        #: Circuit breaker: after ``breaker_threshold`` consecutive
+        #: executions with a pool crash, pause draining and refuse
+        #: non-cached submissions for ``breaker_cooldown`` seconds.
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        self.breaker_cooldown = float(breaker_cooldown)
+        self._breaker_failures = 0
+        self._breaker_open_until = 0.0
         #: Admission bounds (``None``/0 = unlimited): max live jobs per
         #: client id, max live jobs total, max POST body size.  The
         #: queue enforces the first two at submit; the server enforces
@@ -381,6 +475,19 @@ class Dispatcher:
             self.stats.submissions += 1
         digest = self.cache.digest(RESULT_KIND, _result_key(request))
         cached = self.cache.exists_digest(RESULT_KIND, digest)
+        if not cached:
+            # While the breaker is open, new *work* is refused (503 +
+            # Retry-After); cache-backed requests still sail — they cost
+            # zero pool time, which is the resource being protected.
+            open_for = self.breaker_open_for()
+            if open_for > 0:
+                raise BreakerOpenError(
+                    "not accepting new work: the worker-pool circuit "
+                    f"breaker is open after {self.breaker_threshold} "
+                    "consecutive pool crashes; retry in "
+                    f"{math.ceil(open_for)}s",
+                    retry_after=int(math.ceil(open_for)),
+                )
         try:
             job, created = self.queue.submit(
                 request, client,
@@ -486,7 +593,9 @@ class Dispatcher:
                 if job.request["profile"] != profile_name:
                     continue
                 try:
-                    self.queue.mark_running(job.id)
+                    self.queue.mark_running(
+                        job.id, lease_seconds=self.lease_seconds
+                    )
                 except TransitionError:
                     # The submit thread instant-completed this job from
                     # the cache after the fair drain picked it.
@@ -510,6 +619,12 @@ class Dispatcher:
         # write is multiple fsyncs and must never run on the submit
         # path's event loop.  O(1) check when below threshold.
         self.queue.maybe_compact()
+        self._reclaim_expired_leases()
+        if self.breaker_open_for() > 0:
+            # Repeated pool crashes: spawning more pools would burn CPU
+            # re-proving the same failure.  Drain pauses until the
+            # cooldown passes; submissions get 503 + Retry-After.
+            return 0
         if not self.queue.has_pending():  # O(1) idle fast path
             return 0
         group = self._claim_batch()
@@ -557,7 +672,16 @@ class Dispatcher:
 
     def _run_batch(self, group, profile: ExperimentProfile,
                    context: ExperimentContext) -> None:
-        """Fuse, execute, and assemble one claimed job group."""
+        """Fuse, execute, and assemble one claimed job group.
+
+        Execution failures are *contained*: a cell that hangs, crashes
+        the pool, or raises marks only the jobs that enumerate it, and
+        those go through the bounded retry/quarantine policy
+        (:meth:`_contain`) — their healthy batchmates assemble and
+        complete normally.  Deterministic per-job failures (cell
+        enumeration, assembly) still fail the job directly: re-running
+        identical bytes cannot change a deterministic outcome.
+        """
         cells: List[Job] = []
         runnable: List[Tuple[ServiceJob, List[Job]]] = []
         for job in group:
@@ -569,6 +693,8 @@ class Dispatcher:
             runnable.append((job, job_cells))
             cells.extend(job_cells)
 
+        #: signature -> reason, for every cell without a usable result.
+        failed_cells: Dict[str, str] = {}
         if runnable:
             attempted = len(runnable)
             # Cells another worker's in-flight batch owns are computed
@@ -581,42 +707,44 @@ class Dispatcher:
                 self._inflight.claim(cells)
             with self._stats_lock:
                 self.stats.deps_deduped_inflight += len(dep_waits)
-            for event in dep_waits:
-                # Before executing: the owned cells' implicit dependency
-                # lookups must find the artifact the owning batch's
-                # atomic store publishes.  Bounded wait — a dead owner
-                # just means this batch recomputes the dependency.
-                event.wait(timeout=600.0)
+            # Before executing: the owned cells' implicit dependency
+            # lookups must find the artifact the owning batch's atomic
+            # store publishes.  Deadline-driven — an expired wait means
+            # the owner is presumed dead, so reclaim and compute the
+            # dependency explicitly in this batch.
+            owned, owned_sigs = self._await_or_reclaim(
+                dep_waits, owned, owned_sigs
+            )
             try:
-                try:
-                    # spawn, not fork: this process runs an asyncio
-                    # thread, and forking a multi-threaded process can
-                    # hand children locks held mid-operation by the
-                    # event loop.
-                    executed = execute(
-                        owned, context,
-                        mp_context=multiprocessing.get_context("spawn"),
-                    )
-                except Exception as error:
-                    for job, _ in runnable:
-                        self._finish(
-                            job, error=f"{type(error).__name__}: {error}"
-                        )
-                    runnable = []
-                    executed = 0
+                executed = self._execute_cells(owned, context, failed_cells)
             finally:
                 self._inflight.release(owned_sigs)
-            for event in foreign:
-                # Bounded wait: if the owning batch died, assembly
-                # recomputes the cell inline (correct, just slower).
-                event.wait(timeout=600.0)
+            # Foreign enumerated cells: the owner's store must land
+            # before assembly reads it.  Same expiry contract — reclaim
+            # and recompute, never proceed without a verdict.
+            recovered, recovered_sigs = self._await_or_reclaim(foreign)
+            if recovered:
+                try:
+                    executed += self._execute_cells(
+                        recovered, context, failed_cells
+                    )
+                finally:
+                    self._inflight.release(recovered_sigs)
             with self._stats_lock:
                 self.stats.batches += 1
                 self.stats.batched_jobs += attempted
                 self.stats.cells_executed += executed
                 self.stats.cells_deduped_inflight += len(foreign)
 
-        for job, _ in runnable:
+        for job, job_cells in runnable:
+            reason = next(
+                (failed_cells[cell.signature()] for cell in job_cells
+                 if cell.signature() in failed_cells),
+                None,
+            )
+            if reason is not None:
+                self._contain(job, reason)
+                continue
             try:
                 rendered = self._assemble(job, profile, context)
                 digest = self.cache.store(
@@ -625,6 +753,161 @@ class Dispatcher:
                 self._finish(job, result_key=digest)
             except Exception as error:
                 self._finish(job, error=f"{type(error).__name__}: {error}")
+
+    def _await_or_reclaim(
+        self,
+        waits: List[_Wait],
+        owned: Optional[List[Job]] = None,
+        owned_sigs: Optional[List[str]] = None,
+    ) -> Tuple[List[Job], List[str]]:
+        """Await foreign-owned cells; expired waits become our work.
+
+        Extends (and returns) ``owned``/``owned_sigs`` with every wait
+        whose owner blew :attr:`wait_timeout`.  A successful reclaim
+        also registers the signature under a fresh event (released by
+        the caller after recompute); a lost reclaim race still adds the
+        cell — recomputing is one cache probe if the owner actually
+        finished, and the atomic store makes a true double-compute
+        byte-safe.  Either way the batch never proceeds to execution or
+        assembly with a cell in limbo.
+        """
+        owned = owned if owned is not None else []
+        owned_sigs = owned_sigs if owned_sigs is not None else []
+        for wait in waits:
+            if wait.event.wait(timeout=self.wait_timeout):
+                continue
+            with self._stats_lock:
+                self.stats.timeouts += 1
+            if self._inflight.reclaim(wait.signature, wait.event):
+                owned_sigs.append(wait.signature)
+            owned.append(wait.cell)
+        return owned, owned_sigs
+
+    def _execute_cells(
+        self,
+        cells: List[Job],
+        context: ExperimentContext,
+        failed: Dict[str, str],
+    ) -> int:
+        """Execute one cell list, recording per-cell failures.
+
+        With a job deadline configured, cells run on the contained
+        executor (killable workers, per-cell deadlines, pool-crash
+        bisection); its per-signature failures merge into ``failed``.
+        Without one, the legacy fast path runs — but an execution-level
+        exception now charges every cell instead of permanently failing
+        every co-batched job, so the retry/quarantine policy bounds the
+        damage either way.  Returns cells actually executed.
+        """
+        if not cells:
+            return 0
+        # spawn, not fork: this process runs an asyncio thread, and
+        # forking a multi-threaded process can hand children locks held
+        # mid-operation by the event loop.
+        spawn = multiprocessing.get_context("spawn")
+        if self.job_timeout is not None:
+            report = execute_contained(
+                cells, context, job_timeout=self.job_timeout,
+                mp_context=spawn, max_workers=self.jobs,
+            )
+            for signature, failure in report.failures.items():
+                failed[signature] = f"{failure.kind}: {failure.detail}"
+            with self._stats_lock:
+                self.stats.timeouts += report.timeouts
+                self.stats.bisections += report.bisections
+                self.stats.pool_crashes += report.pool_crashes
+            if report.executed or report.pool_crashes:
+                self._breaker_record(crashed=report.pool_crashes > 0)
+            return report.executed
+        try:
+            executed = execute(cells, context, mp_context=spawn)
+        except Exception as error:
+            # The whole execution died under the batch (the spawn pool,
+            # most likely).  Without deadlines there is no telling which
+            # cell was the culprit, so charge them all one attempt.
+            self._breaker_record(crashed=True)
+            reason = (
+                f"batch execution failed: {type(error).__name__}: {error}"
+            )
+            for cell in cells:
+                failed.setdefault(cell.signature(), reason)
+            return 0
+        self._breaker_record(crashed=False)
+        return executed
+
+    def _contain(self, job: ServiceJob, reason: str) -> None:
+        """Route one failed execution through the bounded retry budget.
+
+        Below ``max_attempts`` failed executions the job is retried
+        (``running -> queued``, one attempt charged); at the cap it is
+        quarantined with the failure diagnostic.  A job no longer
+        RUNNING lost a completion race — someone else delivered its
+        result, which is success, not failure.
+        """
+        current = self.queue.get(job.id)
+        if current is None or current.state is not JobState.RUNNING:
+            return
+        try:
+            if current.attempts + 1 >= self.max_attempts:
+                self.queue.quarantine(
+                    job.id,
+                    f"{reason} (attempt {current.attempts + 1} of "
+                    f"{self.max_attempts})",
+                )
+                with self._stats_lock:
+                    self.stats.quarantined += 1
+            else:
+                self.queue.retry(job.id)
+                with self._stats_lock:
+                    self.stats.retries += 1
+        except (TransitionError, KeyError):
+            pass
+
+    def _reclaim_expired_leases(self) -> None:
+        """Heal RUNNING jobs whose lease deadline passed.
+
+        A drain slot that died mid-batch (or a batch wedged past any
+        reasonable runtime) leaves its jobs RUNNING — a state nothing
+        re-drains.  Expired leases route through the same
+        retry/quarantine policy as any other failed execution, so a
+        repeatedly-wedging job still converges to quarantine.
+        """
+        if self.lease_seconds is None:
+            return
+        for job in self.queue.expired_leases():
+            self._contain(
+                job,
+                f"lease expired: no verdict within "
+                f"{self.lease_seconds:g}s (worker presumed dead)",
+            )
+
+    def _breaker_record(self, *, crashed: bool) -> None:
+        """Feed one execution's pool-health verdict to the breaker."""
+        with self._stats_lock:
+            if not crashed:
+                self._breaker_failures = 0
+                return
+            self._breaker_failures += 1
+            if self._breaker_failures >= self.breaker_threshold:
+                self._breaker_open_until = (
+                    time.monotonic() + self.breaker_cooldown
+                )
+
+    def breaker_open_for(self) -> float:
+        """Seconds of cooldown remaining (0.0 = breaker closed).
+
+        After the cooldown the breaker is half-open: one batch drains
+        as a trial; a crash-free execution resets the failure count, a
+        crashing one re-opens immediately (the consecutive count is
+        still at threshold).
+        """
+        with self._stats_lock:
+            return max(0.0, self._breaker_open_until - time.monotonic())
+
+    def idle(self) -> bool:
+        """True when no drain slot is executing a batch (drain gate)."""
+        with self._stats_lock:
+            return self._active_batches == 0
 
     def _accumulate_session_counters(self) -> None:
         """Fold the about-to-be-flushed tallies into the session totals."""
@@ -707,6 +990,16 @@ class Dispatcher:
                 "rejected_quota": self.stats.rejected_quota,
                 "rejected_depth": self.stats.rejected_depth,
                 "rejected_size": self.stats.rejected_size,
+            },
+            "containment": {
+                "max_attempts": self.max_attempts,
+                "job_timeout": self.job_timeout,
+                "retries": self.stats.retries,
+                "quarantined": self.stats.quarantined,
+                "timeouts": self.stats.timeouts,
+                "bisections": self.stats.bisections,
+                "pool_crashes": self.stats.pool_crashes,
+                "breaker_open": self.breaker_open_for() > 0,
             },
             "cache": {
                 "session": cache_counters,

@@ -1,0 +1,402 @@
+"""Contained batch execution: deadlines, crash isolation, bisection.
+
+:func:`repro.experiments.parallel.execute` is the fast path — a plain
+``multiprocessing.Pool`` map with no story for a worker that hangs
+forever or dies mid-cell (``Pool`` even respawns dead workers
+silently, which turns a crash into a hang).  This module is the
+dispatcher's *containment* path, used when a per-job deadline
+(``--job-timeout``) is configured:
+
+* cells run on a ``concurrent.futures.ProcessPoolExecutor`` (spawn
+  context), whose contract on worker death is exact: futures that
+  completed before the death keep their results, every other future
+  raises :class:`BrokenProcessPool` — so a pool crash is a *batch-level
+  event with an unknown culprit*;
+* each future is awaited with a wall-clock deadline; a cell that blows
+  it is declared hung, the pool's processes are killed (a hung worker
+  never exits on its own), and the *other* unfinished cells — innocent
+  victims of the kill — are re-run on a fresh pool;
+* a pool crash triggers **bisection**: the unfinished cells are split
+  in half and each half re-executed on its own pool, recursively, until
+  the poison cell is isolated in a singleton group (its healthy
+  batchmates complete along the way, each cell at most
+  ``O(log batch)`` re-submissions — and re-running an already-completed
+  cell is a cache hit, so isolation costs pool spawns, not recompute).
+
+The report maps every cell that could not produce a result to a
+:class:`CellFailure` (``timeout`` / ``crash`` / ``error``); the
+dispatcher turns those into bounded retries or quarantine.
+
+Deterministic fault injection (the faultsim harness) rides the same
+zero-overhead pattern as the queue's crash failpoints: when the
+``REPRO_FAULTSIM_SPEC`` environment variable names a JSON spec file,
+:func:`_worker_run_contained` consults it *in the worker process*
+before running each cell and can kill the process, hang, or raise at an
+exact cell signature — unset (production), the check is one dict probe
+of ``os.environ`` per worker process.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.cache import CacheCounters
+from repro.experiments.parallel import (
+    Job,
+    _absorb,
+    _satisfied,
+    _worker_init,
+    _worker_run,
+)
+from repro.experiments.runner import ExperimentContext
+
+__all__ = [
+    "FAULTSIM_ENV",
+    "CellFailure",
+    "ContainedReport",
+    "InjectedWorkerFault",
+    "execute_contained",
+]
+
+#: Environment variable naming the fault-injection spec file (JSON).
+#: Unset in production; ``tests/service/faultsim.py`` writes it.
+FAULTSIM_ENV = "REPRO_FAULTSIM_SPEC"
+
+
+class InjectedWorkerFault(RuntimeError):
+    """The exception a ``raise``-mode injected fault throws in a worker."""
+
+
+@dataclass
+class CellFailure:
+    """Why one cell produced no result.
+
+    ``kind`` is ``"timeout"`` (blew the wall-clock deadline),
+    ``"crash"`` (isolated as the cell whose execution kills the worker
+    pool), or ``"error"`` (raised an ordinary exception — the pool
+    survived).
+    """
+
+    signature: str
+    kind: str
+    detail: str
+
+
+@dataclass
+class ContainedReport:
+    """What one :func:`execute_contained` call did."""
+
+    #: Cells that completed and were absorbed into the context.
+    executed: int = 0
+    #: signature -> failure, for every cell that produced no result.
+    failures: Dict[str, CellFailure] = field(default_factory=dict)
+    #: Worker-pool deaths observed (>= 1 means at least one bisection
+    #: round or an isolated poison cell).
+    pool_crashes: int = 0
+    #: Group splits performed while isolating poison cells.
+    bisections: int = 0
+    #: Cells that blew the wall-clock deadline.
+    timeouts: int = 0
+
+
+# ----------------------------------------------------------------------
+# Worker-side fault injection (active only under the faultsim harness).
+# ----------------------------------------------------------------------
+
+#: Per-worker-process cache of the parsed spec (spawn re-imports this
+#: module in every worker, so the cache is private to each process).
+_FAULT_SPEC: Optional[dict] = None
+_FAULT_SPEC_LOADED = False
+
+
+def _fault_spec() -> Optional[dict]:
+    global _FAULT_SPEC, _FAULT_SPEC_LOADED
+    if not _FAULT_SPEC_LOADED:
+        _FAULT_SPEC_LOADED = True
+        path = os.environ.get(FAULTSIM_ENV)
+        if path:
+            with open(path, encoding="utf-8") as handle:
+                _FAULT_SPEC = json.load(handle)
+    return _FAULT_SPEC
+
+
+def _fire_file(spec: dict, signature: str) -> str:
+    return os.path.join(spec["state_dir"], f"{signature[:32]}.fires")
+
+
+def fault_fires(spec_path: str, signature: str) -> int:
+    """How many times the fault at ``signature`` has fired (harness API).
+
+    Fires are counted as bytes of an append-only file in the spec's
+    ``state_dir`` — one ``O_APPEND`` byte per fire — so the count
+    survives the worker process that recorded it being killed a
+    microsecond later.
+    """
+    with open(spec_path, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    try:
+        return os.path.getsize(_fire_file(spec, signature))
+    except OSError:
+        return 0
+
+
+def _maybe_inject(job: Job) -> None:
+    """Fire a configured fault for this cell, if any remain.
+
+    ``max_fires`` bounds how often a fault fires (transient-failure
+    scenarios); the bound is precise for the single-poison configs the
+    harness uses — two workers racing the same fault's counter could
+    each observe the last remaining fire.
+    """
+    spec = _fault_spec()
+    if not spec:
+        return
+    fault = spec["faults"].get(job.signature())
+    if fault is None:
+        return
+    path = _fire_file(spec, job.signature())
+    max_fires = fault.get("max_fires")
+    if max_fires is not None:
+        try:
+            fired = os.path.getsize(path)
+        except OSError:
+            fired = 0
+        if fired >= max_fires:
+            return
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, b"x")
+    finally:
+        os.close(fd)
+    mode = fault["mode"]
+    if mode == "kill":
+        os._exit(137)
+    if mode == "hang":
+        time.sleep(float(fault.get("hang_seconds", 3600.0)))
+        return  # a bounded "hang" degrades to a delay
+    if mode == "raise":
+        raise InjectedWorkerFault(
+            f"injected fault in {job.kind} cell for {job.workload!r}"
+        )
+    raise ValueError(f"unknown fault mode {mode!r}")
+
+
+def _worker_run_contained(job: Job) -> Tuple[Any, dict]:
+    """The pool's target: fault check (no-op in production), then run."""
+    _maybe_inject(job)
+    return _worker_run(job)
+
+
+# ----------------------------------------------------------------------
+# The contained executor.
+# ----------------------------------------------------------------------
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers cannot be trusted to exit.
+
+    ``shutdown`` alone would join a hung worker forever; killing the
+    processes first makes the join immediate and resolves every
+    unfinished future to :class:`BrokenProcessPool`.  ``_processes`` is
+    private but stable across supported CPythons; if it ever vanishes,
+    degrade to an unwaited shutdown (leaks the worker until interpreter
+    exit, but never blocks the dispatcher).
+    """
+    processes = getattr(pool, "_processes", None)
+    for process in list((processes or {}).values()):
+        process.kill()
+    pool.shutdown(wait=processes is not None, cancel_futures=True)
+
+
+def _run_group(
+    group: List[Job],
+    context: ExperimentContext,
+    job_timeout: float,
+    mp_context,
+    max_workers: int,
+) -> Tuple[Dict[str, Tuple[Any, dict]], List[Tuple[Job, str]],
+           List[Job], List[Job], bool]:
+    """Run one cell group on one pool.
+
+    Returns ``(results, errors, hung, leftover, crashed)``: harvested
+    ``signature -> (value, counter deltas)`` for completed cells,
+    ``(cell, message)`` for cells that raised ordinary exceptions,
+    cells that blew the deadline, cells left without any verdict (pool
+    died under them — re-run or bisect), and whether the pool died.
+    """
+    workers = max(1, min(max_workers, len(group)))
+    cache_root = (
+        str(context.cache.root) if context.cache is not None else None
+    )
+    results: Dict[str, Tuple[Any, dict]] = {}
+    errors: List[Tuple[Job, str]] = []
+    hung: List[Job] = []
+    leftover: List[Job] = []
+    crashed = False
+    futures: List[Tuple[Job, Any]] = []
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=mp_context,
+        initializer=_worker_init,
+        initargs=(context.profile, cache_root),
+    )
+    killed = False
+    try:
+        try:
+            futures = [
+                (cell, pool.submit(_worker_run_contained, cell))
+                for cell in group
+            ]
+        except BrokenProcessPool:
+            crashed = True
+        for cell, future in futures:
+            if crashed or killed:
+                break  # pool is gone; harvest pass classifies the rest
+            try:
+                # The deadline clock starts when the waiter reaches the
+                # future, so cells queued behind a busy pool are not
+                # charged for their predecessors' runtime.
+                results[cell.signature()] = future.result(
+                    timeout=job_timeout
+                )
+            except FutureTimeoutError:
+                hung.append(cell)
+                killed = True
+                _kill_pool(pool)
+            except BrokenProcessPool:
+                crashed = True
+            except Exception as error:
+                errors.append((cell, f"{type(error).__name__}: {error}"))
+        if crashed:
+            # The executor's management thread tears the pool down on
+            # its own, but killing outright is idempotent and prompt.
+            _kill_pool(pool)
+    finally:
+        if not (crashed or killed):
+            pool.shutdown(wait=True)
+    # Harvest pass: futures that completed before a crash/kill keep
+    # their results; everything else unclassified is leftover.
+    classified = {cell.signature() for cell in hung}
+    classified.update(cell.signature() for cell, _ in errors)
+    for cell, future in futures:
+        signature = cell.signature()
+        if signature in results or signature in classified:
+            continue
+        if not future.done() or future.cancelled():
+            leftover.append(cell)
+            continue
+        outcome = future.exception()
+        if outcome is None:
+            results[signature] = future.result()
+        elif isinstance(outcome, BrokenProcessPool):
+            leftover.append(cell)
+        else:
+            # Completed with an ordinary exception before the pool
+            # died around it — a verdict, not collateral damage.
+            errors.append((cell, f"{type(outcome).__name__}: {outcome}"))
+    return results, errors, hung, leftover, crashed
+
+
+def _absorb_results(
+    cells: List[Job],
+    results: Dict[str, Tuple[Any, dict]],
+    context: ExperimentContext,
+) -> int:
+    """Merge harvested worker results (and counter deltas) into the
+    context, in cell order — the same deterministic merge
+    :func:`~repro.experiments.parallel.execute` performs."""
+    absorbed = 0
+    for cell in cells:
+        payload = results.get(cell.signature())
+        if payload is None:
+            continue
+        value, deltas = payload
+        _absorb(cell, value, context)
+        absorbed += 1
+        if context.cache is not None:
+            for kind, (hits, misses, stores) in deltas.items():
+                counter = context.cache.counters.setdefault(
+                    kind, CacheCounters()
+                )
+                counter.hits += hits
+                counter.misses += misses
+                counter.stores += stores
+    return absorbed
+
+
+def execute_contained(
+    jobs,
+    context: ExperimentContext,
+    *,
+    job_timeout: float,
+    mp_context=None,
+    max_workers: Optional[int] = None,
+) -> ContainedReport:
+    """Run cells with per-cell deadlines and poison isolation.
+
+    The containment counterpart of
+    :func:`repro.experiments.parallel.execute`: same skip/dedup and
+    deterministic merge, but every cell runs in a killable worker
+    process, and a cell that hangs, crashes the pool, or raises is
+    *reported* (per-signature in the returned
+    :class:`ContainedReport`) instead of poisoning the whole batch.
+    Healthy cells always complete — re-execution after a pool death is
+    a cache hit for cells that finished before it.
+    """
+    ctx = mp_context or multiprocessing.get_context("spawn")
+    workers = max_workers if max_workers is not None else context.jobs
+    pending: List[Job] = []
+    seen = set()
+    for job in jobs:
+        signature = job.signature()
+        if signature in seen or _satisfied(job, context):
+            continue
+        seen.add(signature)
+        pending.append(job)
+    report = ContainedReport()
+    if not pending:
+        return report
+
+    groups: List[List[Job]] = [pending]
+    while groups:
+        group = groups.pop(0)
+        results, errors, hung, leftover, crashed = _run_group(
+            group, context, job_timeout, ctx, workers
+        )
+        report.executed += _absorb_results(group, results, context)
+        for cell, message in errors:
+            report.failures[cell.signature()] = CellFailure(
+                cell.signature(), "error", message
+            )
+        for cell in hung:
+            report.timeouts += 1
+            report.failures[cell.signature()] = CellFailure(
+                cell.signature(), "timeout",
+                f"cell exceeded the {job_timeout:g}s deadline",
+            )
+        if crashed:
+            report.pool_crashes += 1
+            if len(leftover) == 1:
+                # Bisection bottomed out: this cell IS the poison.
+                cell = leftover[0]
+                report.failures[cell.signature()] = CellFailure(
+                    cell.signature(), "crash",
+                    "worker pool died executing this cell",
+                )
+            elif leftover:
+                report.bisections += 1
+                middle = len(leftover) // 2
+                groups.append(leftover[:middle])
+                groups.append(leftover[middle:])
+        elif leftover:
+            # Victims of a hung-cell pool kill: known-innocent, re-run
+            # whole on a fresh pool.
+            groups.append(leftover)
+    return report

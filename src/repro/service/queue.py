@@ -1,8 +1,8 @@
 """Persistent, crash-safe job queue for the simulation service.
 
 Every submitted experiment request becomes a :class:`ServiceJob` with a
-tiny state machine (``queued -> running -> done | failed``).  All state
-lives in two files under ``<root>``:
+tiny state machine (``queued -> running -> done | failed |
+quarantined``).  All state lives in two files under ``<root>``:
 
 * **journal** (``journal.jsonl``) — submits, duplicate attachments, and
   state transitions are each one appended, fsynced JSON line, and the
@@ -40,7 +40,23 @@ Deduplication happens at submit time: a job's identity is the
 value-based fingerprint of its normalized request, and submitting an
 identical request while a live job for it exists *attaches* to that job
 instead of creating a new one.  Failed jobs do not absorb duplicates —
-resubmitting a failed request queues a fresh attempt.
+resubmitting a failed request queues a fresh attempt.  Quarantined jobs
+*do* absorb duplicates: the request is poisonous under the current code
+version, so resubmitting the same bytes would only repeat the crash —
+the resubmission path out of quarantine is a ``code_version`` bump,
+which changes the request digest and therefore the job identity.
+
+Failure containment (see the dispatcher for policy): ``attempts``
+counts *failed executions* — :meth:`JobQueue.retry` journals a
+``running -> queued`` transition that charges one attempt, distinct
+from crash demotion (which is free: the work never misbehaved, the
+process hosting it died).  :meth:`JobQueue.quarantine` is the terminal
+escalation, carrying a ``failure_reason`` diagnostic.  Both journal the
+*absolute* new attempt count, so replay is exact without arithmetic.
+``lease_deadline`` (set by :meth:`mark_running` when the dispatcher
+enforces deadlines) bounds how long a RUNNING claim is trusted; the
+dispatcher reclaims expired leases through the same retry/quarantine
+policy.
 
 The queue is thread-safe (the HTTP server submits from the asyncio
 thread while dispatcher workers drain concurrently) but single-process;
@@ -59,6 +75,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from dataclasses import asdict, dataclass
 from enum import Enum
 from pathlib import Path
@@ -126,19 +143,28 @@ class JobState(str, Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    QUARANTINED = "quarantined"
 
 
 #: Legal state transitions.  ``QUEUED -> DONE`` is the instant-cache-hit
 #: path (no execution phase); ``RUNNING -> QUEUED`` is crash recovery
-#: (journal replay demotes interrupted work); ``DONE -> QUEUED`` is
-#: result eviction (a gc pruned the artifact out from under the job, so
-#: it must recompute).
+#: (journal replay demotes interrupted work) *and* the bounded-retry
+#: path (same transition, but journaled with an attempt charge);
+#: ``DONE -> QUEUED`` is result eviction (a gc pruned the artifact out
+#: from under the job, so it must recompute).  ``RUNNING ->
+#: QUARANTINED`` is the terminal escalation for a job that keeps
+#: failing its executions — like FAILED, nothing leaves it.
 _TRANSITIONS = {
     JobState.QUEUED: {JobState.RUNNING, JobState.DONE, JobState.FAILED},
-    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.QUEUED},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.QUEUED,
+                       JobState.QUARANTINED},
     JobState.DONE: {JobState.QUEUED},
     JobState.FAILED: set(),
+    JobState.QUARANTINED: set(),
 }
+
+#: States compaction treats as finished (droppable beyond retention).
+_TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.QUARANTINED)
 
 
 class TransitionError(RuntimeError):
@@ -195,6 +221,15 @@ class ServiceJob:
     #: ``"computed"`` or ``"cache"``, when done.
     source: Optional[str] = None
     error: Optional[str] = None
+    #: Failed executions charged so far (retry/quarantine transitions
+    #: journal the absolute value; crash demotion leaves it untouched).
+    attempts: int = 0
+    #: Diagnostic carried by the quarantine transition: what kept
+    #: failing (pool crash, deadline, exception) and at which attempt.
+    failure_reason: Optional[str] = None
+    #: Wall-clock (``time.time``) instant after which a RUNNING claim
+    #: is no longer trusted; ``None`` when deadlines are not enforced.
+    lease_deadline: Optional[float] = None
 
     def public(self) -> dict:
         """The JSON shape ``GET /v1/jobs/<id>`` serves."""
@@ -412,6 +447,11 @@ class JobQueue:
                     result_key=record["result_key"],
                     source=record["source"],
                     error=record["error"],
+                    # Containment fields arrived after the first snapshot
+                    # format; default them so older snapshots still load.
+                    attempts=int(record.get("attempts", 0)),
+                    failure_reason=record.get("failure_reason"),
+                    lease_deadline=record.get("lease_deadline"),
                 )
                 self.jobs[job.id] = job
                 self._by_digest[job.digest] = job.id
@@ -516,11 +556,26 @@ class JobQueue:
                 # state is its validity signal — a poller that sees
                 # "done" must also see the result_key that came with it.
                 if state is JobState.QUEUED:
-                    # Requeue/demotion: any prior outcome is void.
+                    # Requeue/demotion/retry: any prior outcome is void.
                     job.result_key = job.source = job.error = None
+                    job.failure_reason = None
                 job.result_key = event.get("result_key", job.result_key)
                 job.source = event.get("source", job.source)
                 job.error = event.get("error", job.error)
+                # Retry/quarantine events carry the absolute new attempt
+                # count (no replay arithmetic); demotion carries none and
+                # leaves the tally untouched.
+                if "attempts" in event:
+                    job.attempts = int(event["attempts"])
+                job.failure_reason = event.get(
+                    "failure_reason", job.failure_reason
+                )
+                # A lease belongs to one RUNNING claim: entering RUNNING
+                # (re)sets it from the event, leaving RUNNING clears it.
+                if state is JobState.RUNNING:
+                    job.lease_deadline = event.get("lease_deadline")
+                else:
+                    job.lease_deadline = None
                 job.state = state
                 if state is JobState.QUEUED:
                     self._queued[job.id] = job
@@ -586,7 +641,7 @@ class JobQueue:
             terminal = sorted(
                 (
                     job for job in self.jobs.values()
-                    if job.state in (JobState.DONE, JobState.FAILED)
+                    if job.state in _TERMINAL_STATES
                 ),
                 key=lambda job: job.seq,
             )
@@ -687,9 +742,10 @@ class JobQueue:
     ) -> tuple:
         """Register a request; returns ``(job, created)``.
 
-        An identical in-flight or completed request coalesces onto the
-        existing job (``created == False``); only failed attempts are
-        eligible for a fresh retry job.
+        An identical in-flight, completed, or quarantined request
+        coalesces onto the existing job (``created == False``); only
+        failed attempts are eligible for a fresh retry job (quarantined
+        jobs need a ``code_version`` bump to get a fresh identity).
 
         Admission control happens here, inside the queue lock, so the
         check and the journal append are one atomic step.  Coalescing
@@ -760,8 +816,22 @@ class JobQueue:
             self._apply(event)
             return job
 
-    def mark_running(self, job_id: str) -> ServiceJob:
-        return self._transition(job_id, JobState.RUNNING)
+    def mark_running(
+        self, job_id: str, *, lease_seconds: Optional[float] = None
+    ) -> ServiceJob:
+        """QUEUED -> RUNNING, optionally stamping a lease deadline.
+
+        With ``lease_seconds`` the journal records the absolute
+        wall-clock deadline (``time.time() + lease_seconds``), so replay
+        restores exactly the deadline that was promised, not one
+        recomputed from a later clock.
+        """
+        deadline = None
+        if lease_seconds is not None:
+            deadline = round(time.time() + lease_seconds, 3)
+        return self._transition(
+            job_id, JobState.RUNNING, lease_deadline=deadline
+        )
 
     def mark_done(self, job_id: str, *, result_key: str,
                   source: str) -> ServiceJob:
@@ -771,6 +841,45 @@ class JobQueue:
 
     def mark_failed(self, job_id: str, error: str) -> ServiceJob:
         return self._transition(job_id, JobState.FAILED, error=error)
+
+    def retry(self, job_id: str) -> ServiceJob:
+        """RUNNING -> QUEUED, charging one failed attempt.
+
+        The bounded-retry transition: unlike :meth:`demote` (crash
+        recovery, free), this one records that an *execution misbehaved*
+        — the journal event carries ``retry: true`` plus the absolute
+        new attempt count, so a replayed queue knows exactly how many
+        chances the job has burned.  The attempt *cap* is dispatcher
+        policy (``--max-attempts``); the queue is the mechanism.
+        """
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            return self._transition(
+                job_id, JobState.QUEUED, retry=True,
+                attempts=job.attempts + 1,
+            )
+
+    def quarantine(self, job_id: str, reason: str) -> ServiceJob:
+        """RUNNING -> QUARANTINED (terminal), with a diagnostic.
+
+        The escalation for a job that exhausted its attempt budget (or
+        is known-poisonous, e.g. isolated by batch bisection as the cell
+        that kills the worker pool).  Quarantined jobs absorb duplicate
+        submissions like done jobs do — retrying identical bytes under
+        the same code version would only repeat the failure; a
+        ``code_version`` bump changes the request digest and gets a
+        fresh job.
+        """
+        with self._lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"no job {job_id!r}")
+            return self._transition(
+                job_id, JobState.QUARANTINED, failure_reason=reason,
+                attempts=job.attempts + 1,
+            )
 
     def requeue_lost(self, job_id: str) -> ServiceJob:
         """Put a DONE job back in the queue after its result was evicted.
@@ -840,6 +949,29 @@ class JobQueue:
         with self._lock:
             return (self._counts[JobState.QUEUED]
                     + self._counts[JobState.RUNNING])
+
+    def running_jobs(self) -> List[ServiceJob]:
+        """Jobs currently RUNNING (drain-time demotion, lease scans)."""
+        with self._lock:
+            return [job for job in self.jobs.values()
+                    if job.state is JobState.RUNNING]
+
+    def expired_leases(self, now: Optional[float] = None) -> List[ServiceJob]:
+        """RUNNING jobs whose lease deadline has passed.
+
+        The scan is O(table); RUNNING jobs are bounded by the drain
+        slots' batch budget, and the caller (the dispatcher's
+        housekeeping step) decides retry vs quarantine — the queue only
+        reports.
+        """
+        instant = time.time() if now is None else now
+        with self._lock:
+            return [
+                job for job in self.jobs.values()
+                if job.state is JobState.RUNNING
+                and job.lease_deadline is not None
+                and job.lease_deadline < instant
+            ]
 
     def client_inflight(self, client: str) -> int:
         """Live (queued + running) jobs charged to one client; O(1)."""

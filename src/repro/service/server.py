@@ -14,9 +14,20 @@ connection (``Connection: close``), JSON in and out:
 * ``GET /v1/results/<key>`` — the stored result document, byte-identical
   to the equivalent local CLI run's ``--json`` output.
 * ``GET /v1/stats`` — queue depth and state counts, dedup/batching
-  tallies, cache hit/miss counters, worker/compaction counters.
+  tallies, containment counters, cache hit/miss counters,
+  worker/compaction counters.
+* ``GET /v1/health`` — readiness/liveness: ``200`` while accepting
+  work, ``503`` while draining or with the crash breaker open (the
+  body always answers, so liveness is "any response at all").
 * ``POST /v1/compact`` — fold the queue journal into a snapshot now
   (compaction also runs automatically every ``compact_every`` events).
+
+Shutdown is a *graceful drain* (``SIGTERM``/``SIGINT`` under the CLI,
+:meth:`ServiceServer.begin_drain` programmatically): submissions are
+refused with ``503`` + ``Retry-After`` while reads keep answering,
+in-flight batches get ``drain_grace`` seconds to record their verdicts,
+stragglers are demoted back to ``queued`` (replay shows no phantom
+RUNNING job), the journal is compacted, and the process exits 0.
 
 Simulation work never runs on the event loop: ``workers`` dispatcher
 threads drain the queue batch-by-batch (each fanning its batch across
@@ -33,13 +44,16 @@ from __future__ import annotations
 import asyncio
 import json
 import re
+import signal
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 
 from repro.service.dispatcher import (
     DEFAULT_MAX_BODY_BYTES,
+    BreakerOpenError,
     Dispatcher,
     RequestError,
 )
@@ -88,10 +102,22 @@ class ServiceServer:
         quota: Optional[int] = None,
         max_queue_depth: Optional[int] = None,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_attempts: int = 3,
+        job_timeout: Optional[float] = None,
+        drain_grace: float = 30.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
     ) -> None:
         self.host = host
         self.port = port
         self.workers = max(1, workers)
+        #: Seconds an in-flight batch gets to record its verdict once a
+        #: drain begins; stragglers are demoted back to ``queued``.
+        self.drain_grace = max(0.0, float(drain_grace))
+        #: False only after an *unclean* drain (a batch still executing
+        #: when the grace expired); the CLI uses it to pick its exit.
+        self.drained_clean = True
+        self._draining = False
         self.queue = JobQueue(
             queue_dir,
             compact_every=compact_every,
@@ -102,6 +128,9 @@ class ServiceServer:
             jobs=jobs, max_batch=max_batch, workers=self.workers,
             quota=quota, max_queue_depth=max_queue_depth,
             max_body_bytes=max_body_bytes,
+            max_attempts=max_attempts, job_timeout=job_timeout,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         #: One thread per drain slot: claims are serialized inside the
@@ -138,18 +167,61 @@ class ServiceServer:
 
     async def run_until_closed(self) -> None:
         await self._closing.wait()
+        # No new batches: cancelling a drain task stops its claim loop;
+        # a drain_once already running on the executor keeps going.
         for task in self._drain_tasks:
             task.cancel()
+        if self._draining:
+            # Grace window: keep the HTTP socket answering (refused
+            # submissions carry Retry-After, health reports draining)
+            # while in-flight batches record their verdicts.
+            deadline = time.monotonic() + self.drain_grace
+            while not self.dispatcher.idle() \
+                    and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            self.drained_clean = self.dispatcher.idle()
         self._server.close()
         await self._server.wait_closed()
         # Cancelling the drain tasks does not interrupt an executor'd
         # drain_once; wait for any in-flight batches to record their
-        # results BEFORE closing the journal they write to.
-        self._executor.shutdown(wait=True)
+        # results BEFORE closing the journal they write to.  A wedged
+        # batch that already blew the drain grace is the one case where
+        # waiting would hang shutdown forever — abandon it instead (the
+        # CLI hard-exits; its jobs are demoted below, so a restart
+        # replays them as cleanly queued).
+        self._executor.shutdown(wait=self.drained_clean)
         self._read_executor.shutdown(wait=True)
-        self.queue.close()
+        if self._draining:
+            # Demote any straggler batch's RUNNING claims so replay
+            # never shows a phantom in-flight job, then fold the
+            # journal down while we are the last writer.
+            for job in self.queue.running_jobs():
+                try:
+                    self.queue.demote(job.id)
+                except Exception:
+                    pass
+            if self.drained_clean:
+                try:
+                    self.queue.compact()
+                except Exception:
+                    pass  # best effort: drain must still exit 0
+        if self.drained_clean:
+            self.queue.close()
 
     def close(self) -> None:
+        """Stop immediately (harness teardown) — no drain semantics."""
+        if self._closing is not None:
+            self._closing.set()
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain (the SIGTERM/SIGINT path).
+
+        Idempotent and callable from the event loop only; cross-thread
+        callers go through :meth:`ServerThread.begin_drain`.  Flags the
+        admission path first so every submission racing the shutdown
+        sees 503 + Retry-After rather than a dropped connection.
+        """
+        self._draining = True
         if self._closing is not None:
             self._closing.set()
 
@@ -215,6 +287,10 @@ class ServiceServer:
             status, payload, headers = 503, {
                 "error": str(error), "retry_after": retry,
             }, {"Retry-After": str(retry)}
+        except BreakerOpenError as error:  # crash breaker refusing work
+            status, payload, headers = 503, {
+                "error": str(error), "retry_after": error.retry_after,
+            }, {"Retry-After": str(error.retry_after)}
         except AdmissionError as error:  # per-client quota breach
             retry = self._retry_after_seconds(backlog=False)
             status, payload, headers = 429, {
@@ -325,6 +401,10 @@ class ServiceServer:
             if method != "GET":
                 return 405, {"error": "method not allowed"}
             return 200, self.dispatcher.snapshot()
+        if path == "/v1/health":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}
+            return self._health()
         if path == "/v1/compact":
             if method != "POST":
                 return 405, {"error": "method not allowed"}
@@ -358,7 +438,35 @@ class ServiceServer:
             raise RequestError("'retain_terminal' must be an integer >= 0")
         return retain
 
+    def _health(self):
+        """Readiness/liveness: 200 while accepting work, 503 otherwise.
+
+        Liveness is "any response at all" (the handler runs on the
+        event loop); readiness is 200 — a draining server or an open
+        crash breaker answers 503 so load balancers stop routing
+        submissions here while reads keep working.
+        """
+        breaker_open = self.dispatcher.breaker_open_for() > 0
+        ready = not self._draining and not breaker_open
+        return (200 if ready else 503), {
+            "live": True,
+            "ready": ready,
+            "draining": self._draining,
+            "breaker_open": breaker_open,
+            "queue_depth": self.queue.depth(),
+        }
+
     def _post_job(self, body: bytes):
+        if self._draining:
+            # Drain refusals are short-lived by construction: the
+            # process exits within drain_grace, so hint a retry just
+            # past that (capped — grace can be configured very long).
+            retry = min(30, max(1, int(self.drain_grace)))
+            return 503, {
+                "error": "server is draining; retry against a live "
+                         "replica",
+                "retry_after": retry,
+            }, {"Retry-After": str(retry)}
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -399,6 +507,16 @@ class ServiceServer:
 
 async def _amain(server: ServiceServer, announce) -> None:
     await server.start()
+    # SIGTERM/SIGINT trigger a graceful drain instead of tearing the
+    # loop down mid-batch.  add_signal_handler is the loop-safe form;
+    # platforms without it (Windows event loops) keep the default
+    # KeyboardInterrupt behavior, caught by serve_forever.
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.begin_drain)
+        except (NotImplementedError, RuntimeError):
+            break
     if announce is not None:
         announce(server)
     await server.run_until_closed()
@@ -417,20 +535,31 @@ def serve_forever(
     quota: Optional[int] = None,
     max_queue_depth: Optional[int] = None,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    max_attempts: int = 3,
+    job_timeout: Optional[float] = None,
+    drain_grace: float = 30.0,
     announce=None,
-) -> None:
-    """Run a service in the foreground until interrupted (CLI ``serve``)."""
+) -> bool:
+    """Run a service in the foreground until signalled (CLI ``serve``).
+
+    Returns True for a clean drain (or plain interrupt with nothing in
+    flight) and False when a wedged batch outlived ``drain_grace`` —
+    the caller decides how hard to exit.
+    """
     server = ServiceServer(
         queue_dir, cache_dir,
         host=host, port=port, jobs=jobs, max_batch=max_batch,
         workers=workers, compact_every=compact_every,
         quota=quota, max_queue_depth=max_queue_depth,
         max_body_bytes=max_body_bytes,
+        max_attempts=max_attempts, job_timeout=job_timeout,
+        drain_grace=drain_grace,
     )
     try:
         asyncio.run(_amain(server, announce))
     except KeyboardInterrupt:
         pass
+    return server.drained_clean
 
 
 class ServerThread:
@@ -472,7 +601,20 @@ class ServerThread:
     def dispatcher(self) -> Dispatcher:
         return self.server.dispatcher
 
+    def begin_drain(self) -> None:
+        """Cross-thread graceful drain (the in-process SIGTERM stand-in)."""
+        self._call_on_loop(self.server.begin_drain)
+
     def __exit__(self, *exc_info) -> None:
-        if self._loop is not None:
-            self._loop.call_soon_threadsafe(self.server.close)
+        self._call_on_loop(self.server.close)
         self._thread.join(timeout=30.0)
+
+    def _call_on_loop(self, callback) -> None:
+        """Schedule on the server loop; a no-op once it has finished
+        (a completed drain closes the loop before __exit__ runs)."""
+        if self._loop is None or self._loop.is_closed():
+            return
+        try:
+            self._loop.call_soon_threadsafe(callback)
+        except RuntimeError:
+            pass  # loop closed between the check and the call

@@ -161,6 +161,15 @@ class ScenarioDriver:
     def fail(self, job_id: str) -> None:
         self._transition(self.queue.mark_failed, job_id, "failed", "boom")
 
+    def retry(self, job_id: str) -> None:
+        """Containment retry: running -> queued, one attempt charged."""
+        self._transition(self.queue.retry, job_id, "live")
+
+    def quarantine(self, job_id: str) -> None:
+        """Containment terminal: attempts exhausted, diagnostic kept."""
+        self._transition(self.queue.quarantine, job_id, "quarantined",
+                         f"poison {job_id}")
+
     def requeue(self, job_id: str) -> None:
         self._transition(self.queue.requeue_lost, job_id, "live")
 
@@ -172,7 +181,11 @@ class ScenarioDriver:
 
 
 def scenario_basic(driver: ScenarioDriver) -> None:
-    """Submits, attaches, and every transition — no compaction."""
+    """Submits, attaches, and every transition — no compaction.
+
+    Includes the containment transitions: a bounded retry
+    (running -> queued, attempt charged) and a quarantine (terminal
+    with diagnostic), plus an attach onto the quarantined job."""
     a = driver.submit(_req(1), "alice")
     b = driver.submit(_req(2), "alice")
     c = driver.submit(_req(3), "bob")
@@ -183,6 +196,10 @@ def scenario_basic(driver: ScenarioDriver) -> None:
     driver.fail(b)
     driver.submit(_req(2), "alice")     # fresh retry after the failure
     driver.run(c)
+    driver.retry(c)                     # first failed execution
+    driver.run(c)
+    driver.quarantine(c)                # attempts exhausted
+    driver.submit(_req(3), "carol")     # attach onto the quarantined c
     driver.submit(_req(4), "carol")
     driver.submit(_req(1), "dave")      # attach onto the done a
 
@@ -351,6 +368,24 @@ def _check_acked(queue: JobQueue, log: AckLog) -> None:
             assert job.state is JobState.FAILED, (
                 f"{job_id}: acked failed job is {job.state}"
             )
+        elif acked == "quarantined":
+            if job is None:
+                assert log.compaction_started, (
+                    f"{job_id}: acked quarantined job lost without any "
+                    f"compaction"
+                )
+                continue
+            # Quarantine is terminal and its forensics are durable: the
+            # attempt count and diagnostic survive replay.
+            assert job.state is JobState.QUARANTINED, (
+                f"{job_id}: acked quarantined job is {job.state}"
+            )
+            assert job.attempts >= 1, (
+                f"{job_id}: quarantined with no attempt charged"
+            )
+            assert job.failure_reason, (
+                f"{job_id}: quarantined without a diagnostic"
+            )
 
 
 def _check_in_flight_atomicity(queue: JobQueue, log: AckLog) -> None:
@@ -369,7 +404,7 @@ def _check_in_flight_atomicity(queue: JobQueue, log: AckLog) -> None:
             # and runnable (or legitimately further along: the digest
             # may match an older same-request job from the scenario).
             assert job.state in (JobState.QUEUED, JobState.DONE,
-                                 JobState.FAILED)
+                                 JobState.FAILED, JobState.QUARANTINED)
     elif kind == "transition":
         job_id, outcome = log.in_flight[1], log.in_flight[2]
         job = queue.get(job_id)
@@ -384,8 +419,13 @@ def _check_in_flight_atomicity(queue: JobQueue, log: AckLog) -> None:
             allowed.add(JobState.DONE)
         if before == "failed":
             allowed.add(JobState.FAILED)
-        allowed.add(JobState(outcome) if outcome in ("done", "failed")
-                    else JobState.QUEUED)
+        if before == "quarantined":
+            allowed.add(JobState.QUARANTINED)
+        allowed.add(
+            JobState(outcome)
+            if outcome in ("done", "failed", "quarantined")
+            else JobState.QUEUED
+        )
         assert job.state in allowed, (
             f"{job_id}: state {job.state} not in {allowed} after "
             f"interrupted {outcome} transition"

@@ -287,6 +287,10 @@ class TestStatsSchema:
             "quota", "max_queue_depth", "max_body_bytes",
             "rejected_quota", "rejected_depth", "rejected_size",
         },
+        "containment": {
+            "max_attempts", "job_timeout", "retries", "quarantined",
+            "timeouts", "bisections", "pool_crashes", "breaker_open",
+        },
         "cache": {"session", "lifetime"},
         "workers": {
             "count", "active", "pool_size", "max_batch",
@@ -301,7 +305,7 @@ class TestStatsSchema:
         for section, keys in self.EXPECTED.items():
             assert set(stats[section]) == keys, section
         assert set(stats["queue"]["states"]) == {
-            "queued", "running", "done", "failed"
+            "queued", "running", "done", "failed", "quarantined"
         }
         assert set(stats["queue"]["compaction"]) == {
             "generation", "compactions", "events_folded",

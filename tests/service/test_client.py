@@ -19,11 +19,14 @@ import threading
 import pytest
 
 from repro.service.client import (
+    TERMINAL_STATES,
     ServiceError,
     compact_queue,
+    get_health,
     get_job,
     get_result,
     get_stats,
+    poll_job,
     submit_and_wait,
     submit_job,
 )
@@ -181,6 +184,18 @@ class TestSubmitAndWait:
         assert job["state"] == "done"
         assert document == b'{"doc": 1}'
 
+    def test_quarantined_job_raises_with_forensics(self, stub):
+        url, responses = stub
+        responses["/v1/jobs"] = (202, _json(self.RECEIPT))
+        responses[f"/v1/jobs/{self.RECEIPT['id']}"] = (
+            200, _json({"id": self.RECEIPT["id"], "state": "quarantined",
+                        "attempts": 3,
+                        "failure_reason": "worker crash (attempt 3 of 3)"})
+        )
+        with pytest.raises(ServiceError,
+                           match="quarantined after 3.*worker crash"):
+            submit_and_wait(url, {"axis": "regfile"}, timeout=5)
+
     def test_job_record_polls_use_job_endpoint(self, stub):
         url, responses = stub
         responses["/v1/jobs/job-000009-feedfeedfeed"] = (
@@ -190,6 +205,61 @@ class TestSubmitAndWait:
         assert record["state"] == "done"
         with pytest.raises(ServiceError, match="HTTP 404"):
             get_job(url, "job-unknown")
+
+
+class TestPollJob:
+    """``poll_job`` is the one terminal-state loop every caller shares:
+    it must stop on *any* terminal state (a quarantined job would
+    otherwise spin a naive done/failed poller forever) and hand the
+    record back for the caller to judge."""
+
+    JOB = "job-000004-beefbeefbeef"
+
+    def test_quarantined_is_terminal(self, stub):
+        url, responses = stub
+        responses[f"/v1/jobs/{self.JOB}"] = [
+            (200, _json({"id": self.JOB, "state": "running"})),
+            (200, _json({"id": self.JOB, "state": "quarantined",
+                         "attempts": 2,
+                         "failure_reason": "timeout (attempt 2 of 2)"})),
+        ]
+        record = poll_job(url, self.JOB, timeout=5, poll=0.01)
+        assert record["state"] == "quarantined"
+        assert record["attempts"] == 2
+
+    def test_every_terminal_state_returns_not_raises(self, stub):
+        url, responses = stub
+        assert TERMINAL_STATES == {"done", "failed", "quarantined"}
+        for state in sorted(TERMINAL_STATES):
+            responses[f"/v1/jobs/{self.JOB}"] = (
+                200, _json({"id": self.JOB, "state": state})
+            )
+            assert poll_job(url, self.JOB, timeout=5)["state"] == state
+
+    def test_deadline_raises_with_last_seen_state(self, stub):
+        url, responses = stub
+        responses[f"/v1/jobs/{self.JOB}"] = (
+            200, _json({"id": self.JOB, "state": "running"})
+        )
+        with pytest.raises(ServiceError, match="still running after"):
+            poll_job(url, self.JOB, timeout=0.2, poll=0.05)
+
+
+class TestGetHealth:
+    def test_ready_and_not_ready_both_return_the_document(self, stub):
+        url, responses = stub
+        ready = {"live": True, "ready": True, "draining": False,
+                 "breaker_open": False, "queue_depth": 0}
+        responses["/v1/health"] = (200, _json(ready))
+        assert get_health(url) == ready
+        draining = dict(ready, ready=False, draining=True)
+        responses["/v1/health"] = (503, _json(draining))
+        assert get_health(url) == draining
+
+    def test_transport_failure_still_raises(self):
+        url = f"http://127.0.0.1:{_free_port()}"
+        with pytest.raises(ServiceError, match="/v1/health"):
+            get_health(url)
 
 
 class TestSubmitRetries:

@@ -78,10 +78,14 @@ class TestClaimPartitioning:
         assert foreign2 == []
         assert len(deps2) == 2  # waits on the first claim's trace+binary
         assert len(sigs2) == 1  # registers only its own timed cell
-        assert all(not event.is_set() for event in deps2)
+        assert all(not wait.event.is_set() for wait in deps2)
+        # Each wait carries the cell + signature an expired waiter would
+        # need to reclaim and recompute the dependency itself.
+        assert [w.cell.signature() for w in deps2] == [w.signature
+                                                       for w in deps2]
 
         registry.release(sigs1)
-        assert all(event.is_set() for event in deps2)
+        assert all(wait.event.is_set() for wait in deps2)
         registry.release(sigs2)
         assert registry._events == {}
 

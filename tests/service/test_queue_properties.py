@@ -1,9 +1,11 @@
 """Property-based queue tests: random op interleavings, pinned invariants.
 
 Each case drives a seeded-random sequence of ``submit`` / attach /
-transition / ``compact`` / replay (close + reopen) operations against a
-real queue directory, mirroring every acknowledged effect into a plain
-in-Python model, and asserts after every step:
+transition (including the containment ``retry`` / ``quarantine``
+transitions and leased ``mark_running``) / ``compact`` / replay
+(close + reopen) operations against a real queue directory, mirroring
+every acknowledged effect into a plain in-Python model, and asserts
+after every step:
 
 * **state-count invariants** — the O(1) counters, the queued index, the
   dedup index, ``depth()`` and ``has_pending()`` all agree with a full
@@ -47,6 +49,9 @@ def _snapshot_table(queue: JobQueue) -> dict:
             "result_key": job.result_key,
             "source": job.source,
             "error": job.error,
+            "attempts": job.attempts,
+            "failure_reason": job.failure_reason,
+            "lease_deadline": job.lease_deadline,
             "seq": job.seq,
             "client": job.client,
         }
@@ -55,13 +60,18 @@ def _snapshot_table(queue: JobQueue) -> dict:
 
 
 def _demoted(table: dict) -> dict:
-    """What a replay must produce: RUNNING jobs demoted, outcomes void."""
+    """What a replay must produce: RUNNING jobs demoted, outcomes void.
+
+    Attempts survive the demotion (the job didn't fail — the process
+    did), but the lease dies with the process that held it."""
     out = {}
     for job_id, row in table.items():
         row = dict(row)
         if row["state"] is JobState.RUNNING:
             row["state"] = JobState.QUEUED
             row["result_key"] = row["source"] = row["error"] = None
+            row["failure_reason"] = None
+            row["lease_deadline"] = None
         out[job_id] = row
     return out
 
@@ -100,7 +110,7 @@ def _run_case(seed: int, tmp_path) -> None:
         for step in range(OPS_PER_CASE):
             op = rng.choice(
                 ("submit", "submit", "submit", "run", "done", "fail",
-                 "requeue", "compact", "replay")
+                 "retry", "quarantine", "requeue", "compact", "replay")
             )
             if op == "submit":
                 request = _request(rng.randrange(REQUEST_POOL))
@@ -110,7 +120,12 @@ def _run_case(seed: int, tmp_path) -> None:
             elif op == "run":
                 queued = sorted(queue._queued)
                 if queued:
-                    queue.mark_running(rng.choice(queued))
+                    # Half the claims carry a (generous, never-expiring
+                    # within the case) lease, half run unleased.
+                    queue.mark_running(
+                        rng.choice(queued),
+                        lease_seconds=rng.choice((None, 3600.0)),
+                    )
             elif op == "done":
                 # Both legal paths: running -> done and the instant
                 # queued -> done cache hit.
@@ -129,6 +144,31 @@ def _run_case(seed: int, tmp_path) -> None:
                 )
                 if eligible:
                     queue.mark_failed(rng.choice(eligible), "boom")
+            elif op == "retry":
+                running = sorted(
+                    job.id for job in queue.jobs.values()
+                    if job.state is JobState.RUNNING
+                )
+                if running:
+                    job_id = rng.choice(running)
+                    charged = queue.get(job_id).attempts + 1
+                    retried = queue.retry(job_id)
+                    assert retried.state is JobState.QUEUED
+                    assert retried.attempts == charged
+                    assert retried.lease_deadline is None
+            elif op == "quarantine":
+                running = sorted(
+                    job.id for job in queue.jobs.values()
+                    if job.state is JobState.RUNNING
+                )
+                if running:
+                    job_id = rng.choice(running)
+                    charged = queue.get(job_id).attempts + 1
+                    poisoned = queue.quarantine(job_id, f"poison {job_id}")
+                    assert poisoned.state is JobState.QUARANTINED
+                    assert poisoned.attempts == charged
+                    assert poisoned.failure_reason == f"poison {job_id}"
+                    assert poisoned.lease_deadline is None
             elif op == "requeue":
                 done = sorted(
                     job.id for job in queue.jobs.values()
@@ -156,14 +196,16 @@ def _run_case(seed: int, tmp_path) -> None:
                 for job_id, row in after.items():
                     assert row == before[job_id]
                 assert report.jobs_dropped == len(before) - len(after)
+                terminal = (JobState.DONE, JobState.FAILED,
+                            JobState.QUARANTINED)
                 terminal_after = [
                     row for row in after.values()
-                    if row["state"] in (JobState.DONE, JobState.FAILED)
+                    if row["state"] in terminal
                 ]
                 assert len(terminal_after) <= max(
                     retain,
                     len([r for r in before.values()
-                         if r["state"] in (JobState.DONE, JobState.FAILED)])
+                         if r["state"] in terminal])
                     - report.jobs_dropped,
                 )
             elif op == "replay":
