@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-crashsim test-faultsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-service bench-load bench-load-smoke clean-cache
+.PHONY: test test-crashsim test-faultsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-perf-smoke bench-service bench-load bench-load-smoke clean-cache
 
 ## Tier-1 test suite.
 test:
@@ -49,6 +49,12 @@ bench:
 PROFILE ?= quick
 bench-perf:
 	$(PYTHON) benchmarks/perf/bench_simcore.py --profile $(PROFILE)
+
+## CI perf-smoke gate: quick simcore bench (superblocks on/off) plus a
+## byte-identity check — tiny-profile run-all manifests must be
+## identical with fused dispatch enabled and disabled.
+bench-perf-smoke:
+	$(PYTHON) scripts/bench_perf_smoke.py
 
 ## Service perf harness: warm-cache requests/sec + cold batch latency;
 ## writes BENCH_service.json at the root.

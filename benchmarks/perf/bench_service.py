@@ -21,16 +21,26 @@ core's):
   round trips with ``--job-timeout`` armed (per-cell deadlines, job
   leases, containment bookkeeping), so the report tracks what the
   contained executor costs a healthy workload relative to the
-  uncontained baseline above.
+  uncontained baseline above.  The contained server runs with the
+  persistent warm pool, so this dimension also records what
+  pre-warming buys the contained cold path (pool lifecycle counters
+  included);
+* the **sharded** fan-out runs with the warm pool too — scale-out is
+  where pool-per-batch spin-up used to drown the win.
 
 The service is hosted in-process (:class:`repro.service.server
 .ServerThread`) but driven over real sockets through the same urllib
 client the CLI uses.
 
+Each section updates only its own key in the committed report — a
+partial run (``--skip-*``) preserves every other section verbatim,
+including the ``load`` section maintained by bench_load.py.
+
 Usage::
 
     python benchmarks/perf/bench_service.py
     python benchmarks/perf/bench_service.py --warm-requests 200
+    python benchmarks/perf/bench_service.py --skip-warm --skip-fault
     python benchmarks/perf/bench_service.py --output /tmp/report.json
 """
 
@@ -65,6 +75,22 @@ def _payload(value: str) -> dict:
             "workloads": ["li_like"], "profile": "tiny"}
 
 
+def _wait_pool_live(service, timeout: float = 60.0) -> None:
+    """Block until the server's eager warm-up finishes.
+
+    Pre-warming is a *startup* cost, not a request cost; measuring a
+    cold request while the pool is still spawning would charge warmup
+    to the request and misstate what a warmed server delivers.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pool = get_stats(service.url)["workers"].get("warm_pool")
+        if pool is not None and pool["live"]:
+            return
+        time.sleep(0.05)
+    raise RuntimeError("warm pool never came up")
+
+
 def bench_cold(tmp: Path) -> dict:
     """First-ever submission: queue + simulate + assemble + store."""
     with ServerThread(tmp / "cold-queue", tmp / "cold-cache") as service:
@@ -97,12 +123,16 @@ def bench_cold_sharded(tmp: Path, workers: int) -> dict:
     """The same cold fan-out, sharded across concurrent dispatch workers.
 
     ``max_batch=1`` pins one job per batch so the fan-out exercises
-    ``workers`` truly concurrent batches instead of one fused one.
+    ``workers`` truly concurrent batches instead of one fused one.  The
+    server runs with the persistent warm pool (pre-warmed before the
+    clock starts), so no batch pays executor spin-up — the regime the
+    sharded configuration is meant for.
     """
     with ServerThread(
         tmp / f"shard{workers}-queue", tmp / f"shard{workers}-cache",
-        workers=workers, max_batch=1,
+        workers=workers, max_batch=1, warm_pool=True,
     ) as service:
+        _wait_pool_live(service)
         started = time.perf_counter()
         with ThreadPoolExecutor(max_workers=len(FANOUT_VALUES)) as pool:
             list(pool.map(
@@ -113,14 +143,16 @@ def bench_cold_sharded(tmp: Path, workers: int) -> dict:
                 FANOUT_VALUES,
             ))
         fanout = time.perf_counter() - started
-        stats = get_stats(service.url)["dispatcher"]
+        stats = get_stats(service.url)
+    dispatcher = stats["dispatcher"]
     return {
         "workers": workers,
         "fanout_jobs": len(FANOUT_VALUES),
         "fanout_seconds": round(fanout, 3),
-        "fanout_batches": stats["batches"],
-        "overlapped_batches": stats["overlapped_batches"],
-        "cells_executed": stats["cells_executed"],
+        "fanout_batches": dispatcher["batches"],
+        "overlapped_batches": dispatcher["overlapped_batches"],
+        "cells_executed": dispatcher["cells_executed"],
+        "warm_pool": stats["workers"]["warm_pool"],
     }
 
 
@@ -163,11 +195,16 @@ def bench_fault_overhead(tmp: Path, requests: int) -> dict:
     ``job_timeout`` switches execution onto the deadline-enforcing
     path (futures with per-cell deadlines, journaled job leases,
     containment counters); on a healthy workload its overhead should be
-    noise, and this dimension keeps that claim measured.
+    noise, and this dimension keeps that claim measured.  The warm pool
+    is on and pre-warmed before the clock starts: the contained cold
+    path used to pay a full executor spin-up per batch, and this
+    number is what remains of it.
     """
     with ServerThread(
         tmp / "fault-queue", tmp / "fault-cache", job_timeout=120.0,
+        warm_pool=True,
     ) as service:
+        _wait_pool_live(service)
         started = time.perf_counter()
         submit_and_wait(service.url, dict(WARM_PAYLOAD), client="bench",
                         timeout=300.0)
@@ -190,6 +227,7 @@ def bench_fault_overhead(tmp: Path, requests: int) -> dict:
         "retries": containment["retries"],
         "quarantined": containment["quarantined"],
         "pool_crashes": containment["pool_crashes"],
+        "warm_pool": stats["workers"]["warm_pool"],
     }
 
 
@@ -203,35 +241,64 @@ def main() -> int:
         "--output", default=str(REPO_ROOT / "BENCH_service.json"),
         metavar="PATH", help="report destination (default: repo root)",
     )
+    parser.add_argument(
+        "--skip-cold", action="store_true",
+        help="skip the serial cold section (its report key is preserved)",
+    )
+    parser.add_argument(
+        "--skip-sharded", action="store_true",
+        help="skip the sharded cold fan-out section",
+    )
+    parser.add_argument(
+        "--skip-warm", action="store_true",
+        help="skip the warm round-trip section",
+    )
+    parser.add_argument(
+        "--skip-fault", action="store_true",
+        help="skip the fault-containment overhead section",
+    )
     args = parser.parse_args()
 
+    sections = {}
     with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
         tmp_path = Path(tmp)
-        print("cold: first submission + 4-way fan-out ...", flush=True)
-        cold = bench_cold(tmp_path)
-        print(f"  single job {cold['single_job_seconds']}s, "
-              f"{cold['fanout_jobs']} distinct jobs in "
-              f"{cold['fanout_seconds']}s "
-              f"({cold['fanout_batches']} batches)")
-        print("cold: same fan-out, 4 dispatch workers ...", flush=True)
-        sharded = bench_cold_sharded(tmp_path, workers=4)
-        print(f"  {sharded['fanout_jobs']} distinct jobs in "
-              f"{sharded['fanout_seconds']}s "
-              f"({sharded['fanout_batches']} batches, "
-              f"{sharded['overlapped_batches']} overlapped)")
-        print(f"warm: {args.warm_requests} cache-hit round trips ...",
-              flush=True)
-        warm = bench_warm(tmp_path, args.warm_requests)
-        print(f"  sequential {warm['sequential_rps']} req/s, "
-              f"8-way concurrent {warm['concurrent_rps']} req/s")
-        print("fault overhead: same cold + warm with --job-timeout ...",
-              flush=True)
-        fault = bench_fault_overhead(tmp_path, args.warm_requests)
-        print(f"  contained cold {fault['cold_single_job_seconds']}s, "
-              f"warm sequential {fault['warm_sequential_rps']} req/s")
+        if not args.skip_cold:
+            print("cold: first submission + 4-way fan-out ...", flush=True)
+            cold = sections["cold"] = bench_cold(tmp_path)
+            print(f"  single job {cold['single_job_seconds']}s, "
+                  f"{cold['fanout_jobs']} distinct jobs in "
+                  f"{cold['fanout_seconds']}s "
+                  f"({cold['fanout_batches']} batches)")
+        if not args.skip_sharded:
+            print("cold: same fan-out, 4 dispatch workers + warm pool ...",
+                  flush=True)
+            sharded = sections["cold_sharded"] = bench_cold_sharded(
+                tmp_path, workers=4
+            )
+            print(f"  {sharded['fanout_jobs']} distinct jobs in "
+                  f"{sharded['fanout_seconds']}s "
+                  f"({sharded['fanout_batches']} batches, "
+                  f"{sharded['overlapped_batches']} overlapped, "
+                  f"{sharded['warm_pool']['reuses']} pool reuses)")
+        if not args.skip_warm:
+            print(f"warm: {args.warm_requests} cache-hit round trips ...",
+                  flush=True)
+            warm = sections["warm"] = bench_warm(tmp_path, args.warm_requests)
+            print(f"  sequential {warm['sequential_rps']} req/s, "
+                  f"8-way concurrent {warm['concurrent_rps']} req/s")
+        if not args.skip_fault:
+            print("fault overhead: cold + warm, --job-timeout + warm "
+                  "pool ...", flush=True)
+            fault = sections["fault_overhead"] = bench_fault_overhead(
+                tmp_path, args.warm_requests
+            )
+            print(f"  contained cold {fault['cold_single_job_seconds']}s, "
+                  f"warm sequential {fault['warm_sequential_rps']} req/s")
 
-    # Merge, never overwrite: the `load` section bench_load.py maintains
-    # lives in the same committed file.
+    # Merge, never overwrite: only the sections measured above are
+    # replaced.  Everything else in the committed report — skipped
+    # sections, and the `load` section bench_load.py maintains — is
+    # preserved verbatim.
     try:
         with open(args.output, encoding="utf-8") as handle:
             report = json.load(handle)
@@ -244,12 +311,7 @@ def main() -> int:
         "machine": platform.machine(),
         "system": platform.system(),
     }
-    report.setdefault("metrics", {}).update({
-        "cold": cold,
-        "cold_sharded": sharded,
-        "warm": warm,
-        "fault_overhead": fault,
-    })
+    report.setdefault("metrics", {}).update(sections)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI perf-smoke gate: superblock dispatch must be fast-path, not a fork.
+
+Two checks, both quick enough for every CI run:
+
+1. **Bench harness runs** — ``bench_simcore.py --skip-run-all`` on a
+   scratch output, which measures the hot loops *and* the superblocks
+   dimension (fused vs per-pc dispatch on the same workload).  The
+   numbers are informational — CI boxes are too noisy to gate on — but
+   the section must exist and report compiled blocks, or superblock
+   compilation silently stopped engaging.
+
+2. **Byte-identity** — ``run-all`` on the tiny profile with superblocks
+   enabled and disabled (``REPRO_SUPERBLOCKS=0``), fresh cache dirs,
+   JSON manifests compared byte for byte.  Fused dispatch is an
+   optimization, not a semantic: any divergence fails the build.
+
+Usage::
+
+    python scripts/bench_perf_smoke.py
+    make bench-perf-smoke
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = str(REPO_ROOT / "src")
+
+
+def _env(**overrides: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.update(overrides)
+    return env
+
+
+def check_bench_harness(tmp: Path) -> None:
+    report_path = tmp / "bench_simcore_smoke.json"
+    subprocess.run(
+        [sys.executable, str(REPO_ROOT / "benchmarks/perf/bench_simcore.py"),
+         "--skip-run-all", "--output", str(report_path)],
+        env=_env(), check=True, cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+    )
+    report = json.loads(report_path.read_text(encoding="utf-8"))
+    section = report["metrics"].get("superblocks")
+    if not section:
+        raise SystemExit("FAIL: bench report has no `superblocks` section "
+                         "- fused dispatch is not engaging")
+    if section["blocks_compiled"] <= 0:
+        raise SystemExit("FAIL: superblock compiler produced zero blocks")
+    print(f"bench ok: {section['blocks_compiled']} blocks, "
+          f"mean len {section['mean_block_len']}, "
+          f"fused/per-pc = {section['fused_over_per_pc']}x")
+
+
+def check_byte_identity(tmp: Path) -> None:
+    outputs = {}
+    for mode, overlay in (("fused", {}), ("per_pc", {"REPRO_SUPERBLOCKS": "0"})):
+        out_json = tmp / f"run_all_{mode}.json"
+        cache_dir = tmp / f"cache_{mode}"
+        subprocess.run(
+            [sys.executable, "-m", "repro", "run-all", "--profile", "tiny",
+             "--cache-dir", str(cache_dir), "--json", str(out_json)],
+            env=_env(**overlay), check=True, cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        outputs[mode] = out_json.read_bytes()
+    if outputs["fused"] != outputs["per_pc"]:
+        raise SystemExit(
+            "FAIL: run-all manifest with superblocks enabled differs from "
+            "per-pc dispatch - fused codegen has diverged semantically"
+        )
+    print(f"byte-identity ok: {len(outputs['fused'])} manifest bytes "
+          "identical with superblocks on and off")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="bench-perf-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        check_bench_harness(tmp_path)
+        check_byte_identity(tmp_path)
+    print("bench-perf-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,14 @@ DESIGN_REQUIRED = (
     "circuit breaker",
     "graceful drain",
     "/v1/health",
+    # Superinstruction compilation + persistent warm executor pools.
+    "superinstruction",
+    "fused",
+    "per-pc",
+    "REPRO_SUPERBLOCKS",
+    "SUPERBLOCK_VERSION",
+    "warm worker pool",
+    "rebuild",
 )
 
 #: Subcommands whose --help surfaces must be reflected in README.md.

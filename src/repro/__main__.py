@@ -329,6 +329,17 @@ def _serve_main(argv) -> int:
              "(default: 30)",
     )
     parser.add_argument(
+        "--warm-pool", action="store_true",
+        help="keep a persistent pre-warmed worker pool across batches "
+             "instead of spawning a fresh pool per batch; the pool is "
+             "torn down and rebuilt only after a crash or hang",
+    )
+    parser.add_argument(
+        "--no-superblocks", action="store_true",
+        help="disable superinstruction (fused basic-block) compilation "
+             "in the functional engine; for A/B diagnosis",
+    )
+    parser.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="artifact cache backing the service (default: .repro-cache)",
     )
@@ -355,6 +366,11 @@ def _serve_main(argv) -> int:
         parser.error("--job-timeout must be >= 0")
     if args.drain_grace < 0:
         parser.error("--drain-grace must be >= 0")
+    if args.no_superblocks:
+        # Inherited by spawned workers (cold and warm pools alike), so
+        # one flag disables fused-block execution service-wide.  Set
+        # before any simulation import can snapshot the gate.
+        os.environ["REPRO_SUPERBLOCKS"] = "0"
 
     from repro.service.server import serve_forever
 
@@ -363,7 +379,9 @@ def _serve_main(argv) -> int:
         print(
             f"queue journal: {args.queue_dir}; cache: {args.cache_dir}; "
             f"workers: {args.workers}; jobs/batch: {args.jobs}; "
-            f"max batch: {args.max_batch}",
+            f"max batch: {args.max_batch}; "
+            f"warm pool: {'on' if args.warm_pool else 'off'}; "
+            f"superblocks: {'off' if args.no_superblocks else 'on'}",
             file=sys.stderr, flush=True,
         )
 
@@ -379,6 +397,7 @@ def _serve_main(argv) -> int:
         max_attempts=args.max_attempts,
         job_timeout=args.job_timeout or None,
         drain_grace=args.drain_grace,
+        warm_pool=args.warm_pool,
         announce=announce,
     )
     if not drained_clean:

@@ -76,6 +76,14 @@ class Program:
     # Basic queries.
     # ------------------------------------------------------------------
 
+    def __getstate__(self) -> Dict[str, object]:
+        # The superblock compiler caches its (exec-generated, hence
+        # unpicklable) output on the instance; artifacts and worker IPC
+        # must ship the program without it.  Receivers recompile lazily.
+        state = self.__dict__.copy()
+        state.pop("_superblocks", None)
+        return state
+
     def __len__(self) -> int:
         return len(self.insts)
 

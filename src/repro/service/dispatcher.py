@@ -62,7 +62,7 @@ from repro.experiments.sweep import (
     sweep_title,
 )
 from repro.registry import UnknownComponentError
-from repro.service.execution import execute_contained
+from repro.service.execution import WarmPool, execute_contained, warm_execute
 from repro.service.queue import (
     JobQueue,
     JobState,
@@ -380,12 +380,27 @@ class Dispatcher:
         job_timeout: Optional[float] = None,
         breaker_threshold: int = 5,
         breaker_cooldown: float = 30.0,
+        warm_pool: bool = False,
     ) -> None:
         self.queue = queue
         self.cache = ArtifactCache(cache_root)
         self.jobs = max(1, jobs)
         self.max_batch = max(1, max_batch)
         self.workers = max(1, workers)
+        #: Persistent pre-warmed executor pool (None = pool-per-batch).
+        #: Spawned lazily on first use or eagerly via ``warm_up()``;
+        #: torn down and rebuilt on crash/hang, shut down with the
+        #: server.  Sized ``jobs * workers``: every concurrent drain
+        #: slot can fan its batch across ``jobs`` warm processes
+        #: without queueing behind another slot's cells.
+        self.warm_pool: Optional[WarmPool] = (
+            WarmPool(
+                self.jobs * self.workers,
+                cache_root=str(self.cache.root),
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            if warm_pool else None
+        )
         #: Failure containment: how many failed executions a job gets
         #: before quarantine, and the per-cell wall-clock deadline.
         #: ``job_timeout`` of ``None``/0 disables deadline enforcement —
@@ -809,6 +824,7 @@ class Dispatcher:
             report = execute_contained(
                 cells, context, job_timeout=self.job_timeout,
                 mp_context=spawn, max_workers=self.jobs,
+                warm_pool=self.warm_pool,
             )
             for signature, failure in report.failures.items():
                 failed[signature] = f"{failure.kind}: {failure.detail}"
@@ -820,7 +836,10 @@ class Dispatcher:
                 self._breaker_record(crashed=report.pool_crashes > 0)
             return report.executed
         try:
-            executed = execute(cells, context, mp_context=spawn)
+            if self.warm_pool is not None:
+                executed = warm_execute(cells, context, self.warm_pool)
+            else:
+                executed = execute(cells, context, mp_context=spawn)
         except Exception as error:
             # The whole execution died under the batch (the spawn pool,
             # most likely).  Without deadlines there is no telling which
@@ -942,6 +961,20 @@ class Dispatcher:
 
     # -- reporting -------------------------------------------------------
 
+    def warm_up(self) -> None:
+        """Eagerly spawn the warm worker pool (no-op when disabled).
+
+        Called by the server at startup so the first batch never pays
+        interpreter spin-up; safe to call repeatedly.
+        """
+        if self.warm_pool is not None:
+            self.warm_pool.ensure()
+
+    def shutdown_pool(self) -> None:
+        """Tear down the warm pool (no-op when disabled)."""
+        if self.warm_pool is not None:
+            self.warm_pool.shutdown()
+
     def snapshot(self) -> dict:
         """The ``GET /v1/stats`` document (deterministic key order).
 
@@ -1012,5 +1045,9 @@ class Dispatcher:
                 "max_batch": self.max_batch,
                 "busy_seconds": round(self.stats.busy_seconds, 3),
                 "utilization": round(self.stats.utilization(), 4),
+                "warm_pool": (
+                    self.warm_pool.snapshot()
+                    if self.warm_pool is not None else None
+                ),
             },
         }

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -48,22 +49,25 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.experiments.cache import CacheCounters
+from repro.experiments.cache import ArtifactCache, CacheCounters
 from repro.experiments.parallel import (
     Job,
     _absorb,
+    _run_job,
     _satisfied,
     _worker_init,
     _worker_run,
 )
-from repro.experiments.runner import ExperimentContext
+from repro.experiments.runner import ExperimentContext, ExperimentProfile
 
 __all__ = [
     "FAULTSIM_ENV",
     "CellFailure",
     "ContainedReport",
     "InjectedWorkerFault",
+    "WarmPool",
     "execute_contained",
+    "warm_execute",
 ]
 
 #: Environment variable naming the fault-injection spec file (JSON).
@@ -196,6 +200,253 @@ def _worker_run_contained(job: Job) -> Tuple[Any, dict]:
 
 
 # ----------------------------------------------------------------------
+# The persistent warm pool.
+#
+# Pool-per-batch spin-up dominates small batches: every batch pays
+# worker spawn + interpreter boot + the simulator import graph before
+# the first cell runs.  A :class:`WarmPool` is spawned once, its
+# workers preload the heavy modules at initializer time, and every
+# subsequent batch submits straight into warm processes.  Workers are
+# *profile-agnostic* (the dispatcher serves requests across profiles
+# from one pool): each task ships its profile, and the worker resolves
+# a per-profile ExperimentContext lazily, cached for the process
+# lifetime with bounded memo layers.
+# ----------------------------------------------------------------------
+
+#: Worker-process state for warm workers (private per spawn process).
+_WARM_CACHE_ROOT: Optional[str] = None
+_WARM_CONTEXTS: Dict[str, ExperimentContext] = {}
+
+#: Entries allowed in one in-memory memo layer of a warm worker's
+#: long-lived context before that layer is dropped (the shared disk
+#: cache keeps warmth; this only bounds process footprint).
+_WARM_MEMO_CAP = 64
+
+
+def _warm_worker_init(cache_root: Optional[str]) -> None:
+    """Initializer for warm workers: preload everything import-heavy.
+
+    Runs once per worker process, at spawn.  The imports below pull in
+    the workload suite, the experiment registry, and both simulation
+    engines, so the first submitted cell starts computing immediately
+    instead of paying the import graph.
+    """
+    global _WARM_CACHE_ROOT
+    _WARM_CACHE_ROOT = cache_root
+    import repro.experiments  # noqa: F401  (experiment directory)
+    import repro.experiments.sweep  # noqa: F401  (sweep assembly)
+    import repro.sim.compile  # noqa: F401  (superblock compiler)
+    import repro.sim.ooo.core  # noqa: F401  (timing engine)
+    import repro.workloads.suite  # noqa: F401  (workload programs)
+
+
+def _warm_probe() -> int:
+    """No-op task used to force worker spawn + initializer completion."""
+    return os.getpid()
+
+
+def _warm_context(profile: ExperimentProfile) -> ExperimentContext:
+    """This worker's context for ``profile`` (created on first use)."""
+    context = _WARM_CONTEXTS.get(profile.name)
+    if context is None:
+        cache = ArtifactCache(_WARM_CACHE_ROOT) if _WARM_CACHE_ROOT else None
+        context = ExperimentContext(profile, cache=cache)
+        _WARM_CONTEXTS[profile.name] = context
+    return context
+
+
+def _trim_warm_context(context: ExperimentContext) -> None:
+    """Bound the long-lived context's in-memory memo layers.
+
+    A cold pool dies with its batch, so its memos are naturally
+    bounded; a warm worker lives for the server's lifetime and must
+    not accumulate every trace it ever computed.  Dropping a layer is
+    always safe — the next lookup re-reads the shared disk cache.
+    """
+    for layer in (
+        context._binaries, context._traces, context._functional,
+        context._timed, context._artifacts,
+    ):
+        if len(layer) > _WARM_MEMO_CAP:
+            layer.clear()
+
+
+def _warm_run(profile: ExperimentProfile, job: Job) -> Tuple[Any, dict]:
+    """Warm-pool task: resolve the context, run one cell, drain counters.
+
+    The faultsim check mirrors :func:`_worker_run_contained` (one dict
+    probe when the harness is not installed), so injected worker
+    faults exercise the warm pool's rebuild path too.
+    """
+    _maybe_inject(job)
+    context = _warm_context(profile)
+    value = _run_job(job, context)
+    deltas: Dict[str, Tuple[int, int, int]] = {}
+    if context.cache is not None:
+        for kind, counter in context.cache.counters.items():
+            deltas[kind] = (counter.hits, counter.misses, counter.stores)
+        context.cache.counters.clear()
+    _trim_warm_context(context)
+    return value, deltas
+
+
+class WarmPool:
+    """A persistent, pre-warmed spawn pool reused across batches.
+
+    Lifecycle counters are served by ``GET /v1/stats``:
+
+    * ``reuses`` — acquisitions that found the pool already warm;
+    * ``rebuilds`` — teardowns after a crash, hang kill, or bisection
+      (the next acquisition re-spawns and re-warms);
+    * ``warmup_seconds`` — cumulative spawn+preload time paid, and
+      ``last_warmup_seconds`` for the most recent (re)build.
+
+    Thread-safe: drain slots may acquire concurrently (submission to a
+    live executor is itself thread-safe); spawn/teardown serialize on
+    the lock.  A kill from one batch while another batch has futures
+    in flight resolves those futures to ``BrokenProcessPool``, which
+    the contained executor already treats as a batch-level crash — the
+    shared pool never weakens PR 7's containment story.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        cache_root: Optional[str] = None,
+        mp_context=None,
+    ) -> None:
+        self.max_workers = max(1, int(max_workers))
+        self.cache_root = cache_root
+        self._mp_context = mp_context or multiprocessing.get_context("spawn")
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._lock = threading.Lock()
+        self.reuses = 0
+        self.rebuilds = 0
+        self.warmup_seconds = 0.0
+        self.last_warmup_seconds = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn_locked(self) -> ProcessPoolExecutor:
+        started = time.perf_counter()
+        pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=self._mp_context,
+            initializer=_warm_worker_init,
+            initargs=(self.cache_root,),
+        )
+        # The executor spawns processes lazily, one per submit; force
+        # every worker up and through the initializer now so no batch
+        # ever pays the warmup.
+        for future in [
+            pool.submit(_warm_probe) for _ in range(self.max_workers)
+        ]:
+            future.result()
+        elapsed = time.perf_counter() - started
+        self.last_warmup_seconds = elapsed
+        self.warmup_seconds += elapsed
+        self._pool = pool
+        return pool
+
+    def ensure(self) -> None:
+        """Spawn and warm the pool if it is not already live."""
+        with self._lock:
+            if self._pool is None:
+                self._spawn_locked()
+
+    def acquire(self) -> ProcessPoolExecutor:
+        """The live executor, spawning + pre-warming on first use."""
+        with self._lock:
+            if self._pool is not None:
+                self.reuses += 1
+                return self._pool
+            return self._spawn_locked()
+
+    def invalidate(self) -> None:
+        """Tear down a pool whose workers can no longer be trusted.
+
+        Called after a pool crash or a hung-cell kill.  The teardown is
+        counted as a rebuild; the actual re-spawn happens lazily on the
+        next :meth:`acquire` (or eagerly via :meth:`ensure`).
+        """
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+            if pool is None:
+                return
+            self.rebuilds += 1
+        _kill_pool(pool)
+
+    def shutdown(self) -> None:
+        """Final teardown (server shutdown); not counted as a rebuild."""
+        with self._lock:
+            pool = self._pool
+            self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def snapshot(self) -> dict:
+        """Lifecycle counters for ``/v1/stats`` (stable key order)."""
+        with self._lock:
+            live = self._pool is not None
+        return {
+            "workers": self.max_workers,
+            "live": live,
+            "reuses": self.reuses,
+            "rebuilds": self.rebuilds,
+            "warmup_ms": round(self.warmup_seconds * 1000.0, 1),
+            "last_warmup_ms": round(self.last_warmup_seconds * 1000.0, 1),
+        }
+
+
+def warm_execute(
+    jobs,
+    context: ExperimentContext,
+    warm_pool: WarmPool,
+) -> int:
+    """:func:`repro.experiments.parallel.execute`, on a warm pool.
+
+    Same skip/dedup and deterministic in-order merge as the cold path;
+    the only difference is *where* cells run — persistent pre-warmed
+    workers instead of a pool spawned for this call.  A broken pool
+    invalidates the warm pool (so the next batch re-spawns) and then
+    re-raises, which the dispatcher's legacy-path error handling
+    already charges to the batch.
+    """
+    pending: List[Job] = []
+    seen = set()
+    for job in jobs:
+        signature = job.signature()
+        if signature in seen or _satisfied(job, context):
+            continue
+        seen.add(signature)
+        pending.append(job)
+    if not pending:
+        return 0
+    pool = warm_pool.acquire()
+    profile = context.profile
+    try:
+        futures = [
+            pool.submit(_warm_run, profile, job) for job in pending
+        ]
+        results = [future.result() for future in futures]
+    except BrokenProcessPool:
+        warm_pool.invalidate()
+        raise
+    for job, (value, deltas) in zip(pending, results):
+        _absorb(job, value, context)
+        if context.cache is not None:
+            for kind, (hits, misses, stores) in deltas.items():
+                counter = context.cache.counters.setdefault(
+                    kind, CacheCounters()
+                )
+                counter.hits += hits
+                counter.misses += misses
+                counter.stores += stores
+    return len(pending)
+
+
+# ----------------------------------------------------------------------
 # The contained executor.
 # ----------------------------------------------------------------------
 
@@ -221,9 +472,17 @@ def _run_group(
     job_timeout: float,
     mp_context,
     max_workers: int,
+    warm_pool: Optional[WarmPool] = None,
 ) -> Tuple[Dict[str, Tuple[Any, dict]], List[Tuple[Job, str]],
            List[Job], List[Job], bool]:
     """Run one cell group on one pool.
+
+    With ``warm_pool``, the group runs on the persistent pre-warmed
+    executor (no spawn cost); a crash or hung-cell kill invalidates it
+    so the next acquisition re-spawns.  Without one, a throwaway pool
+    is spawned for the group exactly as before — bisection and
+    innocent-victim re-runs always pass ``None`` so poison isolation
+    never burns the warm pool.
 
     Returns ``(results, errors, hung, leftover, crashed)``: harvested
     ``signature -> (value, counter deltas)`` for completed cells,
@@ -241,19 +500,28 @@ def _run_group(
     leftover: List[Job] = []
     crashed = False
     futures: List[Tuple[Job, Any]] = []
-    pool = ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=mp_context,
-        initializer=_worker_init,
-        initargs=(context.profile, cache_root),
-    )
+    if warm_pool is not None:
+        pool = warm_pool.acquire()
+        profile = context.profile
+        submit = lambda cell: pool.submit(_warm_run, profile, cell)  # noqa: E731
+    else:
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=mp_context,
+            initializer=_worker_init,
+            initargs=(context.profile, cache_root),
+        )
+        submit = lambda cell: pool.submit(_worker_run_contained, cell)  # noqa: E731
     killed = False
     try:
+        # Submit one at a time, retaining every future already placed: a
+        # warm worker is already up, so a poison cell submitted early can
+        # kill the pool while later cells are still being submitted, and
+        # that mid-loop BrokenProcessPool must not discard the partial
+        # futures list — the unsubmitted tail becomes leftover below.
         try:
-            futures = [
-                (cell, pool.submit(_worker_run_contained, cell))
-                for cell in group
-            ]
+            for cell in group:
+                futures.append((cell, submit(cell)))
         except BrokenProcessPool:
             crashed = True
         for cell, future in futures:
@@ -279,12 +547,20 @@ def _run_group(
             # its own, but killing outright is idempotent and prompt.
             _kill_pool(pool)
     finally:
-        if not (crashed or killed):
+        if crashed or killed:
+            if warm_pool is not None:
+                # The shared pool is dead; make the next batch re-spawn
+                # rather than submit into a broken executor.
+                warm_pool.invalidate()
+        elif warm_pool is None:
             pool.shutdown(wait=True)
     # Harvest pass: futures that completed before a crash/kill keep
-    # their results; everything else unclassified is leftover.
+    # their results; everything else unclassified is leftover —
+    # including cells never submitted because the pool died mid-loop
+    # (every enumerated cell must leave with a verdict or a re-run).
     classified = {cell.signature() for cell in hung}
     classified.update(cell.signature() for cell, _ in errors)
+    leftover.extend(group[len(futures):])
     for cell, future in futures:
         signature = cell.signature()
         if signature in results or signature in classified:
@@ -338,6 +614,7 @@ def execute_contained(
     job_timeout: float,
     mp_context=None,
     max_workers: Optional[int] = None,
+    warm_pool: Optional[WarmPool] = None,
 ) -> ContainedReport:
     """Run cells with per-cell deadlines and poison isolation.
 
@@ -349,6 +626,13 @@ def execute_contained(
     :class:`ContainedReport`) instead of poisoning the whole batch.
     Healthy cells always complete — re-execution after a pool death is
     a cache hit for cells that finished before it.
+
+    With ``warm_pool``, the initial batch runs on the persistent
+    pre-warmed pool.  Containment semantics are unchanged: a crash or
+    hang invalidates the warm pool, bisection halves and innocent
+    victims run on fresh throwaway pools (isolating poison must not
+    keep killing the shared pool), and the warm pool is re-warmed
+    before returning so the next batch finds it live.
     """
     ctx = mp_context or multiprocessing.get_context("spawn")
     workers = max_workers if max_workers is not None else context.jobs
@@ -364,12 +648,15 @@ def execute_contained(
     if not pending:
         return report
 
+    first_pool = warm_pool
     groups: List[List[Job]] = [pending]
     while groups:
         group = groups.pop(0)
         results, errors, hung, leftover, crashed = _run_group(
-            group, context, job_timeout, ctx, workers
+            group, context, job_timeout, ctx, workers,
+            warm_pool=first_pool,
         )
+        first_pool = None  # re-runs and bisection use throwaway pools
         report.executed += _absorb_results(group, results, context)
         for cell, message in errors:
             report.failures[cell.signature()] = CellFailure(
@@ -399,4 +686,8 @@ def execute_contained(
             # Victims of a hung-cell pool kill: known-innocent, re-run
             # whole on a fresh pool.
             groups.append(leftover)
+    if warm_pool is not None:
+        # Re-warm after any teardown so the next batch starts warm (a
+        # no-op when the pool survived).
+        warm_pool.ensure()
     return report

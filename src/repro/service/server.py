@@ -107,6 +107,7 @@ class ServiceServer:
         drain_grace: float = 30.0,
         breaker_threshold: int = 5,
         breaker_cooldown: float = 30.0,
+        warm_pool: bool = False,
     ) -> None:
         self.host = host
         self.port = port
@@ -131,6 +132,7 @@ class ServiceServer:
             max_attempts=max_attempts, job_timeout=job_timeout,
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
+            warm_pool=warm_pool,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         #: One thread per drain slot: claims are serialized inside the
@@ -156,6 +158,11 @@ class ServiceServer:
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        # Spawn the warm pool off the event loop so the socket answers
+        # immediately; a batch racing the warm-up just blocks on the
+        # pool lock and inherits the freshly spawned workers.
+        loop = asyncio.get_running_loop()
+        self._warmup = loop.run_in_executor(None, self.dispatcher.warm_up)
         self._drain_tasks = [
             asyncio.ensure_future(self._drain_loop(slot))
             for slot in range(self.workers)
@@ -191,6 +198,7 @@ class ServiceServer:
         # replays them as cleanly queued).
         self._executor.shutdown(wait=self.drained_clean)
         self._read_executor.shutdown(wait=True)
+        self.dispatcher.shutdown_pool()
         if self._draining:
             # Demote any straggler batch's RUNNING claims so replay
             # never shows a phantom in-flight job, then fold the
@@ -538,6 +546,7 @@ def serve_forever(
     max_attempts: int = 3,
     job_timeout: Optional[float] = None,
     drain_grace: float = 30.0,
+    warm_pool: bool = False,
     announce=None,
 ) -> bool:
     """Run a service in the foreground until signalled (CLI ``serve``).
@@ -553,7 +562,7 @@ def serve_forever(
         quota=quota, max_queue_depth=max_queue_depth,
         max_body_bytes=max_body_bytes,
         max_attempts=max_attempts, job_timeout=job_timeout,
-        drain_grace=drain_grace,
+        drain_grace=drain_grace, warm_pool=warm_pool,
     )
     try:
         asyncio.run(_amain(server, announce))

@@ -43,12 +43,23 @@ Each handler returns ``(next_pc, addr, flags, free_mask)`` with
 non-control handlers return one pre-built constant tuple, branch
 handlers pick between two.
 
+On top of the per-pc closures, :mod:`repro.sim.compile` fuses each
+basic block into one exec-compiled "superinstruction" function; the
+inner loop dispatches block-at-a-time where a compiled block starts at
+the current pc and fits in the remaining step budget, and falls back to
+the per-pc closures everywhere else (control transfers, block-interior
+entry pcs after computed jumps, budget slivers).  Superblocks preserve
+the trace columns, counters, and architectural effects bit-for-bit;
+``superblocks=False`` (or the ``REPRO_SUPERBLOCKS=0`` environment
+escape hatch) pins the engine to pure per-pc dispatch.
+
 One slow-path feature delegates to the retained reference interpreter
 (:mod:`repro.sim.reference`): ``verify_dvi``, whose per-step poison
 checks would burden every handler.  (``collect_live_hist`` stays on the
 fast path: the LVM is sampled inline after each step's liveness
-update.)  The differential fuzz tests run both engines over the same
-programs and assert identical results.
+update, which also pins it to per-pc dispatch.)  The differential fuzz
+tests run both engines over the same programs and assert identical
+results.
 """
 
 from __future__ import annotations
@@ -57,13 +68,14 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.dvi.config import DVIConfig
+from repro.dvi.config import DVIConfig, SRScheme
 from repro.dvi.engine import DVIEngine
 from repro.errors import SimulationError
 from repro.isa import registers as regs
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OP_CLASS_CODE, Opcode
 from repro.program.program import STACK_TOP, Program
+from repro.sim.compile import compile_program, superblocks_enabled
 from repro.sim.reference import decode_reference, execute_reference
 from repro.sim.trace import (
     FLAG_ELIMINATED,
@@ -598,6 +610,7 @@ class FunctionalSimulator:
         collect_trace: bool = True,
         collect_live_hist: bool = False,
         verify_dvi: bool = False,
+        superblocks: Optional[bool] = None,
     ) -> None:
         program.require_linked()
         self.program = program
@@ -607,6 +620,7 @@ class FunctionalSimulator:
         self.collect_trace = collect_trace
         self.collect_live_hist = collect_live_hist
         self.verify_dvi = verify_dvi
+        self.superblocks = superblocks
 
         self._sentinel = len(program.insts)
 
@@ -630,6 +644,7 @@ class FunctionalSimulator:
             self._decoded = decode_reference(program.insts)
         else:
             self._specialize()
+            self._install_superblocks()
 
     def _use_reference(self) -> bool:
         """Whether to run the retained reference interpreter instead of
@@ -716,6 +731,47 @@ class FunctionalSimulator:
         self._c_free: List[int] = []
         self._c_flags: List[int] = []
 
+    def _install_superblocks(self) -> None:
+        """Bind this simulator's state into the program's compiled blocks.
+
+        ``self._blk_fns`` stays ``None`` (pure per-pc dispatch) when
+        superblocks are disabled, when the live-register histogram needs
+        per-instruction LVM samples, or when the program has no fusable
+        straight-line runs.
+        """
+        self._blk_fns = None
+        self._bcounts: List[int] = []
+        self._compiled = None
+        want = self.superblocks
+        if want is None:
+            want = superblocks_enabled()
+        if not want or self.collect_live_hist:
+            return
+        compiled = compile_program(self.program)
+        if not compiled.blocks:
+            return
+        cols = None
+        if self.collect_trace:
+            cols = (self._c_pcs.extend, self._c_addrs.extend,
+                    self._c_next.extend, self._c_free.extend,
+                    self._c_flags.extend)
+        # With every DVI mechanism off the engine hooks are constant
+        # (nothing eliminates, nothing frees): compile the specialized
+        # variant that drops the hook calls and batch-updates the
+        # engine's "seen" counters per block.
+        cfg = self.dvi_config
+        nodvi = cfg.scheme is SRScheme.NONE and not cfg.any_dvi
+        make = compiled.factory(self.collect_trace, nodvi)
+        blk_fns = make(self.regs, self.mem, self.engine, cols)
+        # Single-subscript dispatch table: pc -> (fn, length, block id).
+        self._blk_fns = [
+            None if fn is None else (fn, compiled.len_by_pc[pc],
+                                     compiled.bid_by_pc[pc])
+            for pc, fn in enumerate(blk_fns)
+        ]
+        self._bcounts = [0] * compiled.n_blocks
+        self._compiled = compiled
+
     # ------------------------------------------------------------------
 
     def execute(self, budget: int) -> bool:
@@ -730,6 +786,8 @@ class FunctionalSimulator:
             return execute_reference(self, budget)
         if self.halted:
             return False
+        if self._blk_fns is not None:
+            return self._execute_super(budget)
 
         handlers = self._handlers
         counts = self._counts
@@ -788,9 +846,93 @@ class FunctionalSimulator:
         self._sync_stats()
         return not self.halted
 
+    def _execute_super(self, budget: int) -> bool:
+        """The block-at-a-time variant of :meth:`execute`.
+
+        Identical observable behavior: whenever the current pc starts a
+        compiled block that fits in the remaining budget, the fused
+        function executes the whole block (registers, memory, engine
+        hooks, trace columns); everything else — control transfers,
+        block-interior entry pcs, budget slivers — takes the per-pc
+        step below, which is the same code as the per-pc loop.
+        """
+        handlers = self._handlers
+        counts = self._counts
+        dbits = self._dbits
+        sentinel = self._sentinel
+        collect = self.collect_trace
+        lvm = self.engine.lvm
+        blk_fns = self._blk_fns
+        bcounts = self._bcounts
+        if collect:
+            ap_pc = self._c_pcs.append
+            ap_addr = self._c_addrs.append
+            ap_next = self._c_next.append
+            ap_free = self._c_free.append
+            ap_flags = self._c_flags.append
+
+        pc = self.pc
+        seq = self._seq
+        end_seq = seq + budget
+        completed = False
+
+        while seq < end_seq:
+            if pc >= sentinel:
+                if pc == sentinel:
+                    completed = True
+                    break
+                raise SimulationError(f"pc out of range: {pc}")
+            blk = blk_fns[pc]
+            if blk is not None:
+                fn, length, bid = blk
+                new_seq = seq + length
+                if new_seq <= end_seq:
+                    bcounts[bid] += 1
+                    seq = new_seq
+                    pc = fn()
+                    continue
+            next_pc, addr, fl, free_mask = handlers[pc]()
+            counts[pc] += 1
+            if collect:
+                if free_mask:
+                    fl |= FLAG_FREES
+                ap_pc(pc)
+                ap_addr(addr)
+                ap_next(next_pc)
+                ap_free(free_mask)
+                ap_flags(fl)
+            bit = dbits[pc]
+            if bit and not fl & FLAG_ELIMINATED:
+                lvm._mask |= bit
+            seq += 1
+            if next_pc < 0:
+                completed = True
+                break
+            pc = next_pc
+
+        self.pc = pc
+        self._seq = seq
+        if completed:
+            self.halted = True
+        self._sync_stats()
+        return not self.halted
+
+    def _effective_counts(self) -> List[int]:
+        """Per-pc execution counts with block-level counts folded in."""
+        counts = self._counts
+        if not self._bcounts:
+            return counts
+        eff = list(counts)
+        for (start, length), count in zip(self._compiled.blocks,
+                                          self._bcounts):
+            if count:
+                for p in range(start, start + length):
+                    eff[p] += count
+        return eff
+
     def _sync_stats(self) -> None:
         """Reconstruct the dynamic statistics from the per-pc counters."""
-        counts = self._counts
+        counts = self._effective_counts()
         stats = self.stats
         kills = sum(counts[pc] for pc in self._kill_pcs)
         stats.kill_insts = kills
@@ -866,6 +1008,7 @@ def run_program(
     collect_trace: bool = True,
     collect_live_hist: bool = False,
     verify_dvi: bool = False,
+    superblocks: Optional[bool] = None,
 ) -> FunctionalResult:
     """Convenience wrapper: build a simulator and run it once."""
     sim = FunctionalSimulator(
@@ -875,5 +1018,6 @@ def run_program(
         collect_trace=collect_trace,
         collect_live_hist=collect_live_hist,
         verify_dvi=verify_dvi,
+        superblocks=superblocks,
     )
     return sim.run()

@@ -142,6 +142,18 @@ class OutOfOrderCore:
         replay = trace.replay_rows()
         total = len(pcs)
 
+        # Static distance from each pc to its next control transfer
+        # (0 at branches/jumps).  Fetch uses it to consume straight-line
+        # runs in bulk: every non-control instruction falls through to
+        # pc+1, so the rows of a run are consecutive and only its line
+        # crossings and terminating control transfer need per-row work.
+        n_static = len(s_cls)
+        ctrl_dist = [0] * (n_static + 1)
+        for static_pc in range(n_static - 1, -1, -1):
+            code = s_cls[static_pc]
+            if code != _CLS_BRANCH and code != _CLS_JUMP:
+                ctrl_dist[static_pc] = ctrl_dist[static_pc + 1] + 1
+
         config = self.config
         commit_width = config.commit_width
         issue_width = config.issue_width
@@ -241,6 +253,7 @@ class OutOfOrderCore:
         last_line = self._last_fetch_line
 
         free_len = len(free_list)
+        win_len = len(window)
 
         # Counters, folded back into renamer/stats after the loop.
         committed = 0
@@ -260,10 +273,11 @@ class OutOfOrderCore:
             # ---- stage 1: commit -------------------------------------
             budget = commit_width
             while budget and window:
-                entry = window_popleft()
+                entry = window[0]
                 if entry[E_COMPLETE_] > cycle:  # NEVER while unissued
-                    window.appendleft(entry)
                     break
+                window_popleft()
+                win_len -= 1
                 prev = entry[E_PREV_PHYS_]
                 if prev >= 0:
                     free_append(prev)
@@ -411,7 +425,7 @@ class OutOfOrderCore:
                     continue
                 if n_dispatched >= decode_width:
                     break
-                if len(window) >= window_size:
+                if win_len >= window_size:
                     window_stalls += 1
                     break
                 if dst >= 0 and not free_len:
@@ -458,6 +472,7 @@ class OutOfOrderCore:
                     frees, unresolved == row, cls, addr,
                 ]
                 window_append(entry)
+                win_len += 1
                 pending.append(entry)
                 n_dispatched += 1
                 dispatched += 1
@@ -474,7 +489,7 @@ class OutOfOrderCore:
                     stop = total
                 fetch_start = fetch_pos
                 while fetch_pos < stop:
-                    pc, fl, dst, packed, cls, addr = replay[fetch_pos]
+                    pc = pcs[fetch_pos]
                     # Byte-address form: (pc << 2) >> shift equals the
                     # word-folded pc >> (shift - 2) for line sizes >= one
                     # word and stays correct for the sub-word lines
@@ -503,43 +518,63 @@ class OutOfOrderCore:
                             )
                             acted = True  # the I-cache state advanced
                             break
+                    span = ctrl_dist[pc]
+                    if span:
+                        # Straight-line run: the next ``span`` rows fall
+                        # through consecutive pcs, so only this line's
+                        # slice of the run needs any bookkeeping at all —
+                        # consume it in one step, stopping at the line
+                        # crossing (re-probed above) or the fetch budget.
+                        if line_shift >= 2:
+                            to_line = (
+                                ((line + 1) << line_shift) >> 2
+                            ) - pc
+                            if to_line < span:
+                                span = to_line
+                        else:
+                            span = 1  # sub-word lines: every pc crosses
+                        room = stop - fetch_pos
+                        if room < span:
+                            span = room
+                        fetch_pos += span
+                        continue
+                    # Control transfer: train the predictors (inline of
+                    # _predict).
                     row = fetch_pos
                     fetch_pos += 1
-                    if cls == CLS_BRANCH or cls == CLS_JUMP:
-                        # Train the predictors (inline of _predict).
-                        control_insts += 1
-                        taken = fl & F_TAKEN
-                        next_pc = next_pcs[row]
-                        if cls == CLS_BRANCH:
-                            mispredicted = not predict_and_update(pc, taken)
-                            if taken:
-                                if (
-                                    not mispredicted
-                                    and btb_lookup(pc) != next_pc
-                                ):
-                                    mispredicted = True
-                                btb_insert(pc, next_pc)
-                        else:
-                            op = s_op[pc]
-                            if op == OP_J:
-                                mispredicted = False
-                            elif op == OP_JAL:
-                                ras_push(pc + 1)
-                                mispredicted = False
-                            elif op == OP_JALR:
-                                ras_push(pc + 1)
-                                predicted = btb_lookup(pc)
-                                btb_insert(pc, next_pc)
-                                mispredicted = predicted != next_pc
-                            else:
-                                # jr: predict through the return stack.
-                                mispredicted = ras_pop() != next_pc
-                        if mispredicted:
-                            mispredicts += 1
-                            unresolved = row
-                            break
+                    control_insts += 1
+                    taken = flags[row] & F_TAKEN
+                    next_pc = next_pcs[row]
+                    if s_cls[pc] == CLS_BRANCH:
+                        mispredicted = not predict_and_update(pc, taken)
                         if taken:
-                            break  # fetch discontinuity
+                            if (
+                                not mispredicted
+                                and btb_lookup(pc) != next_pc
+                            ):
+                                mispredicted = True
+                            btb_insert(pc, next_pc)
+                    else:
+                        op = s_op[pc]
+                        if op == OP_J:
+                            mispredicted = False
+                        elif op == OP_JAL:
+                            ras_push(pc + 1)
+                            mispredicted = False
+                        elif op == OP_JALR:
+                            ras_push(pc + 1)
+                            predicted = btb_lookup(pc)
+                            btb_insert(pc, next_pc)
+                            mispredicted = predicted != next_pc
+                        else:
+                            # jr: predict through the return stack.
+                            mispredicted = ras_pop() != next_pc
+                    if mispredicted:
+                        mispredicts += 1
+                        unresolved = row
+                        break
+                    if taken:
+                        break  # fetch discontinuity
                 if fetch_pos != fetch_start:
                     acted = True
 
@@ -593,7 +628,7 @@ class OutOfOrderCore:
                     if dispatch_pos < fetch_pos:
                         # Dispatch was (and stays) blocked during every
                         # skipped cycle; mirror its per-cycle counter.
-                        if len(window) >= window_size:
+                        if win_len >= window_size:
                             window_stalls += skipped
                         else:
                             rename_stalls += skipped

@@ -294,7 +294,7 @@ class TestStatsSchema:
         "cache": {"session", "lifetime"},
         "workers": {
             "count", "active", "pool_size", "max_batch",
-            "busy_seconds", "utilization",
+            "busy_seconds", "utilization", "warm_pool",
         },
     }
 
