@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-crashsim test-faultsim lint smoke service-smoke service-smoke-workers docs-check bench bench-perf bench-perf-smoke bench-service bench-load bench-load-smoke clean-cache
+.PHONY: test test-crashsim test-faultsim lint smoke service-smoke service-smoke-workers events-smoke docs-check bench bench-perf bench-perf-smoke bench-service bench-load bench-load-smoke clean-cache
 
 ## Tier-1 test suite.
 test:
@@ -35,6 +35,13 @@ service-smoke:
 ## The same smoke against a 4-worker sharded dispatcher.
 service-smoke-workers:
 	$(PYTHON) scripts/service_smoke.py --workers 4
+
+## Observability smoke: tail the SSE event stream while a job runs,
+## assert the queued->done lifecycle arrives as push events, the
+## ?trace=1 span timeline telescopes, and /v1/metrics parses as
+## Prometheus exposition text.
+events-smoke:
+	$(PYTHON) scripts/events_smoke.py
 
 ## Fail if README.md / DESIGN.md drift from the CLI's --help surface.
 docs-check:

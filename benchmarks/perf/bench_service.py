@@ -26,7 +26,12 @@ core's):
   pre-warming buys the contained cold path (pool lifecycle counters
   included);
 * the **sharded** fan-out runs with the warm pool too — scale-out is
-  where pool-per-batch spin-up used to drown the win.
+  where pool-per-batch spin-up used to drown the win;
+* **observability overhead** — the same warm sequential round trips
+  with zero and with one live SSE subscriber on ``/v1/events``
+  (span-stamping is always on), pinning the claim that the live
+  operations surface is near-zero-cost when nobody is watching and
+  cheap when somebody is.
 
 The service is hosted in-process (:class:`repro.service.server
 .ServerThread`) but driven over real sockets through the same urllib
@@ -59,7 +64,10 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.service.client import get_stats, submit_and_wait  # noqa: E402
+from repro.service.client import (  # noqa: E402
+    get_stats,
+    submit_and_wait,
+)
 from repro.service.server import ServerThread  # noqa: E402
 
 #: One-cell tiny request: the unit of warm-path round trips.
@@ -231,6 +239,125 @@ def bench_fault_overhead(tmp: Path, requests: int) -> dict:
     }
 
 
+def bench_observability(tmp: Path, requests: int) -> dict:
+    """Warm round trips with 0 vs 1 SSE subscriber attached.
+
+    Span stamps are always on (they ride every queue transition), so
+    the 0-subscriber number *includes* stamping — the overhead being
+    pinned is the whole instrumentation path.  With a subscriber, every
+    transition and access record is also serialized onto the stream;
+    the delta is what a live dashboard costs the request path.
+
+    Throughput on a shared box drifts tens of percent over seconds,
+    and the request path itself slows slightly as the run ages (the
+    coalesced job's attach list and the queue journal both grow), so
+    whichever phase runs second in a pair is structurally
+    disadvantaged.  The design is ABBA: five trial pairs with the
+    phase order alternating each pair (idle-first, then
+    subscribed-first, ...).  The headline overhead is the ratio of the
+    *summed* phase times — order bias cancels across pairs, and
+    averaging over all pairs smooths box drift that makes any single
+    pair swing tens of percent (the per-pair deltas are reported too,
+    as a noise gauge).
+
+    The subscriber runs as a separate ``repro watch --json``
+    *process*, like a real dashboard would: an in-process tail thread
+    would contend with the server for the GIL and charge the client's
+    own ``json.loads`` work to the server's account.
+    """
+    import os
+    import subprocess
+
+    trials = 5
+    chunk = max(60, requests // trials)
+
+    def phase(service) -> float:
+        started = time.perf_counter()
+        for _ in range(chunk):
+            submit_and_wait(service.url, dict(WARM_PAYLOAD),
+                            client="bench", timeout=60.0)
+        return time.perf_counter() - started
+
+    def wait_for_subscribers(service, count: int) -> None:
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if get_stats(service.url)["events"]["subscribers"] == count:
+                return
+            time.sleep(0.05)
+        raise RuntimeError(f"subscriber count never reached {count}")
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    pairs = []
+    with ServerThread(tmp / "obs-queue", tmp / "obs-cache") as service:
+
+        def subscribed_phase_run() -> float:
+            watcher = subprocess.Popen(
+                [sys.executable, "-m", "repro", "watch",
+                 "--url", service.url, "--json"],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                env=env,
+            )
+            try:
+                wait_for_subscribers(service, 1)
+                return phase(service)
+            finally:
+                watcher.terminate()
+                watcher.wait(timeout=10.0)
+                # The server only notices the dead socket on its next
+                # write; one more round trip publishes an event, which
+                # makes that write happen so the stream is reaped
+                # before the next idle phase starts.
+                submit_and_wait(service.url, dict(WARM_PAYLOAD),
+                                client="bench", timeout=60.0)
+                wait_for_subscribers(service, 0)
+
+        submit_and_wait(service.url, dict(WARM_PAYLOAD), client="bench",
+                        timeout=300.0)  # prime the cache
+        for _ in range(min(requests, 50)):  # warm the request path
+            submit_and_wait(service.url, dict(WARM_PAYLOAD),
+                            client="bench", timeout=60.0)
+
+        for trial in range(trials):
+            if trial % 2 == 0:
+                idle_phase = phase(service)
+                subscribed_phase = subscribed_phase_run()
+            else:
+                subscribed_phase = subscribed_phase_run()
+                idle_phase = phase(service)
+            pairs.append((idle_phase, subscribed_phase))
+        bus = get_stats(service.url)["events"]
+    total = trials * chunk
+    idle_seconds = sum(idle for idle, _ in pairs)
+    subscribed_seconds = sum(sub for _, sub in pairs)
+    idle_rps = total / idle_seconds
+    subscribed_rps = total / subscribed_seconds
+    per_pair_pct = [
+        (sub - idle) / idle * 100 for idle, sub in pairs
+    ]
+    return {
+        "warm_requests_per_phase": chunk,
+        "trial_pairs": trials,
+        "no_subscriber_seconds": round(idle_seconds, 3),
+        "no_subscriber_rps": round(idle_rps, 1),
+        "one_subscriber_seconds": round(subscribed_seconds, 3),
+        "one_subscriber_rps": round(subscribed_rps, 1),
+        "overhead_pct": round(
+            max(0.0, (subscribed_seconds - idle_seconds)
+               / idle_seconds * 100), 1
+        ),
+        "overhead_pct_per_pair": [
+            round(pct, 1) for pct in per_pair_pct
+        ],
+        "events_published": bus["published"],
+        "events_dropped": bus["dropped"],
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -256,6 +383,11 @@ def main() -> int:
     parser.add_argument(
         "--skip-fault", action="store_true",
         help="skip the fault-containment overhead section",
+    )
+    parser.add_argument(
+        "--skip-observability", action="store_true",
+        help="skip the observability overhead section (0 vs 1 SSE "
+             "subscriber on the warm path)",
     )
     args = parser.parse_args()
 
@@ -294,6 +426,16 @@ def main() -> int:
             )
             print(f"  contained cold {fault['cold_single_job_seconds']}s, "
                   f"warm sequential {fault['warm_sequential_rps']} req/s")
+        if not args.skip_observability:
+            print(f"observability: {args.warm_requests} warm round "
+                  "trips, 0 vs 1 SSE subscriber ...", flush=True)
+            obs = sections["observability_overhead"] = bench_observability(
+                tmp_path, args.warm_requests
+            )
+            print(f"  no subscriber {obs['no_subscriber_rps']} req/s, "
+                  f"one subscriber {obs['one_subscriber_rps']} req/s "
+                  f"({obs['overhead_pct']}% overhead, "
+                  f"{obs['events_published']} events published)")
 
     # Merge, never overwrite: only the sections measured above are
     # replaced.  Everything else in the committed report — skipped

@@ -59,10 +59,23 @@ DESIGN_REQUIRED = (
     "SUPERBLOCK_VERSION",
     "warm worker pool",
     "rebuild",
+    # Observability: event bus, spans, histograms, SSE backpressure.
+    "event bus",
+    "span",
+    "histogram",
+    "p50",
+    "Server-Sent Events",
+    "dropped",
+    "slow consumer",
+    "/dashboard",
+    "Prometheus",
 )
 
 #: Subcommands whose --help surfaces must be reflected in README.md.
-SUBCOMMANDS = ("list", "sweep", "serve", "submit", "status", "queue", "cache")
+SUBCOMMANDS = (
+    "list", "sweep", "serve", "submit", "status", "watch", "queue",
+    "cache",
+)
 
 
 def cli_help(*subcommand: str) -> str:

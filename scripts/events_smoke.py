@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Events smoke: serve, tail SSE, submit, assert the live lifecycle.
+
+What CI's service job runs as ``make events-smoke``, end to end through
+the real CLI and real sockets:
+
+1. start ``python -m repro serve --port 0`` as a subprocess and parse
+   the announced URL;
+2. open the ``GET /v1/events`` SSE stream and keep tailing it in a
+   background thread;
+3. submit a tiny sweep over HTTP and wait for the result;
+4. assert the stream yielded a parseable queued -> done lifecycle for
+   that job (push, not polling);
+5. assert ``GET /v1/jobs/<id>?trace=1`` returns a span timeline whose
+   durations sum to its total;
+6. fetch ``GET /v1/metrics`` and assert it parses as Prometheus
+   exposition text with the stage-latency histogram present;
+7. tear the server down.
+
+The whole script enforces its own deadline (and CI additionally wraps
+it in a hard ``timeout 120``), so a wedged server fails fast instead of
+hanging the job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import (  # noqa: E402
+    get_job,
+    get_metrics,
+    stream_events,
+    submit_and_wait,
+)
+from repro.service.metrics import parse_prometheus  # noqa: E402
+
+DEADLINE_SECONDS = 100.0
+
+PAYLOAD = {"kind": "sweep", "axis": "regfile", "values": ["34"],
+           "workloads": ["li_like"], "profile": "tiny"}
+
+
+def _spawn_server(cache_dir: str, queue_dir: str) -> tuple:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", cache_dir, "--queue-dir", queue_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env,
+    )
+    url_box = []
+
+    def read_announce():
+        line = process.stdout.readline()
+        match = re.search(r"http://[0-9.]+:\d+", line or "")
+        if match:
+            url_box.append(match.group(0))
+
+    reader = threading.Thread(target=read_announce, daemon=True)
+    reader.start()
+    reader.join(timeout=30.0)
+    if not url_box:
+        process.terminate()
+        raise RuntimeError("server did not announce a URL within 30s")
+    return process, url_box[0]
+
+
+def main() -> int:
+    started = time.monotonic()
+    with tempfile.TemporaryDirectory(prefix="repro-events-smoke-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        queue_dir = os.path.join(tmp, "queue")
+        process, url = _spawn_server(cache_dir, queue_dir)
+        print(f"serving at {url}")
+        try:
+            events = []
+
+            def tail():
+                try:
+                    for event in stream_events(
+                        url, timeout=30.0, max_events=60
+                    ):
+                        events.append(event)
+                except Exception:
+                    pass  # stream torn down with the server
+
+            tailer = threading.Thread(target=tail, daemon=True)
+            tailer.start()
+            time.sleep(0.3)  # let the subscription attach
+
+            job, document = submit_and_wait(
+                url, dict(PAYLOAD), client="events-smoke",
+                timeout=DEADLINE_SECONDS,
+            )
+            print(f"job {job['id']}: {job['state']} "
+                  f"({len(document)} bytes) in "
+                  f"{time.monotonic() - started:.1f}s")
+
+            # The SSE stream saw the whole lifecycle as push events.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                states = [e.get("state") for e in events
+                          if e.get("event") == "job"
+                          and e.get("id") == job["id"]]
+                if "done" in states:
+                    break
+                time.sleep(0.1)
+            assert events and events[0].get("event") == "hello", (
+                "stream did not open with the hello snapshot"
+            )
+            states = [e.get("state") for e in events
+                      if e.get("event") == "job"
+                      and e.get("id") == job["id"]]
+            assert states and states[0] == "queued", (
+                f"lifecycle did not start queued: {states}"
+            )
+            assert states[-1] == "done", (
+                f"lifecycle did not reach done over SSE: {states}"
+            )
+            print(f"SSE lifecycle: {' -> '.join(states)} "
+                  f"({len(events)} event(s) tailed)")
+
+            # The span timeline telescopes to its own total.
+            record = get_job(url, job["id"] + "?trace=1")
+            trace = record["trace"]
+            stages = [span["stage"] for span in trace["spans"]]
+            total = sum(span["duration_ms"] for span in trace["spans"])
+            assert stages[0] == "queued" and stages[-1] == "done", stages
+            assert abs(total - trace["total_ms"]) < 0.01, (
+                f"span durations {total} != total {trace['total_ms']}"
+            )
+            print(f"trace: {' -> '.join(stages)} "
+                  f"({trace['total_ms']:.1f}ms)")
+
+            # /v1/metrics is valid Prometheus exposition text.
+            text = get_metrics(url)
+            parsed = parse_prometheus(text)
+            assert parsed.get("repro_queue_depth") == 0.0, (
+                "queue depth gauge missing or nonzero after drain"
+            )
+            histogram_series = [
+                name for name in parsed
+                if name.startswith("repro_stage_latency_seconds_bucket")
+            ]
+            assert histogram_series, "no stage-latency histogram series"
+            print(f"metrics: {len(parsed)} series parsed, "
+                  f"{len(histogram_series)} histogram bucket(s)")
+        finally:
+            process.terminate()
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        elapsed = time.monotonic() - started
+        assert elapsed < DEADLINE_SECONDS, f"smoke took {elapsed:.0f}s"
+        print(f"events smoke OK in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

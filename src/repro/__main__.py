@@ -340,6 +340,12 @@ def _serve_main(argv) -> int:
              "in the functional engine; for A/B diagnosis",
     )
     parser.add_argument(
+        "--log-json", action="store_true",
+        help="structured logging: print every event-bus record (access "
+             "logs with path/status/duration_ms, job transitions, "
+             "lifecycle marks) as one JSON line on stdout",
+    )
+    parser.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="artifact cache backing the service (default: .repro-cache)",
     )
@@ -375,7 +381,11 @@ def _serve_main(argv) -> int:
     from repro.service.server import serve_forever
 
     def announce(server):
-        print(f"serving on {server.url}", flush=True)
+        # In --log-json mode stdout is reserved for JSON records (the
+        # bus publishes a machine-readable "serving" event there), so
+        # the human-readable line moves to stderr.
+        stream = sys.stderr if args.log_json else sys.stdout
+        print(f"serving on {server.url}", file=stream, flush=True)
         print(
             f"queue journal: {args.queue_dir}; cache: {args.cache_dir}; "
             f"workers: {args.workers}; jobs/batch: {args.jobs}; "
@@ -398,6 +408,7 @@ def _serve_main(argv) -> int:
         job_timeout=args.job_timeout or None,
         drain_grace=args.drain_grace,
         warm_pool=args.warm_pool,
+        log_json=args.log_json,
         announce=announce,
     )
     if not drained_clean:
@@ -589,6 +600,91 @@ def _status_main(argv) -> int:
     return 0
 
 
+def _watch_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description="Tail a running service's live event stream "
+                    "(GET /v1/events over SSE): job transitions, "
+                    "batches, bisections, pool rebuilds, access "
+                    "records — no polling.",
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8742",
+        help="service base URL (default: http://127.0.0.1:8742)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print each event as one raw JSON line (pipe to jq) "
+             "instead of the human-readable rendering",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=0, metavar="N",
+        help="exit after N events; 0 streams until interrupted "
+             "(default: 0)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="socket read timeout between frames; the server's 15s "
+             "keepalive cadence keeps this from firing on a quiet "
+             "stream (default: 60)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_events < 0:
+        parser.error("--max-events must be >= 0")
+    if args.timeout <= 0:
+        parser.error("--timeout must be > 0")
+
+    from repro.service.client import ServiceError, stream_events
+
+    try:
+        for event in stream_events(
+            args.url,
+            timeout=args.timeout,
+            max_events=args.max_events or None,
+        ):
+            if args.json:
+                print(json.dumps(event, sort_keys=True), flush=True)
+                continue
+            print(_render_watch_event(event), flush=True)
+    except KeyboardInterrupt:
+        return 0
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _render_watch_event(event: dict) -> str:
+    """One human-readable line per bus event for ``repro watch``."""
+    kind = event.get("event", "?")
+    seq = event.get("seq", "-")
+    if kind == "hello":
+        stats = event.get("stats", {})
+        queue = stats.get("queue", {})
+        return (f"[{seq}] connected: queue depth "
+                f"{queue.get('depth', '?')}, uptime "
+                f"{stats.get('uptime_seconds', '?')}s")
+    if kind == "job":
+        parts = [f"[{seq}] job {event.get('id', '?')} "
+                 f"-> {event.get('state', '?')}"]
+        for key in ("client", "source", "error", "failure_reason"):
+            if key in event:
+                parts.append(f"{key}={event[key]}")
+        return "  ".join(parts)
+    if kind == "http":
+        return (f"[{seq}] http {event.get('method', '?')} "
+                f"{event.get('path', '?')} -> {event.get('status', '?')} "
+                f"({event.get('duration_ms', '?')}ms)")
+    if kind == "dropped":
+        return (f"[!] stream fell behind: {event.get('count', '?')} "
+                f"event(s) dropped")
+    detail = "  ".join(
+        f"{key}={value}" for key, value in sorted(event.items())
+        if key not in ("event", "seq", "ts")
+    )
+    return f"[{seq}] {kind}" + (f"  {detail}" if detail else "")
+
+
 def _queue_main(argv) -> int:
     parser = argparse.ArgumentParser(
         prog="repro queue",
@@ -752,6 +848,7 @@ _SUBCOMMANDS = {
     "serve": _serve_main,
     "submit": _submit_main,
     "status": _status_main,
+    "watch": _watch_main,
     "queue": _queue_main,
     "cache": _cache_main,
 }
@@ -769,7 +866,8 @@ def main(argv=None) -> int:
         help="figure id (%s), 'run-all' (or 'all'), 'machine', 'list' "
              "(--workloads/--predictors/--hierarchies show registered "
              "components), 'sweep' (ad-hoc component sweeps), 'serve' "
-             "(simulation service), 'submit'/'status' (service clients), "
+             "(simulation service), 'submit'/'status'/'watch' (service "
+             "clients; watch tails the live SSE event stream), "
              "'queue' (job-queue compaction/stats), or 'cache' "
              "(artifact-store stats/gc); each subcommand has its own "
              "--help"

@@ -22,7 +22,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Callable, Mapping, Optional, Tuple
+from typing import Callable, Iterator, Mapping, Optional, Tuple
 
 __all__ = [
     "RETRYABLE_STATUSES",
@@ -31,9 +31,11 @@ __all__ = [
     "compact_queue",
     "get_health",
     "get_job",
+    "get_metrics",
     "get_result",
     "get_stats",
     "poll_job",
+    "stream_events",
     "submit_and_wait",
     "submit_job",
 ]
@@ -235,6 +237,79 @@ def get_stats(base_url: str, *, timeout: float = 30.0) -> dict:
         "GET", f"{base_url}/v1/stats", None, timeout
     )
     return _json_or_error(status, raw, "stats", headers)
+
+
+def get_metrics(
+    base_url: str, *, fmt: str = "prometheus", timeout: float = 30.0
+):
+    """``/v1/metrics``: Prometheus exposition text or the JSON mirror.
+
+    ``fmt="prometheus"`` returns the raw text (str); ``fmt="json"``
+    returns the parsed JSON document (dict).
+    """
+    suffix = "?format=json" if fmt == "json" else ""
+    status, raw, headers = _request(
+        "GET", f"{base_url}/v1/metrics{suffix}", None, timeout
+    )
+    if fmt == "json":
+        return _json_or_error(status, raw, "metrics", headers)
+    if status >= 400:
+        _json_or_error(status, raw, "metrics", headers)
+    return raw.decode("utf-8")
+
+
+def stream_events(
+    base_url: str,
+    *,
+    buffer: Optional[int] = None,
+    timeout: float = 30.0,
+    max_events: Optional[int] = None,
+) -> Iterator[dict]:
+    """Tail ``/v1/events``: yield each SSE event as a parsed dict.
+
+    A plain blocking generator over one streaming ``urllib`` response —
+    the consumer side of the service's SSE contract.  ``data:`` lines
+    accumulate until a blank line ends the frame; ``:`` comment lines
+    (keepalives) are skipped.  ``timeout`` is the socket read timeout
+    between frames — on a quiet server the 15s keepalive cadence keeps
+    any timeout above that from firing.  ``max_events`` (if given)
+    closes the stream after yielding that many events; otherwise the
+    generator runs until the server closes or the caller breaks out.
+    """
+    url = f"{base_url}/v1/events"
+    if buffer is not None:
+        url += f"?buffer={int(buffer)}"
+    request = urllib.request.Request(url, method="GET")
+    yielded = 0
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            if response.status != 200:
+                raise ServiceError(
+                    f"events: HTTP {response.status}",
+                    status=response.status,
+                )
+            data_lines = []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and data_lines:
+                    try:
+                        event = json.loads("\n".join(data_lines))
+                    except json.JSONDecodeError:
+                        event = None
+                    data_lines = []
+                    if isinstance(event, dict):
+                        yield event
+                        yielded += 1
+                        if max_events is not None \
+                                and yielded >= max_events:
+                            return
+    except (urllib.error.URLError, OSError, TimeoutError) as error:
+        raise ServiceError(f"events: {error}") from None
 
 
 def compact_queue(

@@ -383,6 +383,12 @@ class Dispatcher:
         warm_pool: bool = False,
     ) -> None:
         self.queue = queue
+        #: Observability: the queue owns the event bus + tracer (its
+        #: ``_apply`` is the single emission path); the dispatcher
+        #: shares them to publish batch-level records and stamp the
+        #: execution-phase spans (batched/executed/assembled/cache_hit).
+        self.events = queue.events
+        self.tracer = queue.tracer
         self.cache = ArtifactCache(cache_root)
         self.jobs = max(1, jobs)
         self.max_batch = max(1, max_batch)
@@ -398,6 +404,7 @@ class Dispatcher:
                 self.jobs * self.workers,
                 cache_root=str(self.cache.root),
                 mp_context=multiprocessing.get_context("spawn"),
+                on_event=self.events.publish,
             )
             if warm_pool else None
         )
@@ -452,6 +459,12 @@ class Dispatcher:
         self._inflight = _InflightCells()
         #: Drain slots currently executing a batch (overlap gauge).
         self._active_batches = 0
+        #: Cells currently inside a worker pool across all drain slots
+        #: (the dashboard's in-flight gauge).
+        self._inflight_cells = 0
+        #: Wall-clock birth for ``/v1/stats`` (`started_at`); the
+        #: monotonic twin lives in ``DispatcherStats`` for utilization.
+        self._started_wall = time.time()
         #: Cumulative cache tallies for this server process; survives the
         #: per-batch flush_counters() that drains cache.counters into the
         #: on-disk lifetime file.
@@ -528,6 +541,9 @@ class Dispatcher:
             return job
         if cached:
             try:
+                # Short-circuit span: queued -> cache_hit -> done, with
+                # no claim/batch/execute stages in between.
+                self.tracer.stamp(job.id, "cache_hit")
                 job = self.queue.mark_done(
                     job.id, result_key=digest, source="cache"
                 )
@@ -647,6 +663,11 @@ class Dispatcher:
             return 0
         started = time.monotonic()
         profile = ExperimentProfile.by_name(group[0].request["profile"])
+        self.events.publish({
+            "event": "batch",
+            "jobs": len(group),
+            "profile": profile.name,
+        })
         # One fresh context per batch: its in-memory memo layer holds
         # exactly the batch's cells and is dropped afterwards, so a
         # long-lived server's footprint is bounded by its largest batch
@@ -677,6 +698,11 @@ class Dispatcher:
             with self._stats_lock:
                 self._active_batches -= 1
                 self.stats.busy_seconds += time.monotonic() - started
+            self.events.publish({
+                "event": "batch_done",
+                "jobs": len(group),
+                "duration_ms": round((time.monotonic() - started) * 1000, 3),
+            })
         try:
             with self._counters_lock:
                 self._accumulate_session_counters()
@@ -707,6 +733,7 @@ class Dispatcher:
                 continue
             runnable.append((job, job_cells))
             cells.extend(job_cells)
+            self.tracer.stamp(job.id, "batched", cells=len(job_cells))
 
         #: signature -> reason, for every cell without a usable result.
         failed_cells: Dict[str, str] = {}
@@ -750,6 +777,8 @@ class Dispatcher:
                 self.stats.batched_jobs += attempted
                 self.stats.cells_executed += executed
                 self.stats.cells_deduped_inflight += len(foreign)
+            for job, _ in runnable:
+                self.tracer.stamp(job.id, "executed", batch_cells=executed)
 
         for job, job_cells in runnable:
             reason = next(
@@ -765,6 +794,7 @@ class Dispatcher:
                 digest = self.cache.store(
                     RESULT_KIND, _result_key(job.request), rendered
                 )
+                self.tracer.stamp(job.id, "assembled")
                 self._finish(job, result_key=digest)
             except Exception as error:
                 self._finish(job, error=f"{type(error).__name__}: {error}")
@@ -820,39 +850,47 @@ class Dispatcher:
         # forking a multi-threaded process can hand children locks held
         # mid-operation by the event loop.
         spawn = multiprocessing.get_context("spawn")
-        if self.job_timeout is not None:
-            report = execute_contained(
-                cells, context, job_timeout=self.job_timeout,
-                mp_context=spawn, max_workers=self.jobs,
-                warm_pool=self.warm_pool,
-            )
-            for signature, failure in report.failures.items():
-                failed[signature] = f"{failure.kind}: {failure.detail}"
-            with self._stats_lock:
-                self.stats.timeouts += report.timeouts
-                self.stats.bisections += report.bisections
-                self.stats.pool_crashes += report.pool_crashes
-            if report.executed or report.pool_crashes:
-                self._breaker_record(crashed=report.pool_crashes > 0)
-            return report.executed
+        with self._stats_lock:
+            self._inflight_cells += len(cells)
         try:
-            if self.warm_pool is not None:
-                executed = warm_execute(cells, context, self.warm_pool)
-            else:
-                executed = execute(cells, context, mp_context=spawn)
-        except Exception as error:
-            # The whole execution died under the batch (the spawn pool,
-            # most likely).  Without deadlines there is no telling which
-            # cell was the culprit, so charge them all one attempt.
-            self._breaker_record(crashed=True)
-            reason = (
-                f"batch execution failed: {type(error).__name__}: {error}"
-            )
-            for cell in cells:
-                failed.setdefault(cell.signature(), reason)
-            return 0
-        self._breaker_record(crashed=False)
-        return executed
+            if self.job_timeout is not None:
+                report = execute_contained(
+                    cells, context, job_timeout=self.job_timeout,
+                    mp_context=spawn, max_workers=self.jobs,
+                    warm_pool=self.warm_pool,
+                    observer=self.events.publish,
+                )
+                for signature, failure in report.failures.items():
+                    failed[signature] = f"{failure.kind}: {failure.detail}"
+                with self._stats_lock:
+                    self.stats.timeouts += report.timeouts
+                    self.stats.bisections += report.bisections
+                    self.stats.pool_crashes += report.pool_crashes
+                if report.executed or report.pool_crashes:
+                    self._breaker_record(crashed=report.pool_crashes > 0)
+                return report.executed
+            try:
+                if self.warm_pool is not None:
+                    executed = warm_execute(cells, context, self.warm_pool)
+                else:
+                    executed = execute(cells, context, mp_context=spawn)
+            except Exception as error:
+                # The whole execution died under the batch (the spawn
+                # pool, most likely).  Without deadlines there is no
+                # telling which cell was the culprit, so charge them all
+                # one attempt.
+                self._breaker_record(crashed=True)
+                reason = (
+                    f"batch execution failed: {type(error).__name__}: {error}"
+                )
+                for cell in cells:
+                    failed.setdefault(cell.signature(), reason)
+                return 0
+            self._breaker_record(crashed=False)
+            return executed
+        finally:
+            with self._stats_lock:
+                self._inflight_cells -= len(cells)
 
     def _contain(self, job: ServiceJob, reason: str) -> None:
         """Route one failed execution through the bounded retry budget.
@@ -997,7 +1035,15 @@ class Dispatcher:
             kind: {"hits": c.hits, "misses": c.misses, "stores": c.stores}
             for kind, c in sorted(merged.items())
         }
+        events = self.events.stats()
+        events.update(self.tracer.stats())
         return {
+            #: Bumped whenever a section or key is added/renamed, so
+            #: monitoring consumers can gate on it.  The pinned schema
+            #: test asserts the exact key set at each version.
+            "schema_version": 2,
+            "started_at": round(self._started_wall, 3),
+            "uptime_seconds": round(time.time() - self._started_wall, 3),
             "queue": {
                 "depth": self.queue.depth(),
                 "states": self.queue.state_counts(),
@@ -1041,6 +1087,7 @@ class Dispatcher:
             "workers": {
                 "count": self.workers,
                 "active": self._active_batches,
+                "inflight_cells": self._inflight_cells,
                 "pool_size": self.jobs,
                 "max_batch": self.max_batch,
                 "busy_seconds": round(self.stats.busy_seconds, 3),
@@ -1050,4 +1097,5 @@ class Dispatcher:
                     if self.warm_pool is not None else None
                 ),
             },
+            "events": events,
         }

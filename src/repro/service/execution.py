@@ -47,7 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.experiments.cache import ArtifactCache, CacheCounters
 from repro.experiments.parallel import (
@@ -314,9 +314,13 @@ class WarmPool:
         max_workers: int,
         cache_root: Optional[str] = None,
         mp_context=None,
+        on_event: Optional[Callable[[dict], None]] = None,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.cache_root = cache_root
+        #: Observability callback (the dispatcher wires the event bus's
+        #: ``publish``); ``None`` keeps this module bus-agnostic.
+        self._on_event = on_event
         self._mp_context = mp_context or multiprocessing.get_context("spawn")
         self._pool: Optional[ProcessPoolExecutor] = None
         self._lock = threading.Lock()
@@ -375,6 +379,11 @@ class WarmPool:
             if pool is None:
                 return
             self.rebuilds += 1
+        if self._on_event is not None:
+            self._on_event({
+                "event": "pool_rebuild",
+                "rebuilds": self.rebuilds,
+            })
         _kill_pool(pool)
 
     def shutdown(self) -> None:
@@ -615,6 +624,7 @@ def execute_contained(
     mp_context=None,
     max_workers: Optional[int] = None,
     warm_pool: Optional[WarmPool] = None,
+    observer: Optional[Callable[[dict], None]] = None,
 ) -> ContainedReport:
     """Run cells with per-cell deadlines and poison isolation.
 
@@ -670,6 +680,8 @@ def execute_contained(
             )
         if crashed:
             report.pool_crashes += 1
+            if observer is not None:
+                observer({"event": "pool_crash", "cells": len(group)})
             if len(leftover) == 1:
                 # Bisection bottomed out: this cell IS the poison.
                 cell = leftover[0]
@@ -679,6 +691,12 @@ def execute_contained(
                 )
             elif leftover:
                 report.bisections += 1
+                if observer is not None:
+                    observer({
+                        "event": "bisection",
+                        "round": report.bisections,
+                        "cells": len(leftover),
+                    })
                 middle = len(leftover) // 2
                 groups.append(leftover[:middle])
                 groups.append(leftover[middle:])

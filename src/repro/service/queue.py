@@ -83,6 +83,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.experiments.cache import code_version, fingerprint, write_json_atomic
 
+from .events import EventBus, JobTracer
+
 __all__ = [
     "AdmissionError",
     "CompactionReport",
@@ -288,6 +290,8 @@ class JobQueue:
         version: str = None,
         compact_every: Optional[int] = None,
         retain_terminal: int = 256,
+        events: Optional[EventBus] = None,
+        tracer: Optional[JobTracer] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -322,6 +326,13 @@ class JobQueue:
         self._compacted_events = 0
         self._dropped_jobs = 0
         self._journal: Optional[object] = None
+        #: Observability exhaust.  Every ``_apply`` publishes one bus
+        #: record (replay included — live and replayed state share the
+        #: emission path), while span stamps are live-only: ``_journal``
+        #: opens after replay, and replayed transitions must not pollute
+        #: the latency histograms with restart-time gaps.
+        self.events = events if events is not None else EventBus()
+        self.tracer = tracer if tracer is not None else JobTracer()
 
         self._truncate_torn_tail()
         self._load_snapshot()
@@ -517,12 +528,50 @@ class JobQueue:
             self._append(event)
             self._apply(event)
 
+    #: JobState -> tracing span stage.  RUNNING reads as "claimed"
+    #: because that is what the transition *is*: a dispatcher claimed
+    #: the job; execution stages are stamped by the dispatcher itself.
+    _SPAN_STAGE = {
+        "queued": "queued",
+        "running": "claimed",
+        "done": "done",
+        "failed": "failed",
+        "quarantined": "quarantined",
+    }
+
+    def _emit_job(self, job: ServiceJob, **extra) -> None:
+        """Publish one structured bus record for a job mutation.
+
+        A fresh dict every time: the bus stamps ``seq``/``ts`` onto
+        whatever it is handed, and journal events must stay pristine.
+        """
+        record = {
+            "event": "job",
+            "id": job.id,
+            "state": job.state.value,
+            "client": job.client,
+        }
+        for key, value in (
+            ("digest", job.digest),
+            ("source", job.source),
+            ("result_key", job.result_key),
+            ("error", job.error),
+            ("failure_reason", job.failure_reason),
+        ):
+            if value is not None:
+                record[key] = value
+        if job.attempts:
+            record["attempts"] = job.attempts
+        record.update(extra)
+        self.events.publish(record)
+
     def _apply(self, event: dict) -> None:
         """Apply one journal event to memory.
 
         The ONLY mutation path: live operations journal an event and
         route it here, exactly as replay does, so a live queue and its
-        own journal replay cannot disagree.
+        own journal replay cannot disagree — and so the event bus sees
+        one emission path for live and replayed mutations alike.
         """
         kind = event.get("event")
         if kind == "submit":
@@ -541,10 +590,19 @@ class JobQueue:
             self._client_live[job.client] = (
                 self._client_live.get(job.client, 0) + 1
             )
+            self._emit_job(job)
+            if self._journal is not None:
+                self.tracer.stamp(job.id, "queued")
         elif kind == "attach":
             job = self.jobs.get(event["id"])
             if job is not None:
                 job.attached += 1
+                self.events.publish({
+                    "event": "attach",
+                    "id": job.id,
+                    "client": job.client,
+                    "attached": job.attached,
+                })
         elif kind == "state":
             job = self.jobs.get(event["id"])
             if job is not None:
@@ -581,6 +639,9 @@ class JobQueue:
                     self._queued[job.id] = job
                 else:
                     self._queued.pop(job.id, None)
+                self._emit_job(job)
+                if self._journal is not None:
+                    self.tracer.stamp(job.id, self._SPAN_STAGE[state.value])
 
     def _count_change(self, old: JobState, new: JobState) -> None:
         self._counts[old] -= 1

@@ -21,6 +21,26 @@ connection (``Connection: close``), JSON in and out:
   body always answers, so liveness is "any response at all").
 * ``POST /v1/compact`` — fold the queue journal into a snapshot now
   (compaction also runs automatically every ``compact_every`` events).
+* ``GET /v1/events`` — Server-Sent Events stream of the live event bus
+  (job transitions, batches, bisections, pool rebuilds, access
+  records).  The one deliberate exception to one-request-per-
+  connection: the response never ends.  Each subscriber gets a bounded
+  queue (``?buffer=N``); a slow consumer *drops* events and receives an
+  explicit ``{"event": "dropped", "count": N}`` marker — the dispatcher
+  is never blocked by a stalled reader.
+* ``GET /v1/metrics`` — per-stage latency histograms (fixed log-spaced
+  buckets with p50/p95/p99), queue/occupancy gauges, and every stats
+  counter, as Prometheus text (default) or JSON (``?format=json``).
+* ``GET /v1/jobs/<id>?trace=1`` — the job record plus its span
+  timeline (queued→claimed→batched→executed→assembled, durations sum
+  to wall time).
+* ``GET /dashboard`` — a self-contained zero-dependency HTML page
+  driven by the SSE stream (queue depth, worker occupancy, cache hit
+  rate, in-flight cells, recent quarantines).
+
+``--log-json`` turns the same event-bus records into structured
+one-line JSON logs on stdout (access records carry ts, client_id,
+path, status, duration_ms; lifecycle records mark serving/draining).
 
 Shutdown is a *graceful drain* (``SIGTERM``/``SIGINT`` under the CLI,
 :meth:`ServiceServer.begin_drain` programmatically): submissions are
@@ -49,14 +69,17 @@ import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs
 
+from repro.service.dashboard import DASHBOARD_HTML
 from repro.service.dispatcher import (
     DEFAULT_MAX_BODY_BYTES,
     BreakerOpenError,
     Dispatcher,
     RequestError,
 )
+from repro.service.metrics import render_json, render_prometheus
 from repro.service.queue import (
     AdmissionError,
     JobQueue,
@@ -67,6 +90,16 @@ __all__ = ["ServiceServer", "ServerThread", "serve_forever"]
 
 #: How long the dispatcher thread naps when the queue is empty.
 _IDLE_POLL_SECONDS = 0.05
+
+#: SSE stream pacing: how often an idle stream polls its subscription,
+#: and how often it emits a comment-line keepalive so read timeouts on
+#: the client side (and any intermediary) never fire on a quiet server.
+_SSE_POLL_SECONDS = 0.05
+_SSE_KEEPALIVE_SECONDS = 15.0
+
+#: Default / maximum per-subscriber SSE buffer (events, not bytes).
+_SSE_BUFFER_DEFAULT = 256
+_SSE_BUFFER_MAX = 4096
 
 #: A client gets this long to deliver its full request; a connection
 #: that stalls (opened and silent, or a short body under a long
@@ -82,6 +115,13 @@ class _BodyTooLargeError(ValueError):
 #: Result keys are SHA-256 hex digests; anything else in the URL (path
 #: separators in particular) must never reach the filesystem layer.
 _RESULT_KEY_RE = re.compile(r"[0-9a-f]{64}\Z")
+
+
+def _sse_frame(event: dict) -> bytes:
+    """One Server-Sent Events frame: ``data: <json>`` + blank line."""
+    return b"data: " + json.dumps(
+        event, sort_keys=True
+    ).encode("utf-8") + b"\n\n"
 
 
 class ServiceServer:
@@ -108,6 +148,7 @@ class ServiceServer:
         breaker_threshold: int = 5,
         breaker_cooldown: float = 30.0,
         warm_pool: bool = False,
+        log_json: bool = False,
     ) -> None:
         self.host = host
         self.port = port
@@ -134,6 +175,15 @@ class ServiceServer:
             breaker_cooldown=breaker_cooldown,
             warm_pool=warm_pool,
         )
+        #: The queue owns the bus + tracer (one emission path for live
+        #: and replayed mutations); the server streams and renders them.
+        self.events = self.queue.events
+        self.tracer = self.queue.tracer
+        #: ``--log-json``: a bus subscriber thread printing every event
+        #: as one JSON line on stdout (access + lifecycle included).
+        self.log_json = bool(log_json)
+        self._log_thread: Optional[threading.Thread] = None
+        self._log_sub = None
         self._server: Optional[asyncio.base_events.Server] = None
         #: One thread per drain slot: claims are serialized inside the
         #: dispatcher, batch execution overlaps across slots.
@@ -154,10 +204,15 @@ class ServiceServer:
     async def start(self) -> None:
         """Bind the socket (resolving port 0) and start the drain loop."""
         self._closing = asyncio.Event()
+        if self.log_json:
+            self._start_log_thread()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.events.publish({
+            "event": "serving", "url": self.url, "workers": self.workers,
+        })
         # Spawn the warm pool off the event loop so the socket answers
         # immediately; a batch racing the warm-up just blocks on the
         # pool lock and inherits the freshly spawned workers.
@@ -215,6 +270,42 @@ class ServiceServer:
                     pass  # best effort: drain must still exit 0
         if self.drained_clean:
             self.queue.close()
+        self.events.publish({
+            "event": "stopped", "drained_clean": self.drained_clean,
+        })
+        self._stop_log_thread()
+
+    def _start_log_thread(self) -> None:
+        """Subscribe a printer to the bus: one JSON line per event.
+
+        The structured replacement for ad-hoc access prints — every
+        record the dashboard sees is also a log line, so `serve
+        --log-json | jq` is a complete operational transcript.
+        """
+        self._log_sub = self.events.subscribe(maxsize=_SSE_BUFFER_MAX)
+
+        def pump() -> None:
+            while True:
+                event = self._log_sub.pop(timeout=1.0)
+                if event is not None:
+                    print(
+                        json.dumps(event, sort_keys=True),
+                        file=sys.stdout, flush=True,
+                    )
+                elif self._log_sub.closed:
+                    return
+
+        self._log_thread = threading.Thread(
+            target=pump, name="repro-log-json", daemon=True
+        )
+        self._log_thread.start()
+
+    def _stop_log_thread(self) -> None:
+        if self._log_sub is not None:
+            self._log_sub.close()
+        if self._log_thread is not None:
+            self._log_thread.join(timeout=5.0)
+            self._log_thread = None
 
     def close(self) -> None:
         """Stop immediately (harness teardown) — no drain semantics."""
@@ -230,6 +321,7 @@ class ServiceServer:
         sees 503 + Retry-After rather than a dropped connection.
         """
         self._draining = True
+        self.events.publish({"event": "draining"})
         if self._closing is not None:
             self._closing.set()
 
@@ -249,6 +341,10 @@ class ServiceServer:
                     f"{type(error).__name__}: {error}",
                     file=sys.stderr, flush=True,
                 )
+                self.events.publish({
+                    "event": "drain_error", "worker": slot,
+                    "error": f"{type(error).__name__}: {error}",
+                })
                 await asyncio.sleep(1.0)
                 continue
             if not handled:
@@ -259,8 +355,9 @@ class ServiceServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = time.monotonic()
         try:
-            method, path, body = await asyncio.wait_for(
+            method, raw_path, body = await asyncio.wait_for(
                 self._read_request(reader), _READ_TIMEOUT_SECONDS
             )
         except _BodyTooLargeError as error:
@@ -281,9 +378,18 @@ class ServiceServer:
                 ValueError):
             writer.close()
             return
+        path, _, query = raw_path.partition("?")
+        params = {
+            name: values[-1] for name, values in parse_qs(query).items()
+        }
+        if path == "/v1/events" and method == "GET":
+            # The streaming exception: the response never ends, so it
+            # bypasses _respond/Content-Length entirely.
+            await self._stream_events(writer, method, path, params, started)
+            return
         headers = {}
         try:
-            result = await self._route(method, path, body)
+            result = await self._route(method, path, params, body)
             if len(result) == 3:
                 status, payload, headers = result
             else:
@@ -316,6 +422,105 @@ class ServiceServer:
             await self._respond(writer, status, body_text, headers)
         except (ConnectionError, OSError):
             writer.close()  # client hung up mid-response; nothing to do
+        self._access_record(method, path, status, started, body)
+
+    def _access_record(
+        self, method: str, path: str, status: int,
+        started: float, body: bytes = b"",
+    ) -> None:
+        """Publish one access record — only when someone is listening.
+
+        With no subscriber attached (no SSE client, no ``--log-json``)
+        this is one attribute read and a truth test per request: the
+        near-zero-cost contract the observability bench pins.
+        """
+        if not self.events.active:
+            return
+        client = None
+        if method == "POST" and path == "/v1/jobs" and body:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                if isinstance(payload, dict):
+                    client = payload.get("client", "anonymous")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                pass
+        record = {
+            "event": "http",
+            "method": method,
+            "path": path,
+            "status": status,
+            "duration_ms": round((time.monotonic() - started) * 1000, 3),
+        }
+        if client is not None:
+            record["client"] = str(client)
+        self.events.publish(record)
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, method: str, path: str,
+        params: Dict[str, str], started: float,
+    ) -> None:
+        """``GET /v1/events``: the SSE tail of the event bus.
+
+        Subscribes with a bounded buffer (``?buffer=N``, clamped), then
+        alternates between draining the subscription and sleeping one
+        poll tick.  TCP backpressure only ever blocks *this* coroutine
+        on ``drain()`` — meanwhile the subscription fills and drops,
+        which is exactly the slow-consumer contract: bounded memory, an
+        explicit ``dropped`` marker, dispatcher never blocked.
+        """
+        try:
+            buffer = int(params.get("buffer", _SSE_BUFFER_DEFAULT))
+        except ValueError:
+            buffer = _SSE_BUFFER_DEFAULT
+        buffer = max(1, min(_SSE_BUFFER_MAX, buffer))
+        subscription = self.events.subscribe(maxsize=buffer)
+        status = 200
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-store\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            # An opening snapshot so consumers (the dashboard, `repro
+            # watch`) can initialize gauges without a second request.
+            hello = {
+                "event": "hello",
+                "schema_version": 2,
+                "stats": self.dispatcher.snapshot(),
+            }
+            writer.write(_sse_frame(hello))
+            await writer.drain()
+            last_write = time.monotonic()
+            while not self._closing.is_set() \
+                    and not writer.is_closing():
+                # Drain the whole backlog into one write + one drain:
+                # under load this batches dozens of frames per wake
+                # instead of paying an await per event (bounded by the
+                # subscription buffer, so a flood can't wedge the loop).
+                wrote = False
+                while True:
+                    event = subscription.pop_nowait()
+                    if event is None:
+                        break
+                    writer.write(_sse_frame(event))
+                    wrote = True
+                if wrote:
+                    await writer.drain()
+                    last_write = time.monotonic()
+                    continue
+                if (time.monotonic() - last_write
+                        >= _SSE_KEEPALIVE_SECONDS):
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    last_write = time.monotonic()
+                await asyncio.sleep(_SSE_POLL_SECONDS)
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            status = 499  # client went away (or the loop is closing)
+        finally:
+            subscription.close()
+            writer.close()
+            self._access_record(method, path, status, started)
 
     def _retry_after_seconds(self, *, backlog: bool) -> int:
         """Advisory ``Retry-After`` for refused submissions.
@@ -376,13 +581,16 @@ class ServiceServer:
             500: "Internal Server Error", 503: "Service Unavailable",
         }.get(status, "OK")
         data = body.encode("utf-8")
+        headers = dict(headers or {})
+        # JSON unless the route says otherwise (metrics exposition text,
+        # the dashboard HTML page).
+        content_type = headers.pop("Content-Type", "application/json")
         extra = "".join(
-            f"{name}: {value}\r\n"
-            for name, value in (headers or {}).items()
+            f"{name}: {value}\r\n" for name, value in headers.items()
         )
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(data)}\r\n"
             f"{extra}"
             f"Connection: close\r\n\r\n".encode("latin-1") + data
@@ -394,13 +602,15 @@ class ServiceServer:
 
     # -- routing ---------------------------------------------------------
 
-    async def _route(self, method: str, path: str, body: bytes):
+    async def _route(
+        self, method: str, path: str, params: Dict[str, str], body: bytes
+    ):
         if path == "/v1/jobs" and method == "POST":
             return self._post_job(body)
         if path.startswith("/v1/jobs/"):
             if method != "GET":
                 return 405, {"error": "method not allowed"}
-            return self._get_job(path[len("/v1/jobs/"):])
+            return self._get_job(path[len("/v1/jobs/"):], params)
         if path.startswith("/v1/results/"):
             if method != "GET":
                 return 405, {"error": "method not allowed"}
@@ -409,6 +619,22 @@ class ServiceServer:
             if method != "GET":
                 return 405, {"error": "method not allowed"}
             return 200, self.dispatcher.snapshot()
+        if path == "/v1/metrics":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}
+            snapshot = self.dispatcher.snapshot()
+            if params.get("format") == "json":
+                return 200, render_json(snapshot, self.tracer)
+            return 200, render_prometheus(snapshot, self.tracer), {
+                "Content-Type":
+                    "text/plain; version=0.0.4; charset=utf-8",
+            }
+        if path == "/dashboard":
+            if method != "GET":
+                return 405, {"error": "method not allowed"}
+            return 200, DASHBOARD_HTML, {
+                "Content-Type": "text/html; charset=utf-8",
+            }
         if path == "/v1/health":
             if method != "GET":
                 return 405, {"error": "method not allowed"}
@@ -487,13 +713,15 @@ class ServiceServer:
         # submission order or current job state.
         return 202, {"id": job.id, "location": f"/v1/jobs/{job.id}"}
 
-    def _get_job(self, job_id: str):
+    def _get_job(self, job_id: str, params: Dict[str, str]):
         job = self.queue.get(job_id)
         if job is None:
             return 404, {"error": f"no job {job_id!r}"}
         record = job.public()
         if job.result_key:
             record["result_location"] = f"/v1/results/{job.result_key}"
+        if params.get("trace") in ("1", "true"):
+            record["trace"] = self.tracer.trace(job_id)
         return 200, record
 
     async def _get_result(self, key: str):
@@ -547,6 +775,7 @@ def serve_forever(
     job_timeout: Optional[float] = None,
     drain_grace: float = 30.0,
     warm_pool: bool = False,
+    log_json: bool = False,
     announce=None,
 ) -> bool:
     """Run a service in the foreground until signalled (CLI ``serve``).
@@ -563,6 +792,7 @@ def serve_forever(
         max_body_bytes=max_body_bytes,
         max_attempts=max_attempts, job_timeout=job_timeout,
         drain_grace=drain_grace, warm_pool=warm_pool,
+        log_json=log_json,
     )
     try:
         asyncio.run(_amain(server, announce))

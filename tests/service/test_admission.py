@@ -293,17 +293,27 @@ class TestStatsSchema:
         },
         "cache": {"session", "lifetime"},
         "workers": {
-            "count", "active", "pool_size", "max_batch",
-            "busy_seconds", "utilization", "warm_pool",
+            "count", "active", "inflight_cells", "pool_size",
+            "max_batch", "busy_seconds", "utilization", "warm_pool",
+        },
+        "events": {
+            "published", "dropped", "subscribers",
+            "jobs_traced", "jobs_retained",
         },
     }
+
+    #: Top-level scalars (not sections): schema identity + uptime.
+    SCALARS = {"schema_version", "started_at", "uptime_seconds"}
 
     def test_full_key_set_exact(self, tmp_path):
         with ServerThread(tmp_path / "queue", tmp_path / "cache") as service:
             stats = get_stats(service.url)
-        assert set(stats) == set(self.EXPECTED)
+        assert set(stats) == set(self.EXPECTED) | self.SCALARS
         for section, keys in self.EXPECTED.items():
             assert set(stats[section]) == keys, section
+        assert stats["schema_version"] == 2
+        assert stats["started_at"] > 0
+        assert stats["uptime_seconds"] >= 0
         assert set(stats["queue"]["states"]) == {
             "queued", "running", "done", "failed", "quarantined"
         }
