@@ -69,6 +69,19 @@ DESIGN_REQUIRED = (
     "slow consumer",
     "/dashboard",
     "Prometheus",
+    # Sharded serving over the tiered artifact cache.
+    "consistent hash",
+    "--shard",
+    "--peers",
+    "--shared-cache-dir",
+    "tiered",
+    "write-through",
+    "promote",
+    "peer fetch",
+    "misrouted",
+    "heal",
+    "readable_digest",
+    "byte-identical",
 )
 
 #: Subcommands whose --help surfaces must be reflected in README.md.

@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Shard smoke: two real server processes, one shared cache, one answer.
+
+What CI's service job runs as ``make shard-smoke``, end to end through
+the real CLI, real sockets, and real subprocesses:
+
+1. reserve two ports and spawn ``python -m repro serve --shard 0/2``
+   and ``--shard 1/2``, both pointed at one ``--shared-cache-dir`` and
+   the same ``--peers`` list;
+2. split a tiny sweep into per-value jobs submitted over the *fleet*
+   URL (client-side consistent-hash routing picks each job's shard),
+   then submit the combined sweep;
+3. assert every served document is byte-identical to the direct serial
+   :func:`run_sweep` manifest;
+4. resubmit the combined sweep directly to the shard that did NOT
+   serve it first — it must instant-complete from the shared tier
+   (``source == "cache"``, zero extra cells, nonzero shared-tier hits);
+5. tear both servers down.
+
+The script enforces its own deadline (CI wraps it in a hard ``timeout``
+as well) so a wedged shard fails fast instead of hanging the job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.export import render_manifest  # noqa: E402
+from repro.experiments.runner import (  # noqa: E402
+    ExperimentContext,
+    ExperimentProfile,
+)
+from repro.experiments.sweep import adhoc_spec, run_sweep  # noqa: E402
+from repro.service.client import (  # noqa: E402
+    get_stats,
+    route_url,
+    submit_and_wait,
+)
+from repro.service.dispatcher import sweep_title  # noqa: E402
+
+DEADLINE_SECONDS = 150.0
+
+SWEEP_VALUES = ["34", "42"]
+
+
+def _payload(values):
+    return {"kind": "sweep", "axis": "regfile", "values": list(values),
+            "workloads": ["li_like"], "profile": "tiny"}
+
+
+def _serial_document(values) -> bytes:
+    profile = ExperimentProfile.tiny()
+    spec = adhoc_spec("regfile", profile, values=list(values),
+                      workloads=["li_like"])
+    result = run_sweep(
+        spec, profile, ExperimentContext(profile),
+        title=sweep_title("regfile", profile),
+    )
+    return render_manifest(profile.name, {spec.name: result}).encode("utf-8")
+
+
+def _free_ports(count):
+    sockets = [socket.socket() for _ in range(count)]
+    try:
+        for sock in sockets:
+            sock.bind(("127.0.0.1", 0))
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def _spawn_shard(tmp, index, count, peers):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    # No --port: each shard binds the port in its own --peers entry.
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--shard", f"{index}/{count}", "--peers", ",".join(peers),
+         "--shared-cache-dir", os.path.join(tmp, "shared-cache"),
+         "--cache-dir", os.path.join(tmp, "cache"),
+         "--queue-dir", os.path.join(tmp, "queue")],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env,
+    )
+    url_box = []
+
+    def read_announce():
+        line = process.stdout.readline()
+        match = re.search(r"http://[0-9.]+:\d+", line or "")
+        if match:
+            url_box.append(match.group(0))
+
+    reader = threading.Thread(target=read_announce, daemon=True)
+    reader.start()
+    reader.join(timeout=30.0)
+    if not url_box:
+        process.terminate()
+        raise RuntimeError(f"shard {index}/{count} did not announce in 30s")
+    if url_box[0] != peers[index]:
+        process.terminate()
+        raise RuntimeError(
+            f"shard {index}/{count} announced {url_box[0]}, "
+            f"expected {peers[index]}"
+        )
+    return process
+
+
+def main() -> int:
+    started = time.monotonic()
+    ports = _free_ports(2)
+    peers = [f"http://127.0.0.1:{port}" for port in ports]
+    fleet = ",".join(peers)
+    processes = []
+    with tempfile.TemporaryDirectory(prefix="repro-shard-smoke-") as tmp:
+        try:
+            for index in range(2):
+                processes.append(_spawn_shard(tmp, index, 2, peers))
+            print(f"fleet up: {fleet}")
+
+            # Split the sweep over the fleet, then run it combined.
+            for values in ([SWEEP_VALUES[0]], [SWEEP_VALUES[1]],
+                           SWEEP_VALUES):
+                owner = route_url(fleet, _payload(values))
+                job, document = submit_and_wait(
+                    fleet, _payload(values), client="shard-smoke",
+                    timeout=DEADLINE_SECONDS,
+                )
+                assert document == _serial_document(values), (
+                    f"values={values}: served document differs from "
+                    f"serial run_sweep"
+                )
+                print(f"values={values}: {job['state']} on {owner} "
+                      f"(source: {job['source']}), byte-identical "
+                      f"to serial")
+
+            # Cross-shard warm read: the shard that did NOT own the
+            # combined sweep serves it from the shared tier.
+            combined = _payload(SWEEP_VALUES)
+            warm_owner = route_url(fleet, combined)
+            cold = next(u for u in peers if u != warm_owner)
+            cells_before = get_stats(cold)["dispatcher"]["cells_executed"]
+            job, document = submit_and_wait(
+                cold, combined, client="shard-smoke-cold",
+                timeout=DEADLINE_SECONDS,
+            )
+            cells_after = get_stats(cold)["dispatcher"]["cells_executed"]
+            assert job["source"] == "cache", (
+                f"cold shard recomputed (source: {job['source']})"
+            )
+            assert cells_after == cells_before, (
+                "cold shard executed cells for a shared-tier result"
+            )
+            assert document == _serial_document(SWEEP_VALUES)
+            tiers = get_stats(cold)["tiered"]
+            assert tiers["shared"]["hits"] > 0, (
+                f"no shared-tier hits on the cold shard: {tiers}"
+            )
+            print(f"cross-shard instant-complete on {cold}: "
+                  f"source=cache, shared-tier hits="
+                  f"{tiers['shared']['hits']}, zero extra cells")
+        finally:
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                try:
+                    process.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+        elapsed = time.monotonic() - started
+        assert elapsed < DEADLINE_SECONDS, f"smoke took {elapsed:.0f}s"
+        print(f"shard smoke OK in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -271,8 +271,40 @@ def _serve_main(argv) -> int:
         help="interface to bind (default: 127.0.0.1)",
     )
     parser.add_argument(
-        "--port", type=int, default=8742,
-        help="TCP port (default: 8742; 0 picks a free port)",
+        "--port", type=int, default=None,
+        help="TCP port (default: 8742, or this shard's own --peers "
+             "URL port when --shard is set; 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--shard", metavar="K/N", default=None,
+        help="run as shard K of N (0-based): requires --peers listing "
+             "all N shard base URLs in index order (this process is "
+             "entry K); clients consistent-hash route request "
+             "fingerprints over the same list, so equivalent requests "
+             "always land on one shard and dedup converges",
+    )
+    parser.add_argument(
+        "--peers", metavar="URL,URL,...", default=None,
+        help="with --shard K/N: the N shard base URLs in index order "
+             "(self included at position K); the other entries are "
+             "dialed for artifact peer fetch",
+    )
+    parser.add_argument(
+        "--shared-cache-dir", metavar="DIR", default=None,
+        help="shared artifact-cache tier (read-through on local miss, "
+             "write-through on store) — point every shard at one "
+             "shared directory so any shard instant-completes from "
+             "any other shard's work; usable without --shard too",
+    )
+    parser.add_argument(
+        "--peer-timeout", type=float, default=2.0, metavar="SECONDS",
+        help="per-peer deadline for one artifact fetch; a dead peer "
+             "costs at most this before computing locally (default: 2)",
+    )
+    parser.add_argument(
+        "--no-peer-fetch", action="store_true",
+        help="never dial peers for artifacts (shared-dir and local "
+             "tiers only); routing and shard stats are unaffected",
     )
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
@@ -372,6 +404,51 @@ def _serve_main(argv) -> int:
         parser.error("--job-timeout must be >= 0")
     if args.drain_grace < 0:
         parser.error("--drain-grace must be >= 0")
+    if args.peer_timeout <= 0:
+        parser.error("--peer-timeout must be > 0")
+    if args.peers and not args.shard:
+        parser.error("--peers requires --shard K/N")
+    port = args.port
+    queue_dir, cache_dir = args.queue_dir, args.cache_dir
+    peer_urls = None
+    if args.shard:
+        from repro.service.routing import parse_shard_spec
+
+        try:
+            shard_index, shard_count = parse_shard_spec(args.shard)
+        except ValueError as error:
+            parser.error(str(error))
+        if not args.peers:
+            parser.error("--shard requires --peers (all shard URLs, "
+                         "index order)")
+        peer_urls = tuple(
+            u.strip() for u in args.peers.split(",") if u.strip()
+        )
+        if len(peer_urls) != shard_count:
+            parser.error(
+                f"--shard {args.shard} needs exactly {shard_count} "
+                f"--peers URL(s); got {len(peer_urls)}"
+            )
+        if port is None:
+            # Default the bind port to this shard's own announced URL,
+            # so one --peers list configures the whole fleet.
+            from urllib.parse import urlsplit
+
+            port = urlsplit(peer_urls[shard_index]).port
+            if port is None:
+                parser.error(
+                    f"--peers entry {shard_index} "
+                    f"({peer_urls[shard_index]!r}) has no explicit "
+                    "port; pass --port"
+                )
+        # Each shard process owns a private journal and local cache —
+        # only the shared tier is multi-writer — so the default dirs
+        # are suffixed with the shard identity.
+        suffix = f"-shard-{shard_index}-of-{shard_count}"
+        queue_dir = args.queue_dir + suffix
+        cache_dir = args.cache_dir + suffix
+    if port is None:
+        port = 8742
     if args.no_superblocks:
         # Inherited by spawned workers (cold and warm pools alike), so
         # one flag disables fused-block execution service-wide.  Set
@@ -386,8 +463,14 @@ def _serve_main(argv) -> int:
         # the human-readable line moves to stderr.
         stream = sys.stderr if args.log_json else sys.stdout
         print(f"serving on {server.url}", file=stream, flush=True)
+        shard_note = (
+            f"shard: {args.shard} "
+            f"(shared tier: {args.shared_cache_dir or 'none'}); "
+            if args.shard else ""
+        )
         print(
-            f"queue journal: {args.queue_dir}; cache: {args.cache_dir}; "
+            f"queue journal: {queue_dir}; cache: {cache_dir}; "
+            f"{shard_note}"
             f"workers: {args.workers}; jobs/batch: {args.jobs}; "
             f"max batch: {args.max_batch}; "
             f"warm pool: {'on' if args.warm_pool else 'off'}; "
@@ -396,8 +479,8 @@ def _serve_main(argv) -> int:
         )
 
     drained_clean = serve_forever(
-        args.queue_dir, args.cache_dir,
-        host=args.host, port=args.port,
+        queue_dir, cache_dir,
+        host=args.host, port=port,
         jobs=args.jobs, max_batch=args.max_batch,
         workers=args.workers,
         compact_every=args.compact_every or None,
@@ -409,6 +492,10 @@ def _serve_main(argv) -> int:
         drain_grace=args.drain_grace,
         warm_pool=args.warm_pool,
         log_json=args.log_json,
+        shard=args.shard, peers=peer_urls,
+        shared_cache_dir=args.shared_cache_dir,
+        peer_timeout=args.peer_timeout,
+        peer_fetch=not args.no_peer_fetch,
         announce=announce,
     )
     if not drained_clean:
@@ -432,7 +519,10 @@ def _submit_main(argv) -> int:
     )
     parser.add_argument(
         "--url", default="http://127.0.0.1:8742",
-        help="service base URL (default: http://127.0.0.1:8742)",
+        help="service base URL; a comma-separated list names a sharded "
+             "fleet (same order as the servers' --peers) and the "
+             "request is consistent-hash routed to its owning shard "
+             "(default: http://127.0.0.1:8742)",
     )
     parser.add_argument(
         "--axis", metavar="AXIS",
@@ -835,7 +925,8 @@ def _cache_main(argv) -> int:
             slot = lifetime[kind]
             print(f"  {kind}: {slot.get('hits', 0)} hit / "
                   f"{slot.get('misses', 0)} miss / "
-                  f"{slot.get('stores', 0)} stored")
+                  f"{slot.get('stores', 0)} stored / "
+                  f"{slot.get('corrupt', 0)} corrupt healed")
     return 0
 
 

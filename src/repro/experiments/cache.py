@@ -35,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pickle
 import tempfile
@@ -53,6 +54,7 @@ __all__ = [
     "canonical",
     "code_version",
     "fingerprint",
+    "set_store_hook",
     "write_json_atomic",
 ]
 
@@ -86,6 +88,14 @@ def canonical(obj: Any) -> str:
         return "{" + ",".join(f"{k}:{v}" for k, v in entries) + "}"
     if isinstance(obj, (list, tuple)):
         return "[" + ",".join(canonical(item) for item in obj) + "]"
+    if isinstance(obj, float) and obj.is_integer() and math.isfinite(obj):
+        # Numeric aliasing: ``1`` and ``1.0`` are the same value, so
+        # they must render identically or every dedup layer keyed on a
+        # fingerprint (live jobs, artifacts, cells) treats equal JSON
+        # requests as distinct work.  Integral floats collapse to the
+        # int rendering; the change is covered by code_version, so no
+        # stale artifact keyed under the old rendering can be served.
+        return repr(int(obj))
     if isinstance(obj, (str, int, float, bool)) or obj is None:
         return repr(obj)
     raise TypeError(f"cannot canonicalize {type(obj).__name__} for a cache key")
@@ -167,13 +177,40 @@ def write_json_atomic(
 # The store.
 # ----------------------------------------------------------------------
 
+#: Final byte of every complete pickle stream (the STOP opcode) — the
+#: cheap structural probe :meth:`ArtifactCache.readable_digest` uses to
+#: reject truncated artifacts without unpickling them.
+_PICKLE_STOP = b"."
+
+#: Optional failpoint hook around the two store primitives, called as
+#: ``hook(stage, path)`` with ``stage`` in ``("write", "rename")``
+#: immediately before each.  The seam the shared-tier crash-injection
+#: tests interpose on (a writer killed between tmp-write and rename
+#: must never publish a torn artifact); ``None`` (the default) costs
+#: one global read per store.
+_STORE_HOOK = None
+
+
+def set_store_hook(hook) -> None:
+    """Install (or with ``None`` remove) the store failpoint hook."""
+    global _STORE_HOOK
+    _STORE_HOOK = hook
+
 @dataclass
 class CacheCounters:
-    """Hit/miss/store tallies for one artifact kind."""
+    """Hit/miss/store tallies for one artifact kind.
+
+    ``corrupt`` counts unreadable artifacts *healed* (unlinked so the
+    key recomputes) — a torn shared-filesystem write, a partial copy, a
+    flipped bit.  Every corrupt observation is also a miss; the
+    dedicated counter exists so operators can tell "cold" from
+    "something is damaging the store".
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
 
 @dataclass(frozen=True)
@@ -245,21 +282,80 @@ class ArtifactCache:
         """Path-probe form of :meth:`exists` for a digest already in hand."""
         return self._path(kind, digest).is_file()
 
+    def readable_digest(self, kind: str, digest: str) -> bool:
+        """Whether an artifact is on disk *and* structurally complete.
+
+        The probe the dispatcher's instant-complete path uses instead
+        of the bare path probe: a torn artifact (crashed copy into a
+        shared tier, flipped disk) would otherwise let the server
+        complete jobs whose results can never be read.  The check stays
+        event-loop cheap — open, stat, read the final byte, require the
+        pickle STOP opcode — and never unpickles.  An artifact that
+        fails the probe is *healed* on the spot (unlinked + ``corrupt``
+        tallied) so the key recomputes instead of wedging forever.  A
+        complete-but-garbage pickle can still pass; the full unpickle
+        in :meth:`load_digest` heals that residue the same way.
+        """
+        path = self._path(kind, digest)
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) == _PICKLE_STOP:
+                        return True
+        except FileNotFoundError:
+            return False
+        except OSError:
+            pass  # unreadable for any other reason: heal below
+        self._heal(kind, digest)
+        return False
+
     def load_digest(self, kind: str, digest: str) -> Tuple[bool, Any]:
         """Like :meth:`lookup`, addressed by a digest already in hand.
 
         This is how the service layer serves ``GET /v1/results/<key>``:
         the key a completed job advertises *is* the artifact digest, so
         the read needs no key-tuple reconstruction.
+
+        A load that fails with the file *present* (torn pickle,
+        truncation, I/O error) heals the entry: the unreadable file is
+        unlinked (tolerating a racing unlink or gc) and tallied under
+        the ``corrupt`` counter, so the next probe misses cleanly and
+        the key is recomputed instead of poisoned forever.
         """
         try:
             with open(self._path(kind, digest), "rb") as handle:
                 value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except FileNotFoundError:
+            self._counter(kind).misses += 1
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Anything the file's presence promised but its bytes could
+            # not deliver.  (The unpickler surfaces garbage opcodes as
+            # a grab-bag of exception types, not just UnpicklingError.)
+            self._heal(kind, digest)
             self._counter(kind).misses += 1
             return False, None
         self._counter(kind).hits += 1
         return True, value
+
+    def _heal(self, kind: str, digest: str) -> bool:
+        """Unlink an unreadable artifact so its key can recompute.
+
+        A racing heal/gc/re-store is benign: missing means someone else
+        already cleared (or atomically replaced) it.  The ``corrupt``
+        tally counts only files *we* removed; returns whether this call
+        did the unlinking (the tiered cache's per-tier tally hooks in
+        here).
+        """
+        try:
+            os.unlink(self._path(kind, digest))
+        except OSError:
+            return False
+        self._counter(kind).corrupt += 1
+        return True
 
     def store(self, kind: str, key: Tuple, value: Any) -> str:
         """Persist ``value`` atomically under the key's digest.
@@ -273,12 +369,28 @@ class ArtifactCache:
         Returns the artifact digest.
         """
         digest = self.digest(kind, key)
+        self.store_digest(kind, digest, value)
+        return digest
+
+    def store_digest(self, kind: str, digest: str, value: Any) -> str:
+        """Persist ``value`` under a digest already in hand.
+
+        The write path :meth:`store` bottoms out in, exposed for tier
+        promotion: a tiered cache that fetched an artifact from a
+        shared directory or a peer already knows the digest and has no
+        key tuple to recompute it from.  Same atomicity contract as
+        :meth:`store`.
+        """
         path = self._path(kind, digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
+            if _STORE_HOOK is not None:
+                _STORE_HOOK("write", path)
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            if _STORE_HOOK is not None:
+                _STORE_HOOK("rename", path)
             try:
                 os.replace(tmp_name, path)
             except PermissionError:
@@ -411,24 +523,27 @@ class ArtifactCache:
         instead of being dropped with an orphaned object.
         """
         snapshot = [
-            (kind, counter, counter.hits, counter.misses, counter.stores)
+            (kind, counter, counter.hits, counter.misses, counter.stores,
+             counter.corrupt)
             for kind, counter in list(self.counters.items())
         ]
-        if not any(h or m or s for _, _, h, m, s in snapshot):
+        if not any(h or m or s or c for _, _, h, m, s, c in snapshot):
             return
         merged = self.persistent_counters()
-        for kind, _, hits, misses, stores in snapshot:
+        for kind, _, hits, misses, stores, corrupt in snapshot:
             slot = merged.setdefault(
-                kind, {"hits": 0, "misses": 0, "stores": 0}
+                kind, {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0}
             )
             slot["hits"] = slot.get("hits", 0) + hits
             slot["misses"] = slot.get("misses", 0) + misses
             slot["stores"] = slot.get("stores", 0) + stores
+            slot["corrupt"] = slot.get("corrupt", 0) + corrupt
         write_json_atomic(self.root / self._COUNTERS_FILE, merged, indent=2)
-        for _, counter, hits, misses, stores in snapshot:
+        for _, counter, hits, misses, stores, corrupt in snapshot:
             counter.hits -= hits
             counter.misses -= misses
             counter.stores -= stores
+            counter.corrupt -= corrupt
 
     # -- reporting ------------------------------------------------------
 
@@ -448,6 +563,7 @@ class ArtifactCache:
             return "cache: idle"
         parts = [
             f"{kind}: {c.hits} hit / {c.misses} miss / {c.stores} stored"
+            + (f" / {c.corrupt} corrupt healed" if c.corrupt else "")
             for kind, c in sorted(self.counters.items())
         ]
         return "cache [" + "; ".join(parts) + "]"

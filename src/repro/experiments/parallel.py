@@ -183,7 +183,8 @@ def _worker_run(job: Job) -> Tuple[Any, dict]:
     deltas = {}
     if _WORKER_CONTEXT.cache is not None:
         for kind, counter in _WORKER_CONTEXT.cache.counters.items():
-            deltas[kind] = (counter.hits, counter.misses, counter.stores)
+            deltas[kind] = (counter.hits, counter.misses, counter.stores,
+                            counter.corrupt)
         _WORKER_CONTEXT.cache.counters.clear()
     return value, deltas
 
@@ -245,11 +246,12 @@ def execute(
     for job, (value, deltas) in zip(pending, results):
         _absorb(job, value, context)
         if context.cache is not None:
-            for kind, (hits, misses, stores) in deltas.items():
+            for kind, (hits, misses, stores, corrupt) in deltas.items():
                 counter = context.cache.counters.setdefault(
                     kind, CacheCounters()
                 )
                 counter.hits += hits
                 counter.misses += misses
                 counter.stores += stores
+                counter.corrupt += corrupt
     return len(pending)

@@ -51,7 +51,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments import EXPERIMENTS
-from repro.experiments.cache import ArtifactCache, CacheCounters
+from repro.experiments.cache import ArtifactCache, CacheCounters, fingerprint
 from repro.experiments.export import render_manifest
 from repro.experiments.parallel import Job, execute
 from repro.experiments.runner import ExperimentContext, ExperimentProfile
@@ -63,6 +63,8 @@ from repro.experiments.sweep import (
 )
 from repro.registry import UnknownComponentError
 from repro.service.execution import WarmPool, execute_contained, warm_execute
+from repro.service.routing import ConsistentHashRing
+from repro.service.tiered import TieredArtifactCache
 from repro.service.queue import (
     JobQueue,
     JobState,
@@ -81,6 +83,7 @@ __all__ = [
     "DispatcherStats",
     "RequestError",
     "normalize_request",
+    "request_digest",
     "sweep_title",
 ]
 
@@ -98,6 +101,23 @@ DEFAULT_WAIT_TIMEOUT = 600.0
 
 class RequestError(ValueError):
     """A submitted payload failed validation (HTTP 400)."""
+
+
+def _normalize_value(value):
+    """Collapse numerically equal JSON spellings of one axis value.
+
+    JSON has one number type, so ``1`` and ``1.0`` are the same request
+    — but ``str(1.0)`` is ``'1.0'``, which either fails an int axis's
+    parse or (for float axes) produces a distinct canonical rendering
+    that escapes every dedup layer.  Integral floats become ints here,
+    *before* ``axis.parse``, so both spellings normalize to one request
+    dict, one fingerprint, one computation.  Bools pass through
+    untouched (``bool`` is an ``int`` subclass, not a ``float``).
+    """
+    if (isinstance(value, float) and value.is_integer()
+            and math.isfinite(value)):
+        return int(value)
+    return value
 
 
 class BreakerOpenError(RuntimeError):
@@ -154,7 +174,9 @@ def normalize_request(payload: dict) -> dict:
         if values is None:
             parsed = list(axis.default_values(profile))
         else:
-            parsed = [axis.parse(str(value)) for value in values]
+            parsed = [
+                axis.parse(str(_normalize_value(value))) for value in values
+            ]
     except UnknownComponentError as error:
         raise RequestError(str(error)) from None
     except ValueError as error:
@@ -183,6 +205,19 @@ def normalize_request(payload: dict) -> dict:
 def _result_key(request: dict) -> tuple:
     """The artifact-cache key tuple a request's rendered result lives under."""
     return (request,)
+
+
+def request_digest(request: dict) -> str:
+    """The shard-routing fingerprint of a *normalized* request.
+
+    Deliberately version-free (unlike artifact digests, which fold in
+    ``code_version``): a code change must invalidate cached artifacts,
+    but it must *not* reshuffle which shard owns a request — placement
+    stability is what keeps warm caches and in-flight dedup valid
+    across deploys.  Every spelling that normalizes to the same request
+    dict shares this fingerprint, so it also shares a shard.
+    """
+    return fingerprint("route", request)
 
 
 def _spec_for(request: dict, profile: ExperimentProfile):
@@ -214,6 +249,12 @@ class DispatcherStats:
     deps_deduped_inflight: int = 0
     #: Batches that started while at least one other batch was executing.
     overlapped_batches: int = 0
+    #: Submissions this shard accepted although the consistent-hash ring
+    #: assigns their fingerprint to a different shard (a client that
+    #: skipped routing).  Accepted anyway — correctness never depends on
+    #: placement, only dedup convergence does — but a growing count
+    #: means clients are defeating cross-shard dedup.
+    misrouted: int = 0
     #: Submissions refused at admission (429 quota / 503 depth / 413 size).
     rejected_quota: int = 0
     rejected_depth: int = 0
@@ -381,6 +422,10 @@ class Dispatcher:
         breaker_threshold: int = 5,
         breaker_cooldown: float = 30.0,
         warm_pool: bool = False,
+        cache: Optional[ArtifactCache] = None,
+        shard_index: int = 0,
+        shard_count: int = 1,
+        shard_urls: Tuple[str, ...] = (),
     ) -> None:
         self.queue = queue
         #: Observability: the queue owns the event bus + tracer (its
@@ -389,7 +434,24 @@ class Dispatcher:
         #: execution-phase spans (batched/executed/assembled/cache_hit).
         self.events = queue.events
         self.tracer = queue.tracer
-        self.cache = ArtifactCache(cache_root)
+        #: The artifact store.  A tiered cache even when no shared dir or
+        #: peers are configured: the tier tallies then just mirror the
+        #: local counters, and ``/v1/stats`` keeps one schema either way.
+        self.cache = (
+            cache if cache is not None else TieredArtifactCache(cache_root)
+        )
+        #: Shard identity (``repro serve --shard K/N --peers ...``).
+        #: ``shard_urls`` is all N announced base URLs in index order —
+        #: the ring every client routes over — and ``shard_urls[K]`` is
+        #: this process.  Unsharded servers keep the 0/1 defaults and no
+        #: ring.
+        self.shard_index = int(shard_index)
+        self.shard_count = max(1, int(shard_count))
+        self.shard_urls = tuple(str(u).rstrip("/") for u in shard_urls)
+        self._ring = (
+            ConsistentHashRing(self.shard_urls)
+            if self.shard_count > 1 and self.shard_urls else None
+        )
         self.jobs = max(1, jobs)
         self.max_batch = max(1, max_batch)
         self.workers = max(1, workers)
@@ -501,8 +563,19 @@ class Dispatcher:
         request = normalize_request(payload)
         with self._stats_lock:
             self.stats.submissions += 1
+        if (self._ring is not None
+                and self._ring.owner(request_digest(request))
+                != self.shard_urls[self.shard_index]):
+            with self._stats_lock:
+                self.stats.misrouted += 1
         digest = self.cache.digest(RESULT_KIND, _result_key(request))
-        cached = self.cache.exists_digest(RESULT_KIND, digest)
+        # readable_digest, not the pure path probe: a torn artifact is
+        # healed (unlinked + counted) and the job recomputed instead of
+        # instant-completing onto a result_key every GET will 500 on.
+        # On a tiered cache this also walks the shared tier and — for a
+        # cold key on a non-owner shard — asks peers, which is exactly
+        # how shard B instant-completes from shard A's work.
+        cached = self.cache.readable_digest(RESULT_KIND, digest)
         if not cached:
             # While the breaker is open, new *work* is refused (503 +
             # Retry-After); cache-backed requests still sail — they cost
@@ -535,7 +608,7 @@ class Dispatcher:
                 self.stats.coalesced += 1
             if (job.state is JobState.DONE
                     and not (job.result_key
-                             and self.cache.exists_digest(
+                             and self.cache.readable_digest(
                                  RESULT_KIND, job.result_key))):
                 job = self.queue.requeue_lost(job.id)
             return job
@@ -572,8 +645,20 @@ class Dispatcher:
         }
 
     def load_result(self, result_key: str) -> Optional[str]:
-        """The rendered JSON document stored under an artifact digest."""
-        hit, value = self.cache.load_digest(RESULT_KIND, result_key)
+        """The rendered JSON document stored under an artifact digest.
+
+        Serves from the *directory* tiers only — never a peer fetch.
+        The ``/v1/results`` handler calls this, and that endpoint is
+        itself the peer-fetch transport: if serving it could consult
+        peers, two shards missing the same digest would request it from
+        each other in an unbounded ping-pong.
+        """
+        if isinstance(self.cache, TieredArtifactCache):
+            hit, value = self.cache.load_digest(
+                RESULT_KIND, result_key, allow_peer=False
+            )
+        else:
+            hit, value = self.cache.load_digest(RESULT_KIND, result_key)
         return value if hit else None
 
     # -- execution -------------------------------------------------------
@@ -973,6 +1058,7 @@ class Dispatcher:
             slot.hits += counter.hits
             slot.misses += counter.misses
             slot.stores += counter.stores
+            slot.corrupt += counter.corrupt
 
     def _finish(self, job: ServiceJob, *, result_key: str = None,
                 error: str = None) -> None:
@@ -1031,8 +1117,12 @@ class Dispatcher:
                 slot.hits += c.hits
                 slot.misses += c.misses
                 slot.stores += c.stores
+                slot.corrupt += c.corrupt
         cache_counters = {
-            kind: {"hits": c.hits, "misses": c.misses, "stores": c.stores}
+            kind: {
+                "hits": c.hits, "misses": c.misses,
+                "stores": c.stores, "corrupt": c.corrupt,
+            }
             for kind, c in sorted(merged.items())
         }
         events = self.events.stats()
@@ -1041,7 +1131,7 @@ class Dispatcher:
             #: Bumped whenever a section or key is added/renamed, so
             #: monitoring consumers can gate on it.  The pinned schema
             #: test asserts the exact key set at each version.
-            "schema_version": 2,
+            "schema_version": 3,
             "started_at": round(self._started_wall, 3),
             "uptime_seconds": round(time.time() - self._started_wall, 3),
             "queue": {
@@ -1061,6 +1151,16 @@ class Dispatcher:
                 "cells_deduped_inflight": self.stats.cells_deduped_inflight,
                 "deps_deduped_inflight": self.stats.deps_deduped_inflight,
                 "overlapped_batches": self.stats.overlapped_batches,
+            },
+            "shard": {
+                "index": self.shard_index,
+                "count": self.shard_count,
+                "url": (
+                    self.shard_urls[self.shard_index]
+                    if self._ring is not None else None
+                ),
+                "peers": len(self.shard_urls),
+                "misrouted": self.stats.misrouted,
             },
             "admission": {
                 "quota": self.quota,
@@ -1084,6 +1184,10 @@ class Dispatcher:
                 "session": cache_counters,
                 "lifetime": self.cache.persistent_counters(),
             },
+            "tiered": (
+                self.cache.tier_stats()
+                if isinstance(self.cache, TieredArtifactCache) else None
+            ),
             "workers": {
                 "count": self.workers,
                 "active": self._active_batches,

@@ -281,10 +281,11 @@ def _warm_run(profile: ExperimentProfile, job: Job) -> Tuple[Any, dict]:
     _maybe_inject(job)
     context = _warm_context(profile)
     value = _run_job(job, context)
-    deltas: Dict[str, Tuple[int, int, int]] = {}
+    deltas: Dict[str, Tuple[int, int, int, int]] = {}
     if context.cache is not None:
         for kind, counter in context.cache.counters.items():
-            deltas[kind] = (counter.hits, counter.misses, counter.stores)
+            deltas[kind] = (counter.hits, counter.misses, counter.stores,
+                            counter.corrupt)
         context.cache.counters.clear()
     _trim_warm_context(context)
     return value, deltas
@@ -445,13 +446,14 @@ def warm_execute(
     for job, (value, deltas) in zip(pending, results):
         _absorb(job, value, context)
         if context.cache is not None:
-            for kind, (hits, misses, stores) in deltas.items():
+            for kind, (hits, misses, stores, corrupt) in deltas.items():
                 counter = context.cache.counters.setdefault(
                     kind, CacheCounters()
                 )
                 counter.hits += hits
                 counter.misses += misses
                 counter.stores += stores
+                counter.corrupt += corrupt
     return len(pending)
 
 
@@ -606,13 +608,14 @@ def _absorb_results(
         _absorb(cell, value, context)
         absorbed += 1
         if context.cache is not None:
-            for kind, (hits, misses, stores) in deltas.items():
+            for kind, (hits, misses, stores, corrupt) in deltas.items():
                 counter = context.cache.counters.setdefault(
                     kind, CacheCounters()
                 )
                 counter.hits += hits
                 counter.misses += misses
                 counter.stores += stores
+                counter.corrupt += corrupt
     return absorbed
 
 

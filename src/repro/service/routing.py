@@ -1,0 +1,115 @@
+"""Consistent-hash routing of request fingerprints to shard servers.
+
+Sharded serving runs N independent server processes; dedup only
+converges if every spelling of one logical request reaches the *same*
+process, so the routing key is the request *fingerprint* —
+``request_digest(normalize_request(payload))`` — not the raw JSON.
+Normalization already collapses axis ordering, value spellings
+(``1`` vs ``1.0``), and workload aliases, so two clients that would
+share a cache artifact also share a shard.
+
+The ring is classic consistent hashing with virtual nodes: each shard
+URL is hashed at :data:`VNODES` points on a 64-bit circle, and a key is
+owned by the first vnode clockwise of its own hash.  Adding or removing
+one shard therefore remaps only ~1/N of the keyspace (pinned by a test)
+— the other shards' warm caches and in-flight dedup stay valid, which
+is the whole reason for a ring over ``hash(key) % N``.
+
+Everything here is pure stdlib and deterministic (SHA-256, no process
+state), so clients, servers, and tests agree on placement without
+coordination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "VNODES",
+    "ConsistentHashRing",
+    "parse_shard_spec",
+    "route_request",
+]
+
+#: Virtual nodes per shard.  64 keeps the max/min keyspace-share ratio
+#: under ~1.4 for small N while the ring stays tiny (N*64 points).
+VNODES = 64
+
+
+def _point(token: str) -> int:
+    """A stable 64-bit position on the ring for one token."""
+    return int.from_bytes(
+        hashlib.sha256(token.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def parse_shard_spec(spec: str) -> Tuple[int, int]:
+    """Parse ``"K/N"`` into ``(index, count)`` with 0-based K < N."""
+    try:
+        k_text, n_text = str(spec).split("/", 1)
+        index, count = int(k_text), int(n_text)
+    except ValueError:
+        raise ValueError(
+            f"shard spec must look like K/N (e.g. 0/2), got {spec!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard spec {spec!r} out of range: need 0 <= K < N"
+        )
+    return index, count
+
+
+class ConsistentHashRing:
+    """Maps string keys onto a fixed set of node names.
+
+    Nodes are whatever identifies a shard — its announced base URL in
+    practice.  Duplicate nodes are rejected (they would silently double
+    one shard's keyspace share).
+    """
+
+    def __init__(self, nodes: Sequence[str], *, vnodes: int = VNODES) -> None:
+        names = [str(n) for n in nodes]
+        if not names:
+            raise ValueError("consistent-hash ring needs at least one node")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate ring nodes: {names!r}")
+        self.nodes: Tuple[str, ...] = tuple(names)
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, str]] = []
+        for name in names:
+            for replica in range(self.vnodes):
+                points.append((_point(f"{name}#{replica}"), name))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``: first vnode clockwise of its hash."""
+        position = bisect_right(self._points, _point(str(key)))
+        if position == len(self._points):
+            position = 0
+        return self._owners[position]
+
+    def shares(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (diagnostics + tests)."""
+        counts = {name: 0 for name in self.nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+
+def route_request(urls: Sequence[str], payload: dict) -> str:
+    """Pick the shard URL that owns a raw submit payload.
+
+    Normalizes the payload exactly as the dispatcher will (so ``1`` and
+    ``1.0`` spellings, axis order, and aliases all land together) and
+    walks the ring over the given URLs.  Raises the dispatcher's
+    ``RequestError`` on a malformed payload — better to fail at the
+    client than to park an unparseable job on an arbitrary shard.
+    """
+    from repro.service.dispatcher import normalize_request, request_digest
+
+    ring = ConsistentHashRing([str(u).rstrip("/") for u in urls])
+    return ring.owner(request_digest(normalize_request(payload)))

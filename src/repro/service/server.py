@@ -85,6 +85,8 @@ from repro.service.queue import (
     JobQueue,
     QueueFullError,
 )
+from repro.service.routing import parse_shard_spec
+from repro.service.tiered import DEFAULT_PEER_TIMEOUT, TieredArtifactCache
 
 __all__ = ["ServiceServer", "ServerThread", "serve_forever"]
 
@@ -149,10 +151,44 @@ class ServiceServer:
         breaker_cooldown: float = 30.0,
         warm_pool: bool = False,
         log_json: bool = False,
+        shard: Optional[str] = None,
+        peers: Optional[Tuple[str, ...]] = None,
+        shared_cache_dir=None,
+        peer_timeout: float = DEFAULT_PEER_TIMEOUT,
+        peer_fetch: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.workers = max(1, workers)
+        #: Sharding: ``shard`` is this process's ``K/N`` spec and
+        #: ``peers`` the N announced base URLs in index order (self is
+        #: ``peers[K]`` — the same list every client routes over, so
+        #: placement agrees without coordination).  ``shared_cache_dir``
+        #: (usable with or without sharding) adds the read-through/
+        #: write-through directory tier; ``peer_fetch=False`` keeps the
+        #: ring for routing stats but never dials a peer for artifacts.
+        shard_index, shard_count, shard_urls = 0, 1, ()
+        if shard is not None:
+            shard_index, shard_count = parse_shard_spec(shard)
+            shard_urls = tuple(
+                str(u).rstrip("/") for u in (peers or ())
+            )
+            if len(shard_urls) != shard_count:
+                raise ValueError(
+                    f"--shard {shard} needs exactly {shard_count} peer "
+                    f"URL(s) (all shards, index order); got "
+                    f"{len(shard_urls)}"
+                )
+        peer_urls = (
+            tuple(u for i, u in enumerate(shard_urls) if i != shard_index)
+            if peer_fetch else ()
+        )
+        cache = TieredArtifactCache(
+            cache_dir,
+            shared_root=shared_cache_dir,
+            peers=peer_urls,
+            peer_timeout=peer_timeout,
+        )
         #: Seconds an in-flight batch gets to record its verdict once a
         #: drain begins; stragglers are demoted back to ``queued``.
         self.drain_grace = max(0.0, float(drain_grace))
@@ -174,6 +210,9 @@ class ServiceServer:
             breaker_threshold=breaker_threshold,
             breaker_cooldown=breaker_cooldown,
             warm_pool=warm_pool,
+            cache=cache,
+            shard_index=shard_index, shard_count=shard_count,
+            shard_urls=shard_urls,
         )
         #: The queue owns the bus + tracer (one emission path for live
         #: and replayed mutations); the server streams and renders them.
@@ -486,7 +525,7 @@ class ServiceServer:
             # watch`) can initialize gauges without a second request.
             hello = {
                 "event": "hello",
-                "schema_version": 2,
+                "schema_version": 3,
                 "stats": self.dispatcher.snapshot(),
             }
             writer.write(_sse_frame(hello))
@@ -776,6 +815,11 @@ def serve_forever(
     drain_grace: float = 30.0,
     warm_pool: bool = False,
     log_json: bool = False,
+    shard: Optional[str] = None,
+    peers: Optional[Tuple[str, ...]] = None,
+    shared_cache_dir=None,
+    peer_timeout: float = DEFAULT_PEER_TIMEOUT,
+    peer_fetch: bool = True,
     announce=None,
 ) -> bool:
     """Run a service in the foreground until signalled (CLI ``serve``).
@@ -793,6 +837,8 @@ def serve_forever(
         max_attempts=max_attempts, job_timeout=job_timeout,
         drain_grace=drain_grace, warm_pool=warm_pool,
         log_json=log_json,
+        shard=shard, peers=peers, shared_cache_dir=shared_cache_dir,
+        peer_timeout=peer_timeout, peer_fetch=peer_fetch,
     )
     try:
         asyncio.run(_amain(server, announce))

@@ -116,7 +116,9 @@ class TestPersistentCounters:
         second.flush_counters()
 
         lifetime = ArtifactCache(tmp_path, version="v1").persistent_counters()
-        assert lifetime["timed"] == {"hits": 2, "misses": 1, "stores": 1}
+        assert lifetime["timed"] == {
+            "hits": 2, "misses": 1, "stores": 1, "corrupt": 0,
+        }
 
     def test_flush_with_no_activity_writes_nothing(self, tmp_path):
         cache = ArtifactCache(tmp_path, version="v1")

@@ -283,6 +283,7 @@ class TestStatsSchema:
             "cells_executed", "cells_deduped_inflight",
             "deps_deduped_inflight", "overlapped_batches",
         },
+        "shard": {"index", "count", "url", "peers", "misrouted"},
         "admission": {
             "quota", "max_queue_depth", "max_body_bytes",
             "rejected_quota", "rejected_depth", "rejected_size",
@@ -292,6 +293,9 @@ class TestStatsSchema:
             "timeouts", "bisections", "pool_crashes", "breaker_open",
         },
         "cache": {"session", "lifetime"},
+        "tiered": {
+            "local", "shared", "peer", "shared_root", "peer_count",
+        },
         "workers": {
             "count", "active", "inflight_cells", "pool_size",
             "max_batch", "busy_seconds", "utilization", "warm_pool",
@@ -311,9 +315,14 @@ class TestStatsSchema:
         assert set(stats) == set(self.EXPECTED) | self.SCALARS
         for section, keys in self.EXPECTED.items():
             assert set(stats[section]) == keys, section
-        assert stats["schema_version"] == 2
+        assert stats["schema_version"] == 3
         assert stats["started_at"] > 0
         assert stats["uptime_seconds"] >= 0
+        for tier in ("local", "shared", "peer"):
+            assert set(stats["tiered"][tier]) == {
+                "hits", "misses", "stores", "promotes", "errors",
+                "corrupt",
+            }
         assert set(stats["queue"]["states"]) == {
             "queued", "running", "done", "failed", "quarantined"
         }
